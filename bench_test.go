@@ -1,0 +1,247 @@
+// Benchmarks regenerating every table and figure of the paper (at
+// ScaleTiny so `go test -bench=.` completes in minutes; run
+// `cmd/experiments -scale small` or `-scale full` for the committed
+// numbers), plus micro-benchmarks of the load-bearing components.
+package cosparse
+
+import (
+	"testing"
+
+	"cosparse/internal/bench"
+	"cosparse/internal/gen"
+	"cosparse/internal/kernels"
+	"cosparse/internal/ligra"
+	"cosparse/internal/matrix"
+	"cosparse/internal/runtime"
+	"cosparse/internal/semiring"
+	"cosparse/internal/sim"
+)
+
+// ---- one benchmark per table/figure ----
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = bench.TableI()
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = bench.TableII()
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = bench.TableIII(bench.ScaleTiny)
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = bench.Fig4(bench.ScaleTiny)
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = bench.Fig5(bench.ScaleTiny)
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = bench.Fig6(bench.ScaleTiny)
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = bench.Fig7(bench.ScaleTiny)
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = bench.Fig8(bench.ScaleTiny)
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = bench.Fig9(bench.ScaleTiny)
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = bench.Fig10(bench.ScaleTiny)
+	}
+}
+
+// ---- kernel micro-benchmarks (simulated-cycle cost is the figure of
+// merit; these measure host throughput of the simulator itself) ----
+
+func benchMatrix() (*matrix.COO, *matrix.CSC) {
+	m := gen.Uniform(16384, 62500, gen.Pattern, 42)
+	return m, m.ToCSC()
+}
+
+func BenchmarkSimIPKernel(b *testing.B) {
+	coo, _ := benchMatrix()
+	g := sim.Geometry{Tiles: 4, PEsPerTile: 8}
+	cfg := sim.NewConfig(g, sim.SC)
+	part := kernels.NewIPPartition(coo, g.TotalPEs(), 0, kernels.BalanceNNZ)
+	x := gen.Frontier(coo.C, 0.5, 7).ToDense(0)
+	op := kernels.Operand{Ring: semiring.SpMV()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res := kernels.RunIP(cfg, part, x, op)
+		if res.Cycles == 0 {
+			b.Fatal("no cycles")
+		}
+	}
+	b.ReportMetric(float64(coo.NNZ()), "nnz/op")
+}
+
+func BenchmarkSimOPKernel(b *testing.B) {
+	_, csc := benchMatrix()
+	g := sim.Geometry{Tiles: 4, PEsPerTile: 8}
+	cfg := sim.NewConfig(g, sim.PS)
+	part := kernels.NewOPPartition(csc, g.Tiles, kernels.BalanceNNZ)
+	f := gen.Frontier(csc.C, 0.02, 9)
+	op := kernels.Operand{Ring: semiring.SpMV()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res := kernels.RunOP(cfg, part, f, op)
+		if res.Cycles == 0 {
+			b.Fatal("no cycles")
+		}
+	}
+}
+
+func BenchmarkIPPartitionBuild(b *testing.B) {
+	coo, _ := benchMatrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = kernels.NewIPPartition(coo, 32, 2048, kernels.BalanceNNZ)
+	}
+}
+
+func BenchmarkOPPartitionBuild(b *testing.B) {
+	_, csc := benchMatrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = kernels.NewOPPartition(csc, 8, kernels.BalanceNNZ)
+	}
+}
+
+func BenchmarkCOOToCSC(b *testing.B) {
+	coo, _ := benchMatrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = coo.ToCSC()
+	}
+}
+
+func BenchmarkSSSPFullRun(b *testing.B) {
+	m := gen.PowerLaw(3000, 60000, 0.55, gen.UniformWeight, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fw, err := runtime.New(m, runtime.Options{Geometry: sim.Geometry{Tiles: 2, PEsPerTile: 8}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := fw.SSSP(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLigraBFS(b *testing.B) {
+	m := gen.PowerLaw(10000, 200000, 0.55, gen.Pattern, 13)
+	g := ligra.NewGraph(m)
+	x := ligra.DefaultXeon()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ligra.BFS(g, 0, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPublicAPIPageRank(b *testing.B) {
+	g, err := GeneratePowerLaw(5000, 50000, Unweighted, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := New(g, System{Tiles: 2, PEsPerTile: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.PageRank(3, 0.15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- ablation benchmarks for the design choices DESIGN.md calls out ----
+
+func ablationRun(b *testing.B, mutate func(*sim.Params)) int64 {
+	coo, _ := benchMatrix()
+	g := sim.Geometry{Tiles: 4, PEsPerTile: 8}
+	cfg := sim.NewConfig(g, sim.SC)
+	mutate(&cfg.Params)
+	part := kernels.NewIPPartition(coo, g.TotalPEs(), 0, kernels.BalanceNNZ)
+	x := gen.Frontier(coo.C, 0.5, 7).ToDense(0)
+	op := kernels.Operand{Ring: semiring.SpMV()}
+	var cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res := kernels.RunIP(cfg, part, x, op)
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+	return cycles
+}
+
+func BenchmarkAblationBaselineIP(b *testing.B) {
+	ablationRun(b, func(*sim.Params) {})
+}
+
+func BenchmarkAblationNoPrefetch(b *testing.B) {
+	ablationRun(b, func(p *sim.Params) { p.PrefetchDegree = 0 })
+}
+
+func BenchmarkAblationNoStoreBuffer(b *testing.B) {
+	ablationRun(b, func(p *sim.Params) { p.StoreBufDepth = 1 })
+}
+
+func BenchmarkAblationWideSchedulerWindow(b *testing.B) {
+	// Coarser interleaving: faster host simulation, looser contention
+	// modelling. The cycle deltas vs the baseline quantify the error.
+	ablationRun(b, func(p *sim.Params) { p.SchedulerWindow = 1024 })
+}
+
+func BenchmarkAblationSlowHBM(b *testing.B) {
+	ablationRun(b, func(p *sim.Params) { p.HBMBaseLatency = 300 })
+}
+
+func BenchmarkBetweenness(b *testing.B) {
+	g, err := GeneratePowerLaw(2000, 20000, Unweighted, 31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := New(g, System{Tiles: 2, PEsPerTile: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Betweenness(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Command cosparse runs a graph-analytics algorithm on the CoSPARSE
+// framework (simulated reconfigurable hardware) and prints the
+// per-iteration reconfiguration trace and the run report.
+//
+// Usage:
+//
+//	cosparse -algo sssp -graph suite:pokec -graph-scale 64 -tiles 16 -pes 16
+//	cosparse -algo pr -graph powerlaw:100000:1000000 -iters 10
+//	cosparse -algo bfs -graph edges.txt -src 0
+//	cosparse -algo bfs -graph edges.txt -sw ip -hw scs   # pin a configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"cosparse"
+)
+
+func main() {
+	algo := flag.String("algo", "pr", "algorithm: bfs, sssp, pr, cf")
+	graph := flag.String("graph", "powerlaw:10000:100000", "graph: FILE, suite:NAME, uniform:N:E, or powerlaw:N:E")
+	graphScale := flag.Int("graph-scale", 64, "downscale factor for suite graphs (1 = published size)")
+	undirected := flag.Bool("undirected", false, "treat an edge-list file as undirected")
+	tiles := flag.Int("tiles", 16, "tiles in the simulated machine")
+	pes := flag.Int("pes", 16, "PEs per tile")
+	src := flag.Int("src", -1, "source vertex for bfs/sssp (-1 = highest out-degree)")
+	iters := flag.Int("iters", 10, "iterations for pr/cf")
+	alpha := flag.Float64("alpha", 0.15, "PageRank damping factor")
+	beta := flag.Float64("beta", 0.05, "CF learning rate")
+	lambda := flag.Float64("lambda", 0.01, "CF regularization")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	sw := flag.String("sw", "auto", "software configuration: auto, ip, op")
+	hw := flag.String("hw", "auto", "hardware configuration: auto, sc, scs, pc, ps")
+	trace := flag.Bool("trace", true, "print the per-iteration reconfiguration trace")
+	jsonOut := flag.String("json", "", "write the report as JSON to this file")
+	csvOut := flag.String("csv", "", "write the per-iteration trace as CSV to this file")
+	flag.Parse()
+
+	g, err := loadGraph(*graph, *graphScale, *undirected, weighted(*algo), *seed)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges, density %.2e\n", g.NumVertices(), g.NumEdges(), g.Density())
+
+	opts := []cosparse.Option{}
+	switch strings.ToLower(*sw) {
+	case "auto":
+	case "ip":
+		opts = append(opts, cosparse.WithSoftware(cosparse.InnerProduct))
+	case "op":
+		opts = append(opts, cosparse.WithSoftware(cosparse.OuterProduct))
+	default:
+		fail(fmt.Errorf("unknown -sw %q", *sw))
+	}
+	switch strings.ToLower(*hw) {
+	case "auto":
+	case "sc":
+		opts = append(opts, cosparse.WithHardware(cosparse.ForceSC))
+	case "scs":
+		opts = append(opts, cosparse.WithHardware(cosparse.ForceSCS))
+	case "pc":
+		opts = append(opts, cosparse.WithHardware(cosparse.ForcePC))
+	case "ps":
+		opts = append(opts, cosparse.WithHardware(cosparse.ForcePS))
+	default:
+		fail(fmt.Errorf("unknown -hw %q", *hw))
+	}
+
+	eng, err := cosparse.New(g, cosparse.System{Tiles: *tiles, PEsPerTile: *pes}, opts...)
+	if err != nil {
+		fail(err)
+	}
+
+	s := int32(*src)
+	if s < 0 {
+		s = maxDegree(g)
+	}
+
+	var rep *cosparse.Report
+	switch strings.ToLower(*algo) {
+	case "bfs":
+		var res *cosparse.BFSResult
+		res, rep, err = eng.BFS(s)
+		if err == nil {
+			reached := 0
+			for _, l := range res.Level {
+				if l >= 0 {
+					reached++
+				}
+			}
+			fmt.Printf("bfs from %d: reached %d/%d vertices\n", s, reached, g.NumVertices())
+		}
+	case "sssp":
+		var dist []float32
+		dist, rep, err = eng.SSSP(s)
+		if err == nil {
+			sum, n := 0.0, 0
+			for _, d := range dist {
+				if d < float32(1e30) {
+					sum += float64(d)
+					n++
+				}
+			}
+			fmt.Printf("sssp from %d: reached %d vertices, mean distance %.4f\n", s, n, sum/float64(max(n, 1)))
+		}
+	case "pr", "pagerank":
+		var pr []float32
+		pr, rep, err = eng.PageRank(*iters, float32(*alpha))
+		if err == nil {
+			best, bv := 0, float32(0)
+			for i, v := range pr {
+				if v > bv {
+					best, bv = i, v
+				}
+			}
+			fmt.Printf("pagerank: top vertex %d with score %.5f\n", best, bv)
+		}
+	case "cf":
+		_, rep, err = eng.CF(*iters, float32(*beta), float32(*lambda))
+		if err == nil {
+			fmt.Printf("cf: trained %d iterations\n", *iters)
+		}
+	default:
+		err = fmt.Errorf("unknown -algo %q (want bfs, sssp, pr, cf)", *algo)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Println(rep.Summary())
+	if *trace {
+		fmt.Print(rep.Trace())
+	}
+	if *jsonOut != "" {
+		if err := writeTo(*jsonOut, rep.WriteJSON); err != nil {
+			fail(err)
+		}
+	}
+	if *csvOut != "" {
+		if err := writeTo(*csvOut, rep.WriteCSV); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}
+
+func weighted(algo string) cosparse.ValueMode {
+	switch strings.ToLower(algo) {
+	case "sssp", "cf":
+		return cosparse.Weighted
+	}
+	return cosparse.Unweighted
+}
+
+func loadGraph(spec string, scale int, undirected bool, mode cosparse.ValueMode, seed uint64) (*cosparse.Graph, error) {
+	switch {
+	case strings.HasPrefix(spec, "suite:"):
+		return cosparse.GenerateSuite(strings.TrimPrefix(spec, "suite:"), scale, mode, seed)
+	case strings.HasPrefix(spec, "uniform:"), strings.HasPrefix(spec, "powerlaw:"):
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("want %s:N:E", parts[0])
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad vertex count: %v", err)
+		}
+		e, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("bad edge count: %v", err)
+		}
+		if parts[0] == "uniform" {
+			return cosparse.GenerateUniform(n, e, mode, seed)
+		}
+		return cosparse.GeneratePowerLaw(n, e, mode, seed)
+	default:
+		f, err := os.Open(spec)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return cosparse.LoadEdgeList(f, undirected)
+	}
+}
+
+func maxDegree(g *cosparse.Graph) int32 {
+	best := int32(0)
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		if g.OutDegree(v) > g.OutDegree(best) {
+			best = v
+		}
+	}
+	return best
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "cosparse: %v\n", err)
+	os.Exit(1)
+}

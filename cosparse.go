@@ -1,0 +1,520 @@
+// Package cosparse is a software- and hardware-reconfigurable SpMV
+// framework for graph analytics — a faithful reimplementation of
+// "CoSPARSE: A Software and Hardware Reconfigurable SpMV Framework for
+// Graph Analytics" (Feng et al., DAC 2021).
+//
+// A Graph is loaded (or generated) once; an Engine binds it to a
+// simulated Transmuter-style reconfigurable many-core of a chosen
+// geometry. Every algorithm iteration invokes one SpMV, and the engine
+// picks, per iteration, the software configuration (inner-product for
+// dense frontiers, outer-product for sparse ones) and the hardware
+// configuration of the two-level on-chip memory (SC/SCS for IP, PC/PS
+// for OP), charging reconfiguration and vector-conversion costs.
+// Reports expose per-iteration decisions, cycle counts and energy.
+//
+//	g, _ := cosparse.GeneratePowerLaw(100_000, 1_000_000, cosparse.Weighted, 42)
+//	eng, _ := cosparse.New(g, cosparse.System{Tiles: 16, PEsPerTile: 16})
+//	dist, rep, _ := eng.SSSP(0)
+//	fmt.Println(rep.Summary())
+//
+// All hardware is simulated deterministically (see internal/sim);
+// identical inputs produce identical cycle counts on any host.
+package cosparse
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cosparse/internal/gen"
+	"cosparse/internal/kernels"
+	"cosparse/internal/matrix"
+	"cosparse/internal/runtime"
+	"cosparse/internal/sim"
+)
+
+// Edge is one directed, weighted edge.
+type Edge struct {
+	Src, Dst int32
+	Weight   float32
+}
+
+// ValueMode selects edge values for generated graphs.
+type ValueMode int
+
+const (
+	// Unweighted gives every edge weight 1 (BFS, PR).
+	Unweighted ValueMode = iota
+	// Weighted draws weights uniformly from (0, 1] (SSSP, CF).
+	Weighted
+)
+
+func (v ValueMode) gen() gen.ValueMode {
+	if v == Weighted {
+		return gen.UniformWeight
+	}
+	return gen.Pattern
+}
+
+// Graph is an immutable graph bound to the CoSPARSE storage convention
+// (the transposed adjacency matrix, ready for f_next = SpMV(G.T, f)).
+type Graph struct {
+	m *matrix.COO
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return g.m.R }
+
+// NumEdges returns the number of stored edges.
+func (g *Graph) NumEdges() int { return g.m.NNZ() }
+
+// Density returns |E| / |V|².
+func (g *Graph) Density() float64 { return g.m.Density() }
+
+// OutDegree returns the out-degree of vertex v.
+func (g *Graph) OutDegree(v int32) int32 {
+	if v < 0 || int(v) >= g.m.C {
+		return 0
+	}
+	return g.m.OutDegrees()[v]
+}
+
+// NewGraph builds a graph with n vertices from an edge list. Duplicate
+// edges have their weights combined by addition.
+func NewGraph(n int, edges []Edge) (*Graph, error) {
+	coords := make([]matrix.Coord, len(edges))
+	for i, e := range edges {
+		w := e.Weight
+		if w == 0 {
+			w = 1
+		}
+		// Transposed adjacency: row = destination, col = source.
+		coords[i] = matrix.Coord{Row: e.Dst, Col: e.Src, Val: w}
+	}
+	m, err := matrix.NewCOO(n, n, coords)
+	if err != nil {
+		return nil, fmt.Errorf("cosparse: %w", err)
+	}
+	return &Graph{m: m}, nil
+}
+
+// LoadEdgeList reads a SNAP-style "src dst [weight]" edge list
+// ('#'/'%' comments ignored, ids compacted to [0, n)).
+func LoadEdgeList(r io.Reader, undirected bool) (*Graph, error) {
+	m, err := gen.ReadEdgeList(r, undirected)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{m: m}, nil
+}
+
+// WriteEdgeList writes the graph as a SNAP-style edge list.
+func (g *Graph) WriteEdgeList(w io.Writer, header string) error {
+	return gen.WriteEdgeList(w, g.m, header)
+}
+
+// GenerateUniform creates an n-vertex graph with ~edges uniformly
+// random edges, deterministically from seed.
+func GenerateUniform(n, edges int, mode ValueMode, seed uint64) (*Graph, error) {
+	if n <= 0 || edges < 0 {
+		return nil, fmt.Errorf("cosparse: invalid size %d/%d", n, edges)
+	}
+	return &Graph{m: gen.Uniform(n, edges, mode.gen(), seed)}, nil
+}
+
+// GeneratePowerLaw creates an n-vertex graph with ~edges edges whose
+// degree distribution follows a power law (Chung–Lu), the shape of
+// social networks.
+func GeneratePowerLaw(n, edges int, mode ValueMode, seed uint64) (*Graph, error) {
+	if n <= 0 || edges < 0 {
+		return nil, fmt.Errorf("cosparse: invalid size %d/%d", n, edges)
+	}
+	return &Graph{m: gen.PowerLaw(n, edges, 0.55, mode.gen(), seed)}, nil
+}
+
+// GenerateSuite creates the named stand-in from the paper's Table III
+// suite ("livejournal", "pokec", "youtube", "twitter", "vsp"), scaled
+// down by the given factor (1 = published size).
+func GenerateSuite(name string, scale int, mode ValueMode, seed uint64) (*Graph, error) {
+	spec, err := gen.SpecByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{m: spec.Build(scale, mode.gen(), seed)}, nil
+}
+
+// System is the simulated machine geometry, written Tiles×PEsPerTile in
+// the paper (e.g. 16×16).
+type System struct {
+	Tiles      int
+	PEsPerTile int
+}
+
+// String formats the geometry as the paper writes it.
+func (s System) String() string { return fmt.Sprintf("%dx%d", s.Tiles, s.PEsPerTile) }
+
+// Software forces or frees the per-iteration software choice.
+type Software int
+
+const (
+	// AutoSoftware lets the decision tree choose IP or OP.
+	AutoSoftware Software = iota
+	// InnerProduct forces IP.
+	InnerProduct
+	// OuterProduct forces OP.
+	OuterProduct
+)
+
+// Hardware forces or frees the per-iteration memory configuration.
+type Hardware int
+
+const (
+	// AutoHardware lets the decision tree choose.
+	AutoHardware Hardware = iota
+	// ForceSC pins L1 shared cache + L2 shared cache.
+	ForceSC
+	// ForceSCS pins L1 shared cache+SPM + L2 shared cache.
+	ForceSCS
+	// ForcePC pins L1 private cache + L2 private cache.
+	ForcePC
+	// ForcePS pins L1 private SPM + L2 private cache.
+	ForcePS
+)
+
+// Option customizes an Engine.
+type Option func(*runtime.Options)
+
+// WithSoftware forces the software configuration.
+func WithSoftware(s Software) Option {
+	return func(o *runtime.Options) {
+		switch s {
+		case InnerProduct:
+			o.SW = runtime.ForceIP
+		case OuterProduct:
+			o.SW = runtime.ForceOP
+		default:
+			o.SW = runtime.AutoSW
+		}
+	}
+}
+
+// WithHardware forces the hardware configuration.
+func WithHardware(h Hardware) Option {
+	return func(o *runtime.Options) {
+		switch h {
+		case ForceSC:
+			o.HW = runtime.ForceSC
+		case ForceSCS:
+			o.HW = runtime.ForceSCS
+		case ForcePC:
+			o.HW = runtime.ForcePC
+		case ForcePS:
+			o.HW = runtime.ForcePS
+		default:
+			o.HW = runtime.AutoHW
+		}
+	}
+}
+
+// WithoutBalancing disables the nnz-balanced static partitioning
+// (§III-B), falling back to equal row ranges — mainly useful for
+// reproducing the paper's Fig. 7 ablation.
+func WithoutBalancing() Option {
+	return func(o *runtime.Options) { o.Balancing = kernels.BalanceRows }
+}
+
+// WithMaxIterations bounds traversal algorithms.
+func WithMaxIterations(n int) Option {
+	return func(o *runtime.Options) { o.MaxIters = n }
+}
+
+// Thresholds tunes the reconfiguration decision tree (§III-C). Zero
+// fields keep the calibrated defaults.
+type Thresholds struct {
+	// CVDCoefficient sets the IP/OP crossover: CVD = coefficient /
+	// PEsPerTile (default 0.16, i.e. 2% at 8 PEs/tile).
+	CVDCoefficient float64
+	// SCSMinDensity is the frontier density above which SCS becomes
+	// eligible (default 0.02).
+	SCSMinDensity float64
+	// SCSReuseFloor is the minimum matrix elements served per
+	// scratchpad-staged vector word, nnz/(|V|·Tiles) (default 1.5).
+	SCSReuseFloor float64
+	// PSListFactor scales the private L1 bank capacity against the OP
+	// sorted-list footprint (default 0.5).
+	PSListFactor float64
+}
+
+// WithThresholds overrides decision-tree thresholds.
+func WithThresholds(t Thresholds) Option {
+	return func(o *runtime.Options) {
+		pol := runtime.DefaultPolicy()
+		if t.CVDCoefficient > 0 {
+			pol.CVDCoeff = t.CVDCoefficient
+			// Widen the clamp so the override is effective at any
+			// PEs-per-tile.
+			if t.CVDCoefficient > pol.CVDMax {
+				pol.CVDMax = t.CVDCoefficient
+			}
+			if c := t.CVDCoefficient / 1024; c < pol.CVDMin {
+				pol.CVDMin = c
+			}
+		}
+		if t.SCSMinDensity > 0 {
+			pol.SCSMinDensity = t.SCSMinDensity
+		}
+		if t.SCSReuseFloor > 0 {
+			pol.SCSReuseFloor = t.SCSReuseFloor
+		}
+		if t.PSListFactor > 0 {
+			pol.PSListFactor = t.PSListFactor
+		}
+		o.Policy = pol
+	}
+}
+
+// Engine binds a Graph to a simulated machine and drives the
+// reconfigurable SpMV runtime.
+type Engine struct {
+	fw  *runtime.Framework
+	sys System
+}
+
+// New builds an Engine for the graph on the given system geometry.
+func New(g *Graph, sys System, opts ...Option) (*Engine, error) {
+	o := runtime.Options{Geometry: sim.Geometry{Tiles: sys.Tiles, PEsPerTile: sys.PEsPerTile}}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	fw, err := runtime.New(g.m, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{fw: fw, sys: sys}, nil
+}
+
+// IterationStat describes one algorithm iteration (one SpMV).
+type IterationStat struct {
+	Iter         int
+	FrontierSize int
+	Density      float64
+	Software     string // "IP" or "OP"
+	Hardware     string // "SC", "SCS", "PC", "PS"
+	Reconfigured bool
+	Cycles       int64
+	EnergyJ      float64
+}
+
+// Report summarizes an algorithm run on the simulated hardware.
+type Report struct {
+	Algorithm   string
+	System      System
+	Iterations  []IterationStat
+	TotalCycles int64
+	Seconds     float64
+	EnergyJ     float64
+	AvgPowerW   float64
+}
+
+// Summary returns a one-paragraph human-readable digest.
+func (r *Report) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s on %s: %d iterations, %d cycles (%.3g s @ 1 GHz), %.3g J, %.3g W avg",
+		r.Algorithm, r.System, len(r.Iterations), r.TotalCycles, r.Seconds, r.EnergyJ, r.AvgPowerW)
+	reconfigs := 0
+	for _, it := range r.Iterations {
+		if it.Reconfigured {
+			reconfigs++
+		}
+	}
+	fmt.Fprintf(&sb, ", %d reconfigurations", reconfigs)
+	return sb.String()
+}
+
+// Trace renders the per-iteration decision table (a Fig. 9-style view).
+func (r *Report) Trace() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "iter  frontier  density   config  reconfig  cycles\n")
+	for _, it := range r.Iterations {
+		mark := ""
+		if it.Reconfigured {
+			mark = "*"
+		}
+		fmt.Fprintf(&sb, "%4d  %8d  %7.3f%%  %-6s  %-8s  %d\n",
+			it.Iter, it.FrontierSize, 100*it.Density, it.Software+"/"+it.Hardware, mark, it.Cycles)
+	}
+	return sb.String()
+}
+
+func (e *Engine) report(rep *runtime.Report) *Report {
+	out := &Report{
+		Algorithm:   rep.Algorithm,
+		System:      e.sys,
+		TotalCycles: rep.TotalCycles,
+		Seconds:     rep.Seconds(),
+		EnergyJ:     rep.EnergyJ,
+		AvgPowerW:   rep.AvgPowerW(),
+	}
+	for _, it := range rep.Iters {
+		sw := "OP"
+		if it.Decision.UseIP {
+			sw = "IP"
+		}
+		out.Iterations = append(out.Iterations, IterationStat{
+			Iter:         it.Iter,
+			FrontierSize: it.FrontierNNZ,
+			Density:      it.Density,
+			Software:     sw,
+			Hardware:     it.Decision.HW.String(),
+			Reconfigured: it.Reconfig,
+			Cycles:       it.TotalCycles,
+			EnergyJ:      it.EnergyJ,
+		})
+	}
+	return out
+}
+
+// BFSResult holds BFS parents and levels (-1 = unreachable).
+type BFSResult struct {
+	Parent []int32
+	Level  []int32
+}
+
+// BFS runs breadth-first search from src.
+func (e *Engine) BFS(src int32) (*BFSResult, *Report, error) {
+	res, rep, err := e.fw.BFS(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &BFSResult{Parent: res.Parent, Level: res.Level}, e.report(rep), nil
+}
+
+// SSSP runs single-source shortest paths from src over the stored edge
+// weights; unreachable vertices get +Inf.
+func (e *Engine) SSSP(src int32) ([]float32, *Report, error) {
+	dist, rep, err := e.fw.SSSP(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dist, e.report(rep), nil
+}
+
+// PageRank runs the damped power iteration for iters iterations.
+func (e *Engine) PageRank(iters int, alpha float32) ([]float32, *Report, error) {
+	pr, rep, err := e.fw.PageRank(iters, alpha)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pr, e.report(rep), nil
+}
+
+// CF runs collaborative-filtering gradient descent (one latent factor
+// per vertex) with learning rate beta and regularization lambda.
+func (e *Engine) CF(iters int, beta, lambda float32) ([]float32, *Report, error) {
+	v, rep, err := e.fw.CF(iters, beta, lambda)
+	if err != nil {
+		return nil, nil, err
+	}
+	return v, e.report(rep), nil
+}
+
+// SpMV computes one y = G.T·x for a sparse input vector given as
+// (indices, values) pairs, through the full reconfigurable path.
+func (e *Engine) SpMV(idx []int32, val []float32) ([]float32, *Report, error) {
+	sv, err := matrix.NewSparseVec(e.fw.N(), idx, val)
+	if err != nil {
+		return nil, nil, err
+	}
+	y, rep, err := e.fw.SpMV(sv)
+	if err != nil {
+		return nil, nil, err
+	}
+	return y, e.report(rep), nil
+}
+
+// Decide exposes the decision tree: the configuration the engine would
+// pick for a frontier with the given number of active vertices.
+func (e *Engine) Decide(frontierSize int) (software, hardware string) {
+	d := e.fw.Decide(frontierSize)
+	sw := "OP"
+	if d.UseIP {
+		sw = "IP"
+	}
+	return sw, d.HW.String()
+}
+
+// Edges returns a copy of the graph's edge list (source, destination,
+// weight), in destination-major order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, g.m.NNZ())
+	for k := range g.m.Val {
+		// Stored transposed: row = destination, col = source.
+		out[k] = Edge{Src: g.m.Col[k], Dst: g.m.Row[k], Weight: g.m.Val[k]}
+	}
+	return out
+}
+
+// DensityTrace renders the report's frontier-density wave as a compact
+// ASCII strip — one column per iteration, height by density, the chosen
+// configuration underneath (the visual shape of the paper's Fig. 9).
+func (r *Report) DensityTrace() string {
+	if len(r.Iterations) == 0 {
+		return "(no iterations)\n"
+	}
+	const rows = 8
+	var maxD float64
+	for _, it := range r.Iterations {
+		if it.Density > maxD {
+			maxD = it.Density
+		}
+	}
+	if maxD == 0 {
+		maxD = 1
+	}
+	var sb strings.Builder
+	for row := rows; row >= 1; row-- {
+		if row == rows {
+			fmt.Fprintf(&sb, "%6.1f%% |", 100*maxD)
+		} else {
+			sb.WriteString("        |")
+		}
+		for _, it := range r.Iterations {
+			h := int(it.Density/maxD*float64(rows) + 0.5)
+			if h >= row {
+				sb.WriteString("#")
+			} else {
+				sb.WriteString(" ")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("        +")
+	sb.WriteString(strings.Repeat("-", len(r.Iterations)))
+	sb.WriteString("\n     sw  ")
+	for _, it := range r.Iterations {
+		sb.WriteString(string(it.Software[0])) // I or O
+	}
+	sb.WriteString("\n     hw  ")
+	for _, it := range r.Iterations {
+		c := "c"
+		if strings.HasSuffix(it.Hardware, "S") && it.Hardware != "SC" {
+			c = "s" // a scratchpad configuration (SCS or PS)
+		}
+		sb.WriteString(c)
+	}
+	sb.WriteString("\n         (sw: I=inner product, O=outer product; hw: s=scratchpad, c=cache)\n")
+	return sb.String()
+}
+
+// Betweenness computes single-source betweenness centrality (Brandes'
+// dependency accumulation on the BFS DAG) as level-synchronized SpMV
+// sweeps — a worked demonstration that algorithms beyond the paper's
+// four map onto the same reconfigurable machinery. BC[v] is zero for
+// the source and for unreachable vertices.
+func (e *Engine) Betweenness(src int32) ([]float32, *Report, error) {
+	bc, rep, err := e.fw.BC(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return bc, e.report(rep), nil
+}

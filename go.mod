@@ -1,0 +1,3 @@
+module cosparse
+
+go 1.22

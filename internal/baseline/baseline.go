@@ -1,0 +1,178 @@
+// Package baseline models the paper's SpMV comparison platforms for
+// Fig. 8: an Intel i7-6700K running MKL-style CSR SpMV and an NVIDIA
+// Tesla V100 running cuSPARSE-style SpMV.
+//
+// Both baselines execute the SpMV functionally (a real multithreaded
+// CSR kernel, used as another correctness oracle) and derive time and
+// energy from analytic roofline models parameterized to the published
+// hardware. The defining property the paper leans on is reproduced
+// structurally: neither library skips work when the input *vector* is
+// sparse — y = A·x costs the same at density 0.001 as at 1.0 — whereas
+// CoSPARSE's OP kernel touches only the columns with active sources.
+// That is what makes CoSPARSE's relative gain grow as vectors sparsify.
+package baseline
+
+import (
+	"runtime"
+	"sync"
+
+	"cosparse/internal/matrix"
+)
+
+// SpMVWork summarizes one CSR SpMV's operation counts for the models.
+type SpMVWork struct {
+	Rows, Cols int
+	NNZ        int64
+}
+
+// WorkOf derives the work descriptor from a matrix.
+func WorkOf(m *matrix.CSR) SpMVWork {
+	return SpMVWork{Rows: m.R, Cols: m.C, NNZ: int64(m.NNZ())}
+}
+
+// RunCSRSpMV executes y = A·x with a row-parallel CSR kernel — the
+// algorithm MKL's mkl_scsrmv and cuSPARSE's csrmv both implement.
+func RunCSRSpMV(m *matrix.CSR, x matrix.Dense) matrix.Dense {
+	y := make(matrix.Dense, m.R)
+	w := runtime.GOMAXPROCS(0)
+	if w < 1 {
+		w = 1
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < w; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			lo, hi := m.R*wk/w, m.R*(wk+1)/w
+			for i := lo; i < hi; i++ {
+				var acc float64
+				for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+					acc += float64(m.Val[p]) * float64(x[m.Col[p]])
+				}
+				y[i] = float32(acc)
+			}
+		}(wk)
+	}
+	wg.Wait()
+	return y
+}
+
+// CPUModel is the i7-6700K + MKL 2018.3 baseline.
+type CPUModel struct {
+	Cores    int
+	FreqHz   float64
+	IPC      float64
+	StreamBW float64 // bytes/s (dual-channel DDR4)
+	RandLat  float64 // seconds per random access missing the LLC
+	MLP      float64
+	LLCBytes float64 // last-level cache capacity: gathers of an
+	// LLC-resident vector mostly hit; larger vectors spill to DRAM
+	PowerW float64
+}
+
+// DefaultCPU parameterizes the published i7-6700K (4C/8T, 4 GHz, 91 W
+// TDP, 8 MB LLC, ~34 GB/s DDR4-2133).
+func DefaultCPU() CPUModel {
+	return CPUModel{
+		Cores:    4,
+		FreqHz:   4.0e9,
+		IPC:      2.0,
+		StreamBW: 30e9,
+		RandLat:  80e-9,
+		MLP:      10,
+		LLCBytes: 8 << 20,
+		PowerW:   91,
+	}
+}
+
+// hitRate estimates the fraction of x-gathers served on chip: near 0.85
+// when the vector is LLC-resident (the streaming CSR arrays still steal
+// some capacity), degrading toward 0.3 as the vector outgrows the LLC.
+func (c CPUModel) hitRate(w SpMVWork) float64 {
+	vecBytes := float64(w.Cols) * 4
+	h := c.LLCBytes / (1.5 * vecBytes)
+	if h > 0.85 {
+		return 0.85
+	}
+	if h < 0.3 {
+		return 0.3
+	}
+	return h
+}
+
+// Time models one CSR SpMV. The kernel streams 8 B per nonzero
+// (column index + value) plus row pointers, performs a random gather of
+// x per nonzero, and writes the output once.
+func (c CPUModel) Time(w SpMVWork) float64 {
+	ops := float64(w.NNZ) * 2
+	tCompute := ops / (float64(c.Cores) * c.IPC * c.FreqHz)
+	seq := float64(w.NNZ)*8 + float64(w.Rows)*8
+	tStream := seq / c.StreamBW
+	misses := float64(w.NNZ) * (1 - c.hitRate(w))
+	tRand := misses * c.RandLat / (float64(c.Cores) * c.MLP)
+	tRandBW := misses * 64 / c.StreamBW
+	t := tCompute
+	for _, cand := range []float64{tStream, tRand, tRandBW} {
+		if cand > t {
+			t = cand
+		}
+	}
+	return t + 2e-6 // kernel dispatch overhead
+}
+
+// Energy models joules for one SpMV.
+func (c CPUModel) Energy(w SpMVWork) float64 { return c.PowerW * c.Time(w) }
+
+// GPUModel is the Tesla V100 + cuSPARSE v8.0 baseline.
+//
+// The paper measures the GPU losing to the CPU on these kernels:
+// memory-dependence stalls are 32% of cycles, synchronization,
+// instruction fetch and throttling take another ~35%, achieved
+// bandwidth is 12–71% of peak, and overall throughput is <0.006% of
+// peak FLOPs. The model reproduces that by derating the nominal 900
+// GB/s HBM2 bandwidth with an efficiency factor for the irregular
+// gather and charging fixed launch/synchronization overhead per SpMV.
+type GPUModel struct {
+	StreamBW  float64 // bytes/s peak
+	BWEff     float64 // achieved fraction on irregular SpMV
+	GatherEff float64 // extra derating for the random x gather (uncoalesced)
+	LaunchOvh float64 // seconds per kernel launch + sync
+	PowerW    float64
+}
+
+// DefaultGPU parameterizes the published V100 (900 GB/s, 300 W).
+func DefaultGPU() GPUModel {
+	// GatherEff is calibrated to the paper's own measurements: the V100
+	// achieves ~0.006% of peak FLOPs on these SpMVs (§IV-C1) and ends up
+	// ≈3.8× slower than the CPU (the 4.5× vs 17.3× speedup ratio of
+	// Fig. 8): 0.029 × 900 GB/s over 32 B sectors ≈ 0.8 Gnnz/s.
+	return GPUModel{
+		StreamBW:  900e9,
+		BWEff:     0.12,
+		GatherEff: 0.029,
+		LaunchOvh: 18e-6,
+		// Effective power on these kernels, not the 300 W TDP: the
+		// paper's energy ratios (730.6/17.3 ≈ 42× CoSPARSE's power,
+		// *below* the CPU's 282.5/4.5 ≈ 63×) imply the mostly-stalled
+		// V100 draws less than the busy CPU — ~60 W.
+		PowerW: 60,
+	}
+}
+
+// Time models one cuSPARSE csrmv call.
+func (g GPUModel) Time(w SpMVWork) float64 {
+	seq := float64(w.NNZ)*8 + float64(w.Rows)*8
+	tStream := seq / (g.StreamBW * g.BWEff)
+	// Each nonzero gathers one x element; uncoalesced accesses waste
+	// most of each 32 B sector.
+	gather := float64(w.NNZ) * 32
+	tGather := gather / (g.StreamBW * g.GatherEff)
+	t := tStream
+	if tGather > t {
+		t = tGather
+	}
+	return t + g.LaunchOvh
+}
+
+// Energy models joules for one SpMV.
+func (g GPUModel) Energy(w SpMVWork) float64 { return g.PowerW * g.Time(w) }

@@ -1,0 +1,92 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"cosparse/internal/gen"
+	"cosparse/internal/matrix"
+)
+
+func TestRunCSRSpMVMatchesReference(t *testing.T) {
+	m := gen.PowerLaw(500, 6000, 0.5, gen.UniformWeight, 1)
+	csr := m.ToCSR()
+	x := gen.Frontier(500, 0.4, 2).ToDense(0)
+	got := RunCSRSpMV(csr, x)
+	want := matrix.RefSpMV(m, x)
+	for i := range want {
+		if math.Abs(float64(want[i]-got[i])) > 1e-3 {
+			t.Fatalf("row %d: %g want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunCSRSpMVEmptyAndTiny(t *testing.T) {
+	m := matrix.MustCOO(3, 3, nil).ToCSR()
+	y := RunCSRSpMV(m, matrix.Dense{1, 2, 3})
+	for _, v := range y {
+		if v != 0 {
+			t.Fatal("empty matrix SpMV nonzero")
+		}
+	}
+	one := matrix.MustCOO(1, 1, []matrix.Coord{{Row: 0, Col: 0, Val: 2}}).ToCSR()
+	y2 := RunCSRSpMV(one, matrix.Dense{3})
+	if y2[0] != 6 {
+		t.Fatalf("1x1 SpMV = %g", y2[0])
+	}
+}
+
+func TestCPUTimeScalesWithNNZ(t *testing.T) {
+	c := DefaultCPU()
+	small := SpMVWork{Rows: 1000, Cols: 1000, NNZ: 10000}
+	large := SpMVWork{Rows: 1000, Cols: 1000, NNZ: 1000000}
+	if c.Time(small) >= c.Time(large) {
+		t.Fatal("CPU model not monotone in nnz")
+	}
+	if c.Energy(large) != c.PowerW*c.Time(large) {
+		t.Fatal("CPU energy != P×t")
+	}
+}
+
+func TestGPULosesToCPUOnSmallIrregular(t *testing.T) {
+	// The paper's headline: on these SpMVs the CPU beats the GPU
+	// (CoSPARSE speedup 4.5× over CPU but 17.3× over GPU).
+	cpu, gpu := DefaultCPU(), DefaultGPU()
+	w := SpMVWork{Rows: 80000, Cols: 80000, NNZ: 1800000} // twitter-sized
+	if gpu.Time(w) <= cpu.Time(w) {
+		t.Fatalf("GPU (%.3g s) should lose to CPU (%.3g s) on irregular SpMV",
+			gpu.Time(w), cpu.Time(w))
+	}
+}
+
+func TestGPUEffectivePowerBelowCPU(t *testing.T) {
+	// The paper's energy ratios imply the mostly-stalled V100 draws
+	// less effective power than the fully-busy CPU (see DefaultGPU).
+	if DefaultGPU().PowerW >= DefaultCPU().PowerW {
+		t.Fatal("GPU effective power should sit below the busy CPU's")
+	}
+	if DefaultGPU().PowerW <= 0 {
+		t.Fatal("non-positive GPU power")
+	}
+}
+
+func TestCostIndependentOfVectorDensity(t *testing.T) {
+	// The structural property Fig. 8 relies on: baseline cost depends
+	// only on the matrix.
+	w := WorkOf(gen.Uniform(2000, 40000, gen.Pattern, 3).ToCSR())
+	c := DefaultCPU()
+	if c.Time(w) != c.Time(w) { // the model has no vector-density input at all
+		t.Fatal("unreachable")
+	}
+	if w.NNZ == 0 {
+		t.Fatal("work extraction broken")
+	}
+}
+
+func TestLaunchOverheadDominatesTinyGPUKernels(t *testing.T) {
+	g := DefaultGPU()
+	tiny := SpMVWork{Rows: 100, Cols: 100, NNZ: 500}
+	if g.Time(tiny) < g.LaunchOvh {
+		t.Fatal("launch overhead not charged")
+	}
+}

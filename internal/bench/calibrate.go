@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cosparse/internal/runtime"
+	"cosparse/internal/sim"
+)
+
+// Calibration is the measured basis for a runtime.Policy: the paper's
+// "parameters that guide the reconfiguration decision-making engine are
+// obtained by evaluating SpMV on a wide range of matrices and system
+// sizes" (§V), automated. Calibrate runs (or reuses) the Fig. 4 sweep,
+// locates the IP/OP crossover per system size, fits CVD ≈ coeff/P, and
+// returns a Policy ready to hand to runtime.Options.
+type Calibration struct {
+	// CrossoverByPEs maps PEs-per-tile to the geometric-mean crossover
+	// density measured across matrices and tile counts.
+	CrossoverByPEs map[int]float64
+	// FittedCoeff is the least-squares fit of CVD(P) = coeff / P.
+	FittedCoeff float64
+	// Policy is the resulting decision policy.
+	Policy runtime.Policy
+}
+
+// Calibrate derives a Policy from a Fig. 4 sweep at the given scale.
+func Calibrate(s Scale) (*Calibration, *Table) {
+	res, _ := Fig4(s)
+	return CalibrateFrom(res)
+}
+
+// CalibrateFrom fits a Policy to an existing Fig. 4 sweep result.
+func CalibrateFrom(res *SweepResult) (*Calibration, *Table) {
+	cal := &Calibration{CrossoverByPEs: map[int]float64{}}
+
+	// Interpolated crossover per (matrix, system): the density at which
+	// the OP/IP ratio crosses 1, log-interpolated between neighbours.
+	byPEs := map[int][]float64{}
+	for _, m := range res.Matrices {
+		for _, g := range res.Systems {
+			c := interpolateCrossover(res, m.Name, g)
+			if c > 0 {
+				byPEs[g.PEsPerTile] = append(byPEs[g.PEsPerTile], c)
+			}
+		}
+	}
+	var pes []int
+	for p, cs := range byPEs {
+		gm := 0.0
+		for _, c := range cs {
+			gm += math.Log(c)
+		}
+		cal.CrossoverByPEs[p] = math.Exp(gm / float64(len(cs)))
+		pes = append(pes, p)
+	}
+	sort.Ints(pes)
+
+	// Least-squares fit of coeff in CVD = coeff/P (one parameter:
+	// coeff = mean of CVD(P)·P).
+	sum, n := 0.0, 0
+	for p, c := range cal.CrossoverByPEs {
+		sum += c * float64(p)
+		n++
+	}
+	if n > 0 {
+		cal.FittedCoeff = sum / float64(n)
+	}
+
+	pol := runtime.DefaultPolicy()
+	if cal.FittedCoeff > 0 {
+		pol.CVDCoeff = cal.FittedCoeff
+	}
+	cal.Policy = pol
+
+	tbl := &Table{
+		Title:  "Decision-tree calibration (from the Fig. 4 sweep)",
+		Header: []string{"PEs/tile", "measured crossover", "fitted CVD = coeff/P"},
+	}
+	for _, p := range pes {
+		tbl.AddRow(fmt.Sprintf("%d", p),
+			fmt.Sprintf("%.4f", cal.CrossoverByPEs[p]),
+			fmt.Sprintf("%.4f", cal.FittedCoeff/float64(p)))
+	}
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("fitted CVDCoeff = %.3f (paper's takeaway: crossover ~2%% at 8 PEs/tile to ~0.5%% at 32)", cal.FittedCoeff))
+	return cal, tbl
+}
+
+// interpolateCrossover finds the density where the OP-vs-IP ratio
+// crosses 1 for one series, interpolating in log-log space; returns 0
+// if IP wins everywhere, the maximum density if OP wins everywhere.
+func interpolateCrossover(res *SweepResult, matrix string, g sim.Geometry) float64 {
+	ds := res.Densities
+	ratio := func(i int) float64 { return res.Value[CellKey{matrix, g.String(), ds[i]}] }
+	if ratio(0) <= 1 {
+		return 0 // IP already wins at the sparsest point
+	}
+	for i := 1; i < len(ds); i++ {
+		lo, hi := ratio(i-1), ratio(i)
+		if hi > 1 {
+			continue
+		}
+		// Crossing between ds[i-1] and ds[i]: log-linear interpolation.
+		t := (math.Log(lo) - 0) / (math.Log(lo) - math.Log(hi))
+		return math.Exp(math.Log(ds[i-1]) + t*(math.Log(ds[i])-math.Log(ds[i-1])))
+	}
+	return ds[len(ds)-1] // OP wins across the whole sweep
+}

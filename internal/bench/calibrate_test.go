@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"cosparse/internal/sim"
+)
+
+// synthetic Fig. 4 result with a known crossover structure.
+func syntheticSweep() *SweepResult {
+	res := &SweepResult{
+		Matrices:  []sweepMatrix{{Name: "m", N: 1000, NNZ: 10000}},
+		Systems:   []sim.Geometry{{Tiles: 4, PEsPerTile: 8}, {Tiles: 4, PEsPerTile: 32}},
+		Densities: vecDensities,
+		Value:     map[CellKey]float64{},
+	}
+	// P=8: ratio = 0.02/d (crossover exactly at 0.02);
+	// P=32: ratio = 0.005/d (crossover at 0.005).
+	for _, d := range res.Densities {
+		res.Value[CellKey{"m", "4x8", d}] = 0.02 / d
+		res.Value[CellKey{"m", "4x32", d}] = 0.005 / d
+	}
+	return res
+}
+
+func TestCalibrateFromSynthetic(t *testing.T) {
+	cal, tbl := CalibrateFrom(syntheticSweep())
+	if c8 := cal.CrossoverByPEs[8]; math.Abs(c8-0.02) > 0.004 {
+		t.Fatalf("crossover(8) = %g, want ~0.02", c8)
+	}
+	if c32 := cal.CrossoverByPEs[32]; math.Abs(c32-0.005) > 0.001 {
+		t.Fatalf("crossover(32) = %g, want ~0.005", c32)
+	}
+	// coeff ≈ mean(0.02·8, 0.005·32) = 0.16.
+	if math.Abs(cal.FittedCoeff-0.16) > 0.04 {
+		t.Fatalf("fitted coeff = %g, want ~0.16", cal.FittedCoeff)
+	}
+	if cal.Policy.CVDCoeff != cal.FittedCoeff {
+		t.Fatal("policy not updated with the fit")
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("table rows %d", len(tbl.Rows))
+	}
+}
+
+func TestInterpolateCrossoverEdges(t *testing.T) {
+	res := syntheticSweep()
+	// IP wins everywhere: ratio < 1 at all densities.
+	for _, d := range res.Densities {
+		res.Value[CellKey{"m", "4x8", d}] = 0.5
+	}
+	if c := interpolateCrossover(res, "m", sim.Geometry{Tiles: 4, PEsPerTile: 8}); c != 0 {
+		t.Fatalf("IP-dominant series crossover = %g, want 0", c)
+	}
+	// OP wins everywhere.
+	for _, d := range res.Densities {
+		res.Value[CellKey{"m", "4x8", d}] = 3
+	}
+	if c := interpolateCrossover(res, "m", sim.Geometry{Tiles: 4, PEsPerTile: 8}); c != res.Densities[len(res.Densities)-1] {
+		t.Fatalf("OP-dominant series crossover = %g, want max density", c)
+	}
+}
+
+func TestCalibrateEndToEndTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cal, _ := Calibrate(ScaleTiny)
+	if cal.FittedCoeff <= 0 {
+		t.Fatal("no fit produced")
+	}
+	// The fitted CVD must decrease with PEs/tile, like the paper's.
+	if cal.Policy.CVD(8) < cal.Policy.CVD(32) {
+		t.Fatal("calibrated CVD not decreasing in PEs/tile")
+	}
+}

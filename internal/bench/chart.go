@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Chart renders (x, y) series as a terminal plot — the closest thing to
+// the paper's figures a text interface allows. X is plotted on a log
+// scale when LogX is set (the Fig. 4–6 density axes are logarithmic).
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 56)
+	Height int // plot rows (default 14)
+	LogX   bool
+	Series []Series
+	// HLine draws a horizontal reference line at this y (e.g. speedup
+	// 1.0); nil = none.
+	HLine *float64
+}
+
+// Series is one plotted line.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+var seriesMarks = []byte{'o', 'x', '+', '*', '#', '@', '%', '&'}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 56
+	}
+	if h <= 0 {
+		h = 14
+	}
+
+	// Ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if c.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if c.HLine != nil {
+		ymin, ymax = math.Min(ymin, *c.HLine), math.Max(ymax, *c.HLine)
+	}
+	if math.IsInf(xmin, 1) {
+		return fmt.Sprintf("%s\n  (no data)\n", c.Title)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little headroom.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	col := func(x float64) int {
+		if c.LogX {
+			x = math.Log10(x)
+		}
+		p := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+		return clampInt(p, 0, w-1)
+	}
+	row := func(y float64) int {
+		p := int(math.Round((ymax - y) / (ymax - ymin) * float64(h-1)))
+		return clampInt(p, 0, h-1)
+	}
+
+	if c.HLine != nil {
+		r := row(*c.HLine)
+		for x := 0; x < w; x++ {
+			grid[r][x] = '-'
+		}
+	}
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		// Sort points by x for the connecting steps.
+		type pt struct{ x, y float64 }
+		pts := make([]pt, 0, len(s.X))
+		for i := range s.X {
+			if c.LogX && s.X[i] <= 0 {
+				continue
+			}
+			pts = append(pts, pt{s.X[i], s.Y[i]})
+		}
+		sort.Slice(pts, func(a, b int) bool { return pts[a].x < pts[b].x })
+		prevC, prevR := -1, -1
+		for _, p := range pts {
+			cc, rr := col(p.x), row(p.y)
+			if prevC >= 0 {
+				// Light interpolation so lines read as lines.
+				steps := absInt(cc-prevC) + absInt(rr-prevR)
+				for k := 1; k < steps; k++ {
+					ic := prevC + (cc-prevC)*k/steps
+					ir := prevR + (rr-prevR)*k/steps
+					if grid[ir][ic] == ' ' || grid[ir][ic] == '-' {
+						grid[ir][ic] = '.'
+					}
+				}
+			}
+			grid[rr][cc] = mark
+			prevC, prevR = cc, rr
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", c.Title)
+	yTop := fmt.Sprintf("%.3g", ymax)
+	yBot := fmt.Sprintf("%.3g", ymin)
+	label := c.YLabel
+	for r := 0; r < h; r++ {
+		prefix := "        "
+		switch r {
+		case 0:
+			prefix = pad8(yTop)
+		case h - 1:
+			prefix = pad8(yBot)
+		case h / 2:
+			if len(label) > 8 {
+				label = label[:8]
+			}
+			prefix = pad8(label)
+		}
+		sb.WriteString(prefix)
+		sb.WriteString("|")
+		sb.Write(grid[r])
+		sb.WriteString("\n")
+	}
+	sb.WriteString("        +")
+	sb.WriteString(strings.Repeat("-", w))
+	sb.WriteString("\n")
+	xl, xr := xmin, xmax
+	if c.LogX {
+		xl, xr = math.Pow(10, xmin), math.Pow(10, xmax)
+	}
+	fmt.Fprintf(&sb, "        %-10.3g%s%10.3g\n", xl, centerText(c.XLabel, w-20), xr)
+	// Legend.
+	for si, s := range c.Series {
+		fmt.Fprintf(&sb, "        %c %s\n", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	return sb.String()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func pad8(s string) string {
+	if len(s) >= 8 {
+		return s[:8]
+	}
+	return strings.Repeat(" ", 8-len(s)) + s
+}
+
+func centerText(s string, w int) string {
+	if w <= len(s) {
+		return s
+	}
+	left := (w - len(s)) / 2
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", w-len(s)-left)
+}
+
+// SweepChart renders one matrix's series (one line per system size)
+// from a Fig. 4–6 sweep — the visual form of the paper's sub-plots.
+func (r *SweepResult) SweepChart(matrixName, title, yLabel string, hline float64) *Chart {
+	c := &Chart{
+		Title:  title + " — " + matrixName,
+		XLabel: "vector density (log)",
+		YLabel: yLabel,
+		LogX:   true,
+		HLine:  &hline,
+	}
+	for _, g := range r.Systems {
+		s := Series{Name: g.String()}
+		for _, d := range r.Densities {
+			if v, ok := r.Value[CellKey{matrixName, g.String(), d}]; ok {
+				s.X = append(s.X, d)
+				s.Y = append(s.Y, v)
+			}
+		}
+		if len(s.X) > 0 {
+			c.Series = append(c.Series, s)
+		}
+	}
+	return c
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersSeries(t *testing.T) {
+	one := 1.0
+	c := &Chart{
+		Title:  "test chart",
+		XLabel: "x",
+		YLabel: "speedup",
+		LogX:   true,
+		HLine:  &one,
+		Series: []Series{
+			{Name: "a", X: []float64{0.001, 0.01, 0.1}, Y: []float64{4, 2, 0.5}},
+			{Name: "b", X: []float64{0.001, 0.01, 0.1}, Y: []float64{2, 1, 0.25}},
+		},
+	}
+	out := c.String()
+	for _, want := range []string{"test chart", "o a", "x b", "+---", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The reference line must be drawn.
+	if !strings.Contains(out, "---") {
+		t.Fatalf("no hline:\n%s", out)
+	}
+	// Marker rows: the first series' y=4 point must sit above its y=0.5
+	// point (smaller row index = higher on screen).
+	lines := strings.Split(out, "\n")
+	top, bot := -1, -1
+	for i, l := range lines {
+		if strings.Contains(l, "o") && strings.Contains(l, "|") {
+			if top < 0 {
+				top = i
+			}
+			bot = i
+		}
+	}
+	if top < 0 || top == bot {
+		t.Fatalf("series a not spread vertically:\n%s", out)
+	}
+}
+
+func TestChartEmptyAndDegenerate(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if out := c.String(); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart output %q", out)
+	}
+	// Single point, zero range: must not panic or divide by zero.
+	c2 := &Chart{Title: "point", Series: []Series{{Name: "p", X: []float64{1}, Y: []float64{5}}}}
+	if out := c2.String(); !strings.Contains(out, "point") {
+		t.Fatal("single-point chart failed")
+	}
+	// Log axis drops non-positive x rather than crashing.
+	c3 := &Chart{Title: "logdrop", LogX: true, Series: []Series{{Name: "s", X: []float64{0, 0.1}, Y: []float64{1, 2}}}}
+	_ = c3.String()
+}
+
+func TestSweepChartFromResult(t *testing.T) {
+	res := syntheticSweep()
+	ch := res.SweepChart("m", "Fig. 4", "OP/IP", 1.0)
+	out := ch.String()
+	if !strings.Contains(out, "4x8") || !strings.Contains(out, "4x32") {
+		t.Fatalf("sweep chart missing system legends:\n%s", out)
+	}
+	if !strings.Contains(out, "Fig. 4 — m") {
+		t.Fatalf("title wrong:\n%s", out)
+	}
+}

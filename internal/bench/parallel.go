@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelCells runs fn(i) for i in [0, n) on a host worker pool. Each
+// cell of a sweep is an independent, internally-deterministic
+// simulation, so host-side parallelism changes wall-clock time only —
+// results are bit-identical to the sequential order. Workers are capped
+// below GOMAXPROCS because each simulated machine itself runs a few
+// goroutines.
+func parallelCells(n int, fn func(i int)) {
+	w := runtime.GOMAXPROCS(0) / 2
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+
+	"cosparse/internal/gen"
+	"cosparse/internal/semiring"
+	"cosparse/internal/sim"
+)
+
+// TableI prints the algorithm-mapping definitions (Table I) as
+// implemented by the semiring package.
+func TableI() *Table {
+	tbl := &Table{
+		Title:  "Table I — Matrix_Op / Vector_Op definitions",
+		Header: []string{"algorithm", "Matrix_Op(Sp,V)", "Vector_Op(V)", "identity", "frontier"},
+	}
+	rows := []struct {
+		ring semiring.Semiring
+		mat  string
+		vec  string
+	}{
+		{semiring.SpMV(), "sum(Sp[s,d] * V[s])", "N/A"},
+		{semiring.BFS(), "min(label(s))", "N/A"},
+		{semiring.SSSP(), "min(V[s] + Sp[s,d], V[d])", "N/A"},
+		{semiring.PR(), "sum(V[s] / deg(s))", "alpha + (1-alpha)*V'"},
+		{semiring.CF(), "sum((Sp-V[s]*V[d])*V[s]) - lambda*V[d]", "beta*V' + V[d]"},
+	}
+	for _, r := range rows {
+		frontier := "sparse/dense"
+		if r.ring.DenseFrontier {
+			frontier = "always dense"
+		}
+		id := fmt.Sprintf("%g", r.ring.Identity)
+		tbl.AddRow(r.ring.Name, r.mat, r.vec, id, frontier)
+	}
+	return tbl
+}
+
+// TableII prints the microarchitectural parameters of the simulator
+// (Table II).
+func TableII() *Table {
+	p := sim.DefaultParams()
+	tbl := &Table{
+		Title:  "Table II — microarchitectural parameters (gem5 model -> this simulator)",
+		Header: []string{"module", "parameter"},
+	}
+	tbl.AddRow("PE/LCP", "1-issue in-order @ 1.0 GHz, blocking loads, store buffer depth "+itoa(p.StoreBufDepth))
+	tbl.AddRow("RCache (per bank)", fmt.Sprintf("%d B, %d-way, %d B blocks, %d MSHRs, stride prefetcher degree %d",
+		p.L1BankBytes, p.L1Assoc, p.BlockBytes, p.MSHRs, p.PrefetchDegree))
+	tbl.AddRow("SPM mode", fmt.Sprintf("word-granular, %d-cycle access", p.SPMLatency))
+	tbl.AddRow("L2 (per bank)", fmt.Sprintf("%d B, %d-way, %d-cycle access", p.L2BankBytes, p.L2Assoc, p.L2Latency))
+	tbl.AddRow("RXBar", fmt.Sprintf("%d-cycle traversal; shared mode adds %d-cycle arbitration + bank-conflict serialization",
+		p.XbarLatency, p.XbarArb))
+	tbl.AddRow("Main memory", fmt.Sprintf("HBM2: %d pseudo-channels, %d-cycle base latency, %d cycles/line occupancy",
+		p.HBMChannels, p.HBMBaseLatency, p.HBMLineOccupied))
+	tbl.AddRow("Reconfiguration", fmt.Sprintf("%d cycles at runtime", p.ReconfigCycles))
+	return tbl
+}
+
+// TableIII prints the real-graph suite (Table III) and the stand-in
+// each experiment generates for it at the given scale.
+func TableIII(s Scale) *Table {
+	tbl := &Table{
+		Title:  "Table III — real-world graph suite and synthetic stand-ins",
+		Header: []string{"graph", "|V| (paper)", "|E| (paper)", "directed", "density", "stand-in", "|V| used", "|E| used"},
+		Notes: []string{
+			"scale: " + s.String(),
+			"stand-ins are deterministic synthetic graphs with matching direction, density and skew (see DESIGN.md)",
+		},
+	}
+	for _, spec := range gen.Suite {
+		factor := spec.ScaleForBudget(s.EdgeBudget())
+		m := spec.Build(factor, gen.Pattern, 3001)
+		kind := spec.Kind + " power-law"
+		if spec.Kind == "random" {
+			kind = "uniform random"
+		}
+		dir := "directed"
+		if !spec.Directed {
+			dir = "undirected"
+		}
+		tbl.AddRow(spec.Name,
+			itoa(spec.FullVertices), itoa(spec.FullEdges), dir,
+			fmt.Sprintf("%.1e", spec.Density()),
+			fmt.Sprintf("%s 1/%d", kind, factor),
+			itoa(m.R), itoa(m.NNZ()))
+	}
+	return tbl
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

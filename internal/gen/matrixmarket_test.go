@@ -1,0 +1,96 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	m := PowerLaw(40, 300, 0.5, UniformWeight, 50)
+	var sb strings.Builder
+	if err := WriteMatrixMarket(&sb, m, "round trip"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.R != m.R || back.C != m.C || back.NNZ() != m.NNZ() {
+		t.Fatalf("shape changed: %dx%d/%d vs %dx%d/%d", back.R, back.C, back.NNZ(), m.R, m.C, m.NNZ())
+	}
+	for k := range m.Val {
+		if back.Row[k] != m.Row[k] || back.Col[k] != m.Col[k] {
+			t.Fatalf("element %d moved", k)
+		}
+		d := back.Val[k] - m.Val[k]
+		if d > 1e-4 || d < -1e-4 {
+			t.Fatalf("element %d value %g vs %g", k, back.Val[k], m.Val[k])
+		}
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+% a comment
+3 3 2
+1 2
+3 1
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d", m.NNZ())
+	}
+	for _, v := range m.Val {
+		if v != 1 {
+			t.Fatalf("pattern value %g", v)
+		}
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 5
+2 1 2
+3 2 7
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diagonal stays single; off-diagonals mirror: 1 + 2*2 = 5 entries.
+	if m.NNZ() != 5 {
+		t.Fatalf("NNZ = %d, want 5", m.NNZ())
+	}
+	find := func(r, c int32) float32 {
+		for k := range m.Val {
+			if m.Row[k] == r && m.Col[k] == c {
+				return m.Val[k]
+			}
+		}
+		return -1
+	}
+	if find(0, 1) != 2 || find(1, 0) != 2 {
+		t.Fatal("symmetric entry not mirrored")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"not a header\n1 1 1\n1 1 1\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: accepted malformed input", i)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package gen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"cosparse/internal/matrix"
+)
+
+// ReadEdgeList parses a SNAP-style edge list: one "src dst [weight]"
+// pair per line, '#' or '%' comment lines ignored, whitespace-separated.
+// Vertex ids are compacted to a dense [0, n) range in order of first
+// appearance, matching how SNAP loaders typically normalize ids. The
+// resulting matrix is the transposed adjacency (element (dst, src)),
+// ready for f_next = SpMV(G.T, f).
+func ReadEdgeList(r io.Reader, undirected bool) (*matrix.COO, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	ids := make(map[int64]int32)
+	intern := func(raw int64) int32 {
+		if v, ok := ids[raw]; ok {
+			return v
+		}
+		v := int32(len(ids))
+		ids[raw] = v
+		return v
+	}
+	var elems []matrix.Coord
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("gen: edge list line %d: want 'src dst [w]', got %q", line, text)
+		}
+		src, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gen: edge list line %d: bad source: %v", line, err)
+		}
+		dst, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gen: edge list line %d: bad destination: %v", line, err)
+		}
+		w := float32(1)
+		if len(fields) >= 3 {
+			f, err := strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("gen: edge list line %d: bad weight: %v", line, err)
+			}
+			w = float32(f)
+		}
+		s, d := intern(src), intern(dst)
+		// Transposed adjacency: row = destination, col = source.
+		elems = append(elems, matrix.Coord{Row: d, Col: s, Val: w})
+		if undirected {
+			elems = append(elems, matrix.Coord{Row: s, Col: d, Val: w})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gen: reading edge list: %w", err)
+	}
+	n := len(ids)
+	return matrix.NewCOO(n, n, elems)
+}
+
+// WriteEdgeList emits the matrix as a SNAP-style edge list, inverting
+// the transposed-adjacency convention of ReadEdgeList so that
+// WriteEdgeList∘ReadEdgeList round-trips a directed graph.
+func WriteEdgeList(w io.Writer, m *matrix.COO, header string) error {
+	bw := bufio.NewWriter(w)
+	if header != "" {
+		if _, err := fmt.Fprintf(bw, "# %s\n", header); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "# vertices: %d edges: %d\n", m.R, m.NNZ()); err != nil {
+		return err
+	}
+	for k := range m.Val {
+		// Row is destination, Col is source.
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%g\n", m.Col[k], m.Row[k], m.Val[k]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

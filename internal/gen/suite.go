@@ -1,0 +1,110 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"cosparse/internal/matrix"
+)
+
+// GraphSpec describes one graph of the paper's Table III. FullVertices
+// and FullEdges are the published sizes; the generator synthesizes a
+// deterministic stand-in (real SNAP downloads are unavailable offline)
+// with the same directedness and degree-distribution family, optionally
+// scaled down so the trace-driven simulator finishes within a session.
+type GraphSpec struct {
+	Name         string
+	FullVertices int
+	FullEdges    int
+	Directed     bool
+	Kind         string  // "social", "web", "random" — selects the generator
+	Skew         float64 // power-law exponent for skewed kinds
+}
+
+// Suite is the real-world graph suite of Table III.
+var Suite = []GraphSpec{
+	{Name: "livejournal", FullVertices: 4847571, FullEdges: 68992772, Directed: true, Kind: "social", Skew: 0.55},
+	{Name: "pokec", FullVertices: 1632803, FullEdges: 30622564, Directed: true, Kind: "social", Skew: 0.55},
+	{Name: "youtube", FullVertices: 1134890, FullEdges: 2987624, Directed: false, Kind: "social", Skew: 0.60},
+	{Name: "twitter", FullVertices: 81306, FullEdges: 1768149, Directed: true, Kind: "social", Skew: 0.60},
+	{Name: "vsp", FullVertices: 21996, FullEdges: 2442056, Directed: false, Kind: "random", Skew: 0},
+}
+
+// SpecByName returns the suite entry with the given name.
+func SpecByName(name string) (GraphSpec, error) {
+	for _, s := range Suite {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return GraphSpec{}, fmt.Errorf("gen: unknown suite graph %q", name)
+}
+
+// Density returns edges/(vertices²) at full scale.
+func (s GraphSpec) Density() float64 {
+	return float64(s.FullEdges) / (float64(s.FullVertices) * float64(s.FullVertices))
+}
+
+// Build synthesizes the stand-in adjacency matrix at 1/scale of the
+// published size (scale=1 reproduces full published dimensions).
+// Edges are scaled by the same factor so the average degree — and hence
+// the algorithmic behaviour per iteration — is preserved. Undirected
+// graphs are symmetrized, which is why their realized nnz ≈ 2× the
+// scaled edge count, matching how Ligra and the paper count undirected
+// edges.
+func (s GraphSpec) Build(scale int, mode ValueMode, seed uint64) *matrix.COO {
+	if scale < 1 {
+		scale = 1
+	}
+	n := s.FullVertices / scale
+	if n < 64 {
+		n = 64
+	}
+	edges := s.FullEdges / scale
+	if edges < n {
+		edges = n
+	}
+	var m *matrix.COO
+	switch s.Kind {
+	case "random":
+		m = Uniform(n, edges, mode, seed)
+	default:
+		m = PowerLaw(n, edges, s.Skew, mode, seed)
+	}
+	if !s.Directed {
+		m = Symmetrize(m)
+	}
+	return m
+}
+
+// Symmetrize returns A ∪ Aᵀ, the adjacency matrix of the undirected
+// version of the graph. Values of coinciding edges are averaged so
+// symmetrizing a weighted graph keeps weights in range.
+func Symmetrize(m *matrix.COO) *matrix.COO {
+	elems := make([]matrix.Coord, 0, 2*m.NNZ())
+	for k := range m.Val {
+		elems = append(elems, matrix.Coord{Row: m.Row[k], Col: m.Col[k], Val: m.Val[k] / 2})
+		elems = append(elems, matrix.Coord{Row: m.Col[k], Col: m.Row[k], Val: m.Val[k] / 2})
+	}
+	out := matrix.MustCOO(m.R, m.C, elems)
+	// Diagonal entries were added to themselves; any asymmetric pair got
+	// half weight from each direction. Rescale so a pattern matrix stays
+	// a pattern matrix where both directions existed only once.
+	for k := range out.Val {
+		if out.Val[k] > 0 && out.Val[k] < 1 {
+			out.Val[k] *= 2
+		}
+	}
+	return out
+}
+
+// ScaleForBudget picks a power-of-two downscale factor so the stand-in
+// has at most maxEdges edges. The experiment harness uses it to fit the
+// per-figure simulation budget and records the choice in its output.
+func (s GraphSpec) ScaleForBudget(maxEdges int) int {
+	if maxEdges <= 0 || s.FullEdges <= maxEdges {
+		return 1
+	}
+	f := float64(s.FullEdges) / float64(maxEdges)
+	return 1 << uint(math.Ceil(math.Log2(f)))
+}

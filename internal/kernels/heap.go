@@ -1,0 +1,120 @@
+package kernels
+
+import "cosparse/internal/sim"
+
+// heapEntry is one element of the OP kernel's sorted list (paper
+// Fig. 3, bottom): the current head row of a matrix column stream plus
+// the stream's cursor state — four words in memory (row, cursor,
+// column end, frontier value; the source column id rides along for the
+// semiring context but packs into the cursor word in a real layout).
+type heapEntry struct {
+	row  int32
+	cur  int32
+	end  int32
+	fval float32
+	col  int32
+}
+
+const heapEntryWords = 4
+
+// simHeap is a binary min-heap over column head rows whose storage is
+// charged to the simulated memory system: the first spmEntries entries
+// live in the PE's private scratchpad (PS mode), the rest — and all of
+// it in PC mode — in cacheable memory backing `base`. This implements
+// the paper's observation that the heap's tree shape keeps most
+// comparisons and swaps inside the SPM even when the list spills.
+type simHeap struct {
+	p          *sim.Proc
+	entries    []heapEntry
+	spmEntries int
+	base       uint64 // cacheable backing store
+}
+
+// touch charges one entry read or write at index i.
+func (h *simHeap) touch(i int, write bool) {
+	if i < h.spmEntries {
+		for w := 0; w < heapEntryWords; w++ {
+			if write {
+				h.p.SPMStore(i*heapEntryWords + w)
+			} else {
+				h.p.SPMLoad(i*heapEntryWords + w)
+			}
+		}
+		return
+	}
+	addr := h.base + uint64(i*heapEntryWords)*4
+	for w := 0; w < heapEntryWords; w++ {
+		if write {
+			h.p.Store(addr + uint64(w)*4)
+		} else {
+			h.p.Load(addr + uint64(w)*4)
+		}
+	}
+}
+
+func (h *simHeap) len() int { return len(h.entries) }
+
+// push inserts an entry and sifts it up, charging the comparisons and
+// the entry movements along the path.
+func (h *simHeap) push(e heapEntry) {
+	h.entries = append(h.entries, e)
+	i := len(h.entries) - 1
+	h.touch(i, true)
+	for i > 0 {
+		parent := (i - 1) / 2
+		h.touch(parent, false)
+		h.p.Compute(1)
+		if h.entries[parent].row <= h.entries[i].row {
+			break
+		}
+		h.entries[parent], h.entries[i] = h.entries[i], h.entries[parent]
+		h.touch(parent, true)
+		h.touch(i, true)
+		i = parent
+	}
+}
+
+// popMin removes and returns the minimum entry, charging the root read,
+// the tail move and the sift-down path.
+func (h *simHeap) popMin() heapEntry {
+	h.touch(0, false)
+	min := h.entries[0]
+	last := len(h.entries) - 1
+	h.touch(last, false)
+	h.entries[0] = h.entries[last]
+	h.entries = h.entries[:last]
+	if last > 0 {
+		h.touch(0, true)
+		h.siftDown(0)
+	}
+	return min
+}
+
+func (h *simHeap) siftDown(i int) {
+	n := len(h.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n {
+			h.touch(l, false)
+			h.p.Compute(1)
+			if h.entries[l].row < h.entries[small].row {
+				small = l
+			}
+		}
+		if r < n {
+			h.touch(r, false)
+			h.p.Compute(1)
+			if h.entries[r].row < h.entries[small].row {
+				small = r
+			}
+		}
+		if small == i {
+			return
+		}
+		h.entries[i], h.entries[small] = h.entries[small], h.entries[i]
+		h.touch(i, true)
+		h.touch(small, true)
+		i = small
+	}
+}

@@ -1,0 +1,160 @@
+package kernels
+
+import (
+	"cosparse/internal/matrix"
+	"cosparse/internal/semiring"
+	"cosparse/internal/sim"
+)
+
+// Operand bundles the inputs shared by both kernels: the semiring, its
+// hyperparameter context, the source out-degrees (PR) and the previous
+// iteration's destination values (SSSP, CF).
+type Operand struct {
+	Ring semiring.Semiring
+	Ctx  semiring.Ctx
+	Deg  []int32      // out-degree per source vertex; may be nil if !NeedsSrcDeg
+	Prev matrix.Dense // previous values; may be nil if !NeedsDstVal
+}
+
+func (op Operand) ctxFor(dst, src int32) semiring.Ctx {
+	c := op.Ctx
+	c.Src = src
+	if op.Ring.NeedsDstVal {
+		c.DstVal = op.Prev[dst]
+	}
+	if op.Ring.NeedsSrcDeg {
+		c.SrcDeg = op.Deg[src]
+	}
+	return c
+}
+
+// RunIP executes one inner-product SpMV on a fresh machine with the
+// given configuration (SC or SCS): every PE streams its COO row
+// partition vblock by vblock, reading the dense frontier either from
+// the shared L1 cache (SC) or from the shared scratchpad after a
+// cooperative fill (SCS), accumulating per-row in a register and
+// read-modify-writing the output vector on row changes (paper Fig. 3,
+// top).
+//
+// The returned vector holds Ring.Identity in untouched rows; the caller
+// merges it with the previous values (see RunMergeDense).
+func RunIP(cfg sim.Config, part *IPPartition, x matrix.Dense, op Operand) (matrix.Dense, sim.Result) {
+	if len(x) != part.C {
+		panic("kernels: RunIP frontier length mismatch")
+	}
+	m := sim.MustMachine(cfg)
+	par := cfg.Params
+	arena := sim.NewArena(par)
+	matBase := arena.Alloc(3 * len(part.Val)) // (row, col, val) triples
+	vecBase := arena.Alloc(part.C)
+	outBase := arena.Alloc(part.R)
+	var degBase, prevBase uint64
+	if op.Ring.NeedsSrcDeg {
+		degBase = arena.Alloc(part.C)
+	}
+	if op.Ring.NeedsDstVal {
+		prevBase = arena.Alloc(part.R)
+	}
+
+	out := make(matrix.Dense, part.R)
+	for i := range out {
+		out[i] = op.Ring.Identity
+	}
+
+	// Frontier-masked algorithms skip inactive sources; dense-frontier
+	// rings (PR, CF) treat every vertex as active, and their operators
+	// may produce nonzero contributions even from zero-valued sources.
+	skipInactive := !op.Ring.DenseFrontier
+
+	prog := sim.Program{PE: func(p *sim.Proc) {
+		pe := p.GlobalPE()
+		if pe >= part.NumPEs {
+			return
+		}
+		spm := cfg.HW == sim.SCS && part.VBlockWords > 0
+		peInTile := p.PE()
+		pesPerTile := cfg.Geometry.PEsPerTile
+
+		curRow := int32(-1)
+		var acc float32
+		flush := func() {
+			if curRow < 0 {
+				return
+			}
+			// Read-modify-write of the output element.
+			addr := outBase + uint64(curRow)*4
+			p.Load(addr)
+			p.Compute(op.Ring.ReduceCost)
+			out[curRow] = op.Ring.Reduce(out[curRow], acc)
+			p.Store(addr)
+			curRow = -1
+		}
+
+		for _, seg := range part.Segs[pe] {
+			vbStart := int(seg.VB) * part.VBlockWords
+			if spm {
+				// Cooperative SPM fill: the tile's PEs stream disjoint
+				// chunks of this vblock's frontier segment into the
+				// shared scratchpad.
+				width := part.VBlockWords
+				if vbStart+width > part.C {
+					width = part.C - vbStart
+				}
+				share := (width + pesPerTile - 1) / pesPerTile
+				lo := peInTile * share
+				hi := lo + share
+				if hi > width {
+					hi = width
+				}
+				for i := lo; i < hi; i++ {
+					p.LoadStream(vecBase + uint64(vbStart+i)*4)
+					p.SPMStore(i)
+				}
+			}
+			for k := seg.Lo; k < seg.Hi; k++ {
+				row, col, val := part.Row[k], part.Col[k], part.Val[k]
+				// Stream the COO triple (12 bytes, sequential). The
+				// stream is prefetched ahead (bandwidth-bound) but its
+				// lines still land in the L1 cache, competing with the
+				// frontier vector for capacity — exactly the contention
+				// SCS relieves by pinning the vector in the SPM
+				// (paper §III-C2).
+				for w := 0; w < 3; w++ {
+					p.LoadStream(matBase + uint64(k)*12 + uint64(w)*4)
+				}
+				// Frontier element: scratchpad in SCS, cache in SC.
+				if spm {
+					p.SPMLoad(int(col) - vbStart)
+				} else {
+					p.Load(vecBase + uint64(col)*4)
+				}
+				// Inactive source (identity value): skip the compute and
+				// the output access entirely (§IV-C1 — "skips computation
+				// and accesses to the output vector if the vector element
+				// is zero"). Compare cost is folded into the load-use slot.
+				if skipInactive && x[col] == op.Ring.Identity {
+					continue
+				}
+				if op.Ring.NeedsSrcDeg {
+					p.Load(degBase + uint64(col)*4)
+				}
+				if row != curRow {
+					flush()
+					curRow = row
+					if op.Ring.NeedsDstVal {
+						p.Load(prevBase + uint64(row)*4)
+					}
+					p.Compute(op.Ring.MatOpCost)
+					acc = op.Ring.MatOp(val, x[col], op.ctxFor(row, col))
+					continue
+				}
+				p.Compute(op.Ring.MatOpCost + op.Ring.ReduceCost)
+				acc = op.Ring.Reduce(acc, op.Ring.MatOp(val, x[col], op.ctxFor(row, col)))
+			}
+			flush()
+		}
+	}}
+
+	res := m.Run(prog)
+	return out, res
+}

@@ -1,0 +1,309 @@
+// Package kernels implements the two reconfigurable SpMV dataflows of
+// CoSPARSE (§III-A) on the sim machine: the inner-product (IP) kernel
+// streaming row-major COO against a dense frontier, and the
+// outer-product (OP) kernel merge-sorting CSC columns selected by a
+// sparse frontier. Both are generic over a semiring (Table I), execute
+// functionally, and charge every memory access to the simulated
+// hierarchy.
+//
+// It also implements the paper's workload-balancing strategies
+// (§III-B): static row partitioning with equal nonzeros per PE/tile,
+// vertical blocking (vblocks) sized to the scratchpad, and dynamic
+// distribution of frontier nonzeros across the PEs of a tile.
+package kernels
+
+import (
+	"fmt"
+
+	"cosparse/internal/matrix"
+)
+
+// Balancing selects the static partitioning strategy, the knob
+// evaluated in the paper's Fig. 7.
+type Balancing int
+
+const (
+	// BalanceNNZ cuts row partitions with equal numbers of stored
+	// elements ("w/ partition" in Fig. 7) — the paper's scheme.
+	BalanceNNZ Balancing = iota
+	// BalanceRows cuts equal row ranges regardless of their population
+	// ("w/o partition"), the naive baseline.
+	BalanceRows
+)
+
+// String names the strategy as in the paper's figures.
+func (b Balancing) String() string {
+	if b == BalanceNNZ {
+		return "w/ partition"
+	}
+	return "w/o partition"
+}
+
+// rowPtr builds the CSR-style row prefix of a row-major COO matrix.
+func rowPtr(m *matrix.COO) []int32 {
+	ptr := make([]int32, m.R+1)
+	for _, r := range m.Row {
+		ptr[r+1]++
+	}
+	for i := 0; i < m.R; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	return ptr
+}
+
+// cutRows splits [0, rows) into `parts` contiguous ranges. With
+// BalanceNNZ the cut points equalize stored elements (at row
+// granularity, so no output races between partitions); with BalanceRows
+// they equalize row counts. Returns parts+1 boundaries.
+func cutRows(ptr []int32, rows, parts int, b Balancing) []int32 {
+	bounds := make([]int32, parts+1)
+	bounds[parts] = int32(rows)
+	if b == BalanceRows {
+		for k := 1; k < parts; k++ {
+			bounds[k] = int32(rows * k / parts)
+		}
+		return bounds
+	}
+	nnz := int64(ptr[rows])
+	row := 0
+	for k := 1; k < parts; k++ {
+		target := nnz * int64(k) / int64(parts)
+		for row < rows && int64(ptr[row]) < target {
+			row++
+		}
+		bounds[k] = int32(row)
+	}
+	return bounds
+}
+
+// Seg is one vblock-contiguous run of a PE's elements in the reordered
+// IP element stream.
+type Seg struct {
+	VB     int32 // vblock index (column range VB*width .. (VB+1)*width)
+	Lo, Hi int32 // element index range in the partition's arrays
+}
+
+// IPPartition is the preprocessed matrix layout for the IP kernel: each
+// PE owns a row partition whose elements are stored contiguously,
+// grouped by vblock and row-major within a vblock — the memory layout a
+// real implementation would produce at load time (the paper performs
+// the same preprocessing before execution; its cost is off the critical
+// per-iteration path, like Ligra's preprocessed CSR/CSC pair).
+type IPPartition struct {
+	R, C        int
+	NumPEs      int
+	VBlockWords int // columns per vblock; 0 = no vertical blocking
+	NumVBlocks  int
+	Row, Col    []int32
+	Val         []float32
+	PEPtr       []int32 // per-PE element range: elements of PE p are [PEPtr[p], PEPtr[p+1])
+	Segs        [][]Seg // per PE, ordered by vblock
+	RowBounds   []int32 // the row cuts, exposed for tests
+}
+
+// NewIPPartition builds the IP layout for a machine with totalPEs
+// processing elements and the given vblock width in vector words
+// (usually Config.SPMWordsPerTile(); pass 0 to disable blocking).
+func NewIPPartition(m *matrix.COO, totalPEs, vblockWords int, b Balancing) *IPPartition {
+	if totalPEs < 1 {
+		panic("kernels: totalPEs must be >= 1")
+	}
+	ptr := rowPtr(m)
+	bounds := cutRows(ptr, m.R, totalPEs, b)
+	p := &IPPartition{
+		R: m.R, C: m.C,
+		NumPEs:      totalPEs,
+		VBlockWords: vblockWords,
+		NumVBlocks:  1,
+		Row:         make([]int32, 0, m.NNZ()),
+		Col:         make([]int32, 0, m.NNZ()),
+		Val:         make([]float32, 0, m.NNZ()),
+		PEPtr:       make([]int32, totalPEs+1),
+		Segs:        make([][]Seg, totalPEs),
+		RowBounds:   bounds,
+	}
+	if vblockWords > 0 {
+		p.NumVBlocks = (m.C + vblockWords - 1) / vblockWords
+	}
+	vbOf := func(col int32) int32 {
+		if vblockWords <= 0 {
+			return 0
+		}
+		return col / int32(vblockWords)
+	}
+	for pe := 0; pe < totalPEs; pe++ {
+		lo, hi := ptr[bounds[pe]], ptr[bounds[pe+1]]
+		// Bucket the PE's (already row-major) element range by vblock,
+		// preserving row-major order inside each bucket.
+		counts := make([]int32, p.NumVBlocks+1)
+		for k := lo; k < hi; k++ {
+			counts[vbOf(m.Col[k])+1]++
+		}
+		for v := 0; v < p.NumVBlocks; v++ {
+			counts[v+1] += counts[v]
+		}
+		base := int32(len(p.Row))
+		p.Row = append(p.Row, make([]int32, hi-lo)...)
+		p.Col = append(p.Col, make([]int32, hi-lo)...)
+		p.Val = append(p.Val, make([]float32, hi-lo)...)
+		next := make([]int32, p.NumVBlocks)
+		copy(next, counts[:p.NumVBlocks])
+		for k := lo; k < hi; k++ {
+			v := vbOf(m.Col[k])
+			at := base + next[v]
+			next[v]++
+			p.Row[at] = m.Row[k]
+			p.Col[at] = m.Col[k]
+			p.Val[at] = m.Val[k]
+		}
+		for v := 0; v < p.NumVBlocks; v++ {
+			if counts[v+1] > counts[v] {
+				p.Segs[pe] = append(p.Segs[pe], Seg{VB: int32(v), Lo: base + counts[v], Hi: base + counts[v+1]})
+			}
+		}
+		p.PEPtr[pe+1] = base + (hi - lo)
+	}
+	return p
+}
+
+// Validate checks the partition invariants: every source element
+// appears exactly once, segments are disjoint and vblock-local, and
+// rows do not cross PE boundaries.
+func (p *IPPartition) Validate(m *matrix.COO) error {
+	if len(p.Val) != m.NNZ() {
+		return fmt.Errorf("kernels: partition has %d elements, matrix %d", len(p.Val), m.NNZ())
+	}
+	count := make(map[[2]int32]int, m.NNZ())
+	for k := range m.Val {
+		count[[2]int32{m.Row[k], m.Col[k]}]++
+	}
+	for k := range p.Val {
+		key := [2]int32{p.Row[k], p.Col[k]}
+		count[key]--
+		if count[key] < 0 {
+			return fmt.Errorf("kernels: element (%d,%d) duplicated or foreign", key[0], key[1])
+		}
+	}
+	for pe, segs := range p.Segs {
+		lastVB := int32(-1)
+		for _, s := range segs {
+			if s.VB <= lastVB {
+				return fmt.Errorf("kernels: PE %d segments not vblock-ordered", pe)
+			}
+			lastVB = s.VB
+			if s.Lo < p.PEPtr[pe] || s.Hi > p.PEPtr[pe+1] || s.Lo >= s.Hi {
+				return fmt.Errorf("kernels: PE %d segment [%d,%d) outside its range", pe, s.Lo, s.Hi)
+			}
+			for k := s.Lo; k < s.Hi; k++ {
+				if r := p.Row[k]; r < p.RowBounds[pe] || r >= p.RowBounds[pe+1] {
+					return fmt.Errorf("kernels: PE %d holds row %d outside [%d,%d)", pe, r, p.RowBounds[pe], p.RowBounds[pe+1])
+				}
+				if p.VBlockWords > 0 && p.Col[k]/int32(p.VBlockWords) != s.VB {
+					return fmt.Errorf("kernels: PE %d vblock %d holds column %d", pe, s.VB, p.Col[k])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// NNZOfPE returns the number of elements assigned to a PE, the quantity
+// the balancing strategy equalizes.
+func (p *IPPartition) NNZOfPE(pe int) int {
+	return int(p.PEPtr[pe+1] - p.PEPtr[pe])
+}
+
+// OPPartition is the preprocessed layout for the OP kernel: each tile
+// owns a row partition stored as a tile-local CSC slice (only the rows
+// in the tile's range appear in each column). Frontier nonzeros are
+// distributed across the tile's PEs dynamically at run time.
+type OPPartition struct {
+	R, C      int
+	Tiles     int
+	RowBounds []int32   // per-tile row cuts
+	ColPtr    [][]int32 // per tile, length C+1
+	Row       [][]int32
+	Val       [][]float32
+}
+
+// NewOPPartition builds per-tile CSC slices from the full CSC matrix.
+func NewOPPartition(m *matrix.CSC, tiles int, b Balancing) *OPPartition {
+	if tiles < 1 {
+		panic("kernels: tiles must be >= 1")
+	}
+	// Row population for the balanced cut.
+	ptr := make([]int32, m.R+1)
+	for _, r := range m.Row {
+		ptr[r+1]++
+	}
+	for i := 0; i < m.R; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	bounds := cutRows(ptr, m.R, tiles, b)
+
+	p := &OPPartition{
+		R: m.R, C: m.C,
+		Tiles:     tiles,
+		RowBounds: bounds,
+		ColPtr:    make([][]int32, tiles),
+		Row:       make([][]int32, tiles),
+		Val:       make([][]float32, tiles),
+	}
+	for t := 0; t < tiles; t++ {
+		lo, hi := bounds[t], bounds[t+1]
+		colPtr := make([]int32, m.C+1)
+		var rows []int32
+		var vals []float32
+		for j := 0; j < m.C; j++ {
+			for q := m.ColPtr[j]; q < m.ColPtr[j+1]; q++ {
+				if r := m.Row[q]; r >= lo && r < hi {
+					rows = append(rows, r)
+					vals = append(vals, m.Val[q])
+				}
+			}
+			colPtr[j+1] = int32(len(rows))
+		}
+		p.ColPtr[t] = colPtr
+		p.Row[t] = rows
+		p.Val[t] = vals
+	}
+	return p
+}
+
+// Validate checks that the tile slices exactly tile the matrix.
+func (p *OPPartition) Validate(m *matrix.CSC) error {
+	total := 0
+	for t := 0; t < p.Tiles; t++ {
+		total += len(p.Val[t])
+		for j := 0; j < p.C; j++ {
+			for q := p.ColPtr[t][j]; q < p.ColPtr[t][j+1]; q++ {
+				r := p.Row[t][q]
+				if r < p.RowBounds[t] || r >= p.RowBounds[t+1] {
+					return fmt.Errorf("kernels: tile %d column %d holds row %d outside [%d,%d)",
+						t, j, r, p.RowBounds[t], p.RowBounds[t+1])
+				}
+				if q > p.ColPtr[t][j] && p.Row[t][q] <= p.Row[t][q-1] {
+					return fmt.Errorf("kernels: tile %d column %d rows not ascending", t, j)
+				}
+			}
+		}
+	}
+	if total != m.NNZ() {
+		return fmt.Errorf("kernels: tile slices hold %d elements, matrix %d", total, m.NNZ())
+	}
+	return nil
+}
+
+// NNZOfTile returns the elements assigned to one tile.
+func (p *OPPartition) NNZOfTile(t int) int { return len(p.Val[t]) }
+
+// splitEven splits n items into `parts` contiguous chunks whose sizes
+// differ by at most one; returns parts+1 boundaries. This is the LCP's
+// dynamic distribution of frontier nonzeros to PEs.
+func splitEven(n, parts int) []int32 {
+	bounds := make([]int32, parts+1)
+	for k := 0; k <= parts; k++ {
+		bounds[k] = int32(n * k / parts)
+	}
+	return bounds
+}

@@ -1,0 +1,201 @@
+package kernels
+
+import (
+	"cosparse/internal/matrix"
+	"cosparse/internal/sim"
+)
+
+// mergeValue combines a kernel contribution with the destination's
+// previous value according to the semiring:
+//
+//   - OnceOnly (BFS): settled vertices never change;
+//   - MergePrev (monotone propagation): reduce with the previous value,
+//     so untouched (Identity) contributions keep the old value and
+//     touched ones can only improve it;
+//   - Vector_Op (PR, CF): applied last, per Table I.
+func mergeValue(op Operand, contrib, prev float32) float32 {
+	r := op.Ring
+	if r.OnceOnly && prev != r.Identity {
+		return prev
+	}
+	v := contrib
+	if r.MergePrev {
+		v = r.Reduce(contrib, prev)
+	}
+	if r.VecOp != nil {
+		v = r.VecOp(v, prev, op.Ctx)
+	}
+	return v
+}
+
+// mergeCost is the PE cycles charged per merged element (compare +
+// reduce/vecop).
+func mergeCost(op Operand) int {
+	c := 1 + op.Ring.ReduceCost
+	if op.Ring.VecOp != nil {
+		c += 2
+	}
+	return c
+}
+
+// RunMergeDense is the post-IP pass: it streams the kernel output and
+// the previous values, merges them, writes back changed values, and
+// compacts the changed indices into the next sparse frontier (the
+// dense→sparse conversion of §III-D2, fused with the merge the way a
+// real implementation would).
+//
+// vals is updated in place and returned along with the extracted
+// frontier (nil when the semiring keeps a dense frontier).
+func RunMergeDense(cfg sim.Config, contrib, vals matrix.Dense, op Operand) (matrix.Dense, *matrix.SparseVec, sim.Result) {
+	n := len(vals)
+	m := sim.MustMachine(cfg)
+	arena := sim.NewArena(cfg.Params)
+	contribBase := arena.Alloc(n)
+	valsBase := arena.Alloc(n)
+	frontIdxBase := arena.Alloc(n + 1)
+	frontValBase := arena.Alloc(n + 1)
+
+	totalPEs := cfg.Geometry.TotalPEs()
+	bounds := splitEven(n, totalPEs)
+	perPE := make([][]int32, totalPEs)
+	cost := mergeCost(op)
+	extract := !op.Ring.DenseFrontier
+
+	merged := make(matrix.Dense, n)
+	prog := sim.Program{PE: func(p *sim.Proc) {
+		g := p.GlobalPE()
+		lo, hi := bounds[g], bounds[g+1]
+		for i := lo; i < hi; i++ {
+			p.LoadStream(contribBase + uint64(i)*4)
+			p.LoadStream(valsBase + uint64(i)*4)
+			p.Compute(cost)
+			nv := mergeValue(op, contrib[i], vals[i])
+			merged[i] = nv
+			if nv != vals[i] {
+				p.Store(valsBase + uint64(i)*4)
+			}
+			if extract && op.Ring.Improving(nv, vals[i]) {
+				p.Store(frontIdxBase + uint64(i)*4)
+				p.Store(frontValBase + uint64(i)*4)
+				perPE[g] = append(perPE[g], int32(i))
+			}
+		}
+	}}
+	res := m.Run(prog)
+
+	copy(vals, merged)
+	var frontier *matrix.SparseVec
+	if extract {
+		frontier = &matrix.SparseVec{N: n}
+		for _, list := range perPE { // PE ranges are ascending and disjoint
+			for _, i := range list {
+				frontier.Idx = append(frontier.Idx, i)
+				frontier.Val = append(frontier.Val, vals[i])
+			}
+		}
+	}
+	return vals, frontier, res
+}
+
+// RunScatterMerge is the post-OP pass: the sparse kernel output is
+// scattered into the persistent value array (random read-modify-write
+// per touched destination) and changed destinations are compacted into
+// the next frontier.
+func RunScatterMerge(cfg sim.Config, contrib *matrix.SparseVec, vals matrix.Dense, op Operand) (matrix.Dense, *matrix.SparseVec, sim.Result) {
+	m := sim.MustMachine(cfg)
+	arena := sim.NewArena(cfg.Params)
+	idxBase := arena.Alloc(contrib.NNZ() + 1)
+	cvalBase := arena.Alloc(contrib.NNZ() + 1)
+	valsBase := arena.Alloc(len(vals))
+	frontIdxBase := arena.Alloc(contrib.NNZ() + 1)
+	frontValBase := arena.Alloc(contrib.NNZ() + 1)
+
+	totalPEs := cfg.Geometry.TotalPEs()
+	bounds := splitEven(contrib.NNZ(), totalPEs)
+	perPE := make([][]int32, totalPEs)
+	cost := mergeCost(op)
+	extract := !op.Ring.DenseFrontier
+
+	newVals := make([]float32, contrib.NNZ())
+	prog := sim.Program{PE: func(p *sim.Proc) {
+		g := p.GlobalPE()
+		lo, hi := bounds[g], bounds[g+1]
+		for k := lo; k < hi; k++ {
+			p.LoadStream(idxBase + uint64(k)*4)
+			p.LoadStream(cvalBase + uint64(k)*4)
+			i := contrib.Idx[k]
+			p.Load(valsBase + uint64(i)*4) // random gather of the old value
+			p.Compute(cost)
+			nv := mergeValue(op, contrib.Val[k], vals[i])
+			newVals[k] = nv
+			if nv != vals[i] {
+				p.Store(valsBase + uint64(i)*4)
+			}
+			if extract && op.Ring.Improving(nv, vals[i]) {
+				p.Store(frontIdxBase + uint64(k)*4)
+				p.Store(frontValBase + uint64(k)*4)
+				perPE[g] = append(perPE[g], k)
+			}
+		}
+	}}
+	res := m.Run(prog)
+
+	for k, i := range contrib.Idx {
+		vals[i] = newVals[k]
+	}
+	var frontier *matrix.SparseVec
+	if extract {
+		frontier = &matrix.SparseVec{N: len(vals)}
+		for _, list := range perPE { // contrib.Idx is sorted, chunks are disjoint
+			for _, k := range list {
+				frontier.Idx = append(frontier.Idx, contrib.Idx[k])
+				frontier.Val = append(frontier.Val, vals[contrib.Idx[k]])
+			}
+		}
+	}
+	return vals, frontier, res
+}
+
+// RunFrontierDense maintains the persistent dense frontier buffer used
+// by the IP kernel: positions active last time (`clear`) are reset to
+// the identity, and the new frontier (`set`) is scattered in — the
+// paper's "lightweight vector conversion" (§III-D2), which touches only
+// O(|old| + |new|) elements instead of rebuilding the whole vector.
+//
+// buf is mutated in place and returned.
+func RunFrontierDense(cfg sim.Config, buf matrix.Dense, clear, set *matrix.SparseVec, op Operand) (matrix.Dense, sim.Result) {
+	m := sim.MustMachine(cfg)
+	arena := sim.NewArena(cfg.Params)
+	bufBase := arena.Alloc(len(buf))
+	nClear, nSet := 0, 0
+	if clear != nil {
+		nClear = clear.NNZ()
+	}
+	if set != nil {
+		nSet = set.NNZ()
+	}
+	clrIdxBase := arena.Alloc(nClear + 1)
+	setIdxBase := arena.Alloc(nSet + 1)
+	setValBase := arena.Alloc(nSet + 1)
+
+	totalPEs := cfg.Geometry.TotalPEs()
+	cb := splitEven(nClear, totalPEs)
+	sb := splitEven(nSet, totalPEs)
+
+	prog := sim.Program{PE: func(p *sim.Proc) {
+		g := p.GlobalPE()
+		for k := cb[g]; k < cb[g+1]; k++ {
+			p.LoadStream(clrIdxBase + uint64(k)*4)
+			p.Store(bufBase + uint64(clear.Idx[k])*4)
+			buf[clear.Idx[k]] = op.Ring.Identity
+		}
+		for k := sb[g]; k < sb[g+1]; k++ {
+			p.LoadStream(setIdxBase + uint64(k)*4)
+			p.LoadStream(setValBase + uint64(k)*4)
+			p.Store(bufBase + uint64(set.Idx[k])*4)
+			buf[set.Idx[k]] = set.Val[k]
+		}
+	}}
+	res := m.Run(prog)
+	return buf, res
+}

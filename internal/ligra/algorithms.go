@@ -1,0 +1,193 @@
+package ligra
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Result bundles an algorithm's values with the work it performed and
+// the modelled Xeon execution cost.
+type Result struct {
+	Values  []float32
+	Counts  Counts
+	Seconds float64
+	Joules  float64
+	Iters   int
+}
+
+func finish(vals []float32, c Counts, iters int, x XeonModel) *Result {
+	t := x.Time(c)
+	return &Result{Values: vals, Counts: c, Seconds: t, Joules: x.Energy(c), Iters: iters}
+}
+
+// BFS runs Ligra's breadth-first search (parents as values, min-parent
+// tie-break to match the CoSPARSE mapping of Table I).
+func BFS(g *Graph, src int32, x XeonModel) (*Result, error) {
+	if src < 0 || int(src) >= g.N {
+		return nil, fmt.Errorf("ligra: BFS source %d out of range", src)
+	}
+	inf := float32(math.Inf(1))
+	vals := make([]float32, g.N)
+	for i := range vals {
+		vals[i] = inf
+	}
+	vals[src] = float32(src)
+	visited := make([]bool, g.N)
+	visited[src] = true
+
+	f := NewSparseFrontier(g.N, []int32{src})
+	var total Counts
+	iters := 0
+	args := EdgeMapArgs{
+		Update: func(s, d int32, _ float32) (float32, bool) { return float32(s), true },
+		Better: func(a, b float32) bool { return a < b },
+		Apply: func(d int32, proposal, current float32) (float32, bool) {
+			if visited[d] {
+				return current, false
+			}
+			visited[d] = true
+			return proposal, true
+		},
+		Cond:       func(d int32) bool { return !visited[d] },
+		OpsPerEdge: 2,
+	}
+	for !f.IsEmpty() {
+		var c Counts
+		f, c = EdgeMap(g, f, vals, args)
+		total.Add(c)
+		iters++
+		if iters > g.N {
+			return nil, fmt.Errorf("ligra: BFS did not terminate")
+		}
+	}
+	return finish(vals, total, iters, x), nil
+}
+
+// SSSP runs frontier-based Bellman–Ford, Ligra-style.
+func SSSP(g *Graph, src int32, x XeonModel) (*Result, error) {
+	if src < 0 || int(src) >= g.N {
+		return nil, fmt.Errorf("ligra: SSSP source %d out of range", src)
+	}
+	inf := float32(math.Inf(1))
+	vals := make([]float32, g.N)
+	for i := range vals {
+		vals[i] = inf
+	}
+	vals[src] = 0
+
+	f := NewSparseFrontier(g.N, []int32{src})
+	var total Counts
+	iters := 0
+	args := EdgeMapArgs{
+		Update: func(s, d int32, w float32) (float32, bool) {
+			nd := vals[s] + w
+			return nd, nd < vals[d]
+		},
+		Better: func(a, b float32) bool { return a < b },
+		Apply: func(d int32, proposal, current float32) (float32, bool) {
+			if proposal < current {
+				return proposal, true
+			}
+			return current, false
+		},
+		OpsPerEdge: 3,
+	}
+	for !f.IsEmpty() {
+		var c Counts
+		f, c = EdgeMap(g, f, vals, args)
+		total.Add(c)
+		iters++
+		if iters > 4*g.N+8 {
+			return nil, fmt.Errorf("ligra: SSSP did not terminate (negative weights?)")
+		}
+	}
+	return finish(vals, total, iters, x), nil
+}
+
+// PageRank runs Ligra's dense power iteration for a fixed number of
+// iterations with damping alpha.
+func PageRank(g *Graph, iters int, alpha float32, x XeonModel) (*Result, error) {
+	if iters <= 0 {
+		return nil, fmt.Errorf("ligra: PageRank iterations must be positive")
+	}
+	vals := make([]float32, g.N)
+	for i := range vals {
+		vals[i] = 1 / float32(g.N)
+	}
+	var total Counts
+	for it := 0; it < iters; it++ {
+		next := denseAccumulate(g, func(s, d int32, _ float32) float32 {
+			if g.Deg[s] == 0 {
+				return 0
+			}
+			return vals[s] / float32(g.Deg[s])
+		}, &total, 2)
+		for i := range next {
+			next[i] = alpha + (1-alpha)*next[i]
+		}
+		total.Ops += int64(g.N) * 2
+		total.VertexScans += int64(g.N)
+		vals = next
+	}
+	return finish(vals, total, iters, x), nil
+}
+
+// CF runs the collaborative-filtering gradient descent of Table I
+// (single latent factor) for a fixed number of iterations.
+func CF(g *Graph, iters int, beta, lambda float32, x XeonModel) (*Result, error) {
+	if iters <= 0 {
+		return nil, fmt.Errorf("ligra: CF iterations must be positive")
+	}
+	vals := make([]float32, g.N)
+	for i := range vals {
+		vals[i] = 0.1 + 0.01*float32(i%17)
+	}
+	var total Counts
+	for it := 0; it < iters; it++ {
+		grad := denseAccumulate(g, func(s, d int32, w float32) float32 {
+			e := w - vals[s]*vals[d]
+			return e*vals[s] - lambda*vals[d]
+		}, &total, 5)
+		for i := range grad {
+			vals[i] = beta*grad[i] + vals[i]
+		}
+		total.Ops += int64(g.N) * 2
+		total.VertexScans += int64(g.N)
+	}
+	return finish(vals, total, iters, x), nil
+}
+
+// denseAccumulate is the add-reduce dense edgeMap Ligra's PR-style
+// algorithms use: every destination pulls and sums contributions from
+// all its in-neighbors. Workers own disjoint destination ranges.
+func denseAccumulate(g *Graph, contrib func(s, d int32, w float32) float32, c *Counts, opsPerEdge int64) []float32 {
+	out := make([]float32, g.N)
+	w := nworkers()
+	edgeCounts := make([]int64, w)
+	var wg sync.WaitGroup
+	for wk := 0; wk < w; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			lo, hi := g.N*wk/w, g.N*(wk+1)/w
+			for d := lo; d < hi; d++ {
+				var acc float64
+				for p := g.In.RowPtr[d]; p < g.In.RowPtr[d+1]; p++ {
+					acc += float64(contrib(g.In.Col[p], int32(d), g.In.Val[p]))
+					edgeCounts[wk]++
+				}
+				out[d] = float32(acc)
+			}
+		}(wk)
+	}
+	wg.Wait()
+	for wk := 0; wk < w; wk++ {
+		c.EdgesPulled += edgeCounts[wk]
+		c.EdgesScanned += edgeCounts[wk] // every scanned edge is consumed
+		c.Ops += edgeCounts[wk] * opsPerEdge
+	}
+	c.Iterations++
+	c.DenseSteps++
+	return out
+}

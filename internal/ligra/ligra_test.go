@@ -1,0 +1,232 @@
+package ligra
+
+import (
+	"math"
+	"testing"
+
+	"cosparse/internal/gen"
+	"cosparse/internal/matrix"
+)
+
+func testGraph(seed uint64) (*Graph, *matrix.COO) {
+	m := gen.PowerLaw(400, 5000, 0.5, gen.UniformWeight, seed)
+	return NewGraph(m), m
+}
+
+func refBFSLevels(m *matrix.COO, src int32) []int32 {
+	csc := m.ToCSC()
+	level := make([]int32, m.R)
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	q := []int32{src}
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		for p := csc.ColPtr[v]; p < csc.ColPtr[v+1]; p++ {
+			if d := csc.Row[p]; level[d] < 0 {
+				level[d] = level[v] + 1
+				q = append(q, d)
+			}
+		}
+	}
+	return level
+}
+
+func TestBFSCorrect(t *testing.T) {
+	g, m := testGraph(1)
+	res, err := BFS(g, 0, DefaultXeon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refBFSLevels(m, 0)
+	for v := range want {
+		reached := !math.IsInf(float64(res.Values[v]), 1)
+		if (want[v] >= 0) != reached {
+			t.Fatalf("vertex %d reachability: ref %d, got %g", v, want[v], res.Values[v])
+		}
+	}
+	if res.Seconds <= 0 || res.Joules <= 0 {
+		t.Fatal("model produced non-positive cost")
+	}
+}
+
+func TestBFSParentsAreValidEdges(t *testing.T) {
+	g, m := testGraph(2)
+	res, err := BFS(g, 0, DefaultXeon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := make(map[[2]int32]bool)
+	for k := range m.Val {
+		edge[[2]int32{m.Col[k], m.Row[k]}] = true
+	}
+	for v := range res.Values {
+		if math.IsInf(float64(res.Values[v]), 1) || int32(v) == 0 {
+			continue
+		}
+		p := int32(res.Values[v])
+		if p != int32(v) && !edge[[2]int32{p, int32(v)}] {
+			t.Fatalf("BFS parent edge %d->%d missing", p, v)
+		}
+	}
+}
+
+func TestSSSPCorrect(t *testing.T) {
+	g, m := testGraph(3)
+	res, err := SSSP(g, 0, DefaultXeon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bellman–Ford reference.
+	dist := make([]float64, m.R)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[0] = 0
+	for it := 0; it < m.R; it++ {
+		changed := false
+		for k := range m.Val {
+			s, d, w := m.Col[k], m.Row[k], float64(m.Val[k])
+			if dist[s]+w < dist[d] {
+				dist[d] = dist[s] + w
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for v := range dist {
+		if math.IsInf(dist[v], 1) != math.IsInf(float64(res.Values[v]), 1) {
+			t.Fatalf("vertex %d reachability differs", v)
+		}
+		if !math.IsInf(dist[v], 1) && math.Abs(dist[v]-float64(res.Values[v])) > 1e-3 {
+			t.Fatalf("vertex %d: %g want %g", v, res.Values[v], dist[v])
+		}
+	}
+}
+
+func TestPageRankSumsToOneIsh(t *testing.T) {
+	g, _ := testGraph(4)
+	res, err := PageRank(g, 15, 0.15, DefaultXeon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With damping α and dangling mass dropped, the sum stays within
+	// (α·N, N·1]. Mostly we check stability and positivity.
+	for v, pr := range res.Values {
+		if pr <= 0 || math.IsNaN(float64(pr)) {
+			t.Fatalf("vertex %d: pr = %g", v, pr)
+		}
+	}
+	if res.Counts.DenseSteps != 15 {
+		t.Fatalf("PR dense steps = %d, want 15", res.Counts.DenseSteps)
+	}
+}
+
+func TestPushPullSwitching(t *testing.T) {
+	// BFS from one vertex of a well-connected power-law graph must
+	// start sparse (push), go dense (pull) at the peak, and be counted
+	// as such.
+	m := gen.PowerLaw(3000, 60000, 0.55, gen.Pattern, 5)
+	g := NewGraph(m)
+	res, err := BFS(g, 0, DefaultXeon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.SparseSteps == 0 {
+		t.Fatal("no sparse (push) steps")
+	}
+	if res.Counts.DenseSteps == 0 {
+		t.Fatal("no dense (pull) steps")
+	}
+}
+
+func TestFrontierRepresentations(t *testing.T) {
+	f := NewSparseFrontier(10, []int32{1, 5, 7})
+	if f.Size() != 3 || f.IsEmpty() {
+		t.Fatal("sparse size wrong")
+	}
+	d := &Frontier{n: 4, dense: true, bits: []bool{true, false, true, false}}
+	if d.Size() != 2 {
+		t.Fatal("dense size wrong")
+	}
+	mem := d.Members()
+	if len(mem) != 2 || mem[0] != 0 || mem[1] != 2 {
+		t.Fatalf("members = %v", mem)
+	}
+}
+
+func TestActiveEdges(t *testing.T) {
+	m := matrix.MustCOO(3, 3, []matrix.Coord{
+		{Row: 1, Col: 0, Val: 1}, {Row: 2, Col: 0, Val: 1}, {Row: 0, Col: 1, Val: 1},
+	})
+	g := NewGraph(m)
+	f := NewSparseFrontier(3, []int32{0})
+	if got := f.ActiveEdges(g); got != 2 {
+		t.Fatalf("active edges = %d, want 2", got)
+	}
+}
+
+func TestXeonModelMonotone(t *testing.T) {
+	x := DefaultXeon()
+	small := Counts{EdgesPushed: 1000, VertexScans: 100, Ops: 2000, Iterations: 1}
+	large := Counts{EdgesPushed: 1000000, VertexScans: 100000, Ops: 2000000, Iterations: 10}
+	if x.Time(small) >= x.Time(large) {
+		t.Fatal("model time not monotone in work")
+	}
+	if x.Energy(large) != x.PowerW*x.Time(large) {
+		t.Fatal("energy != power × time")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	g, _ := testGraph(6)
+	a, err := SSSP(g, 0, DefaultXeon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SSSP(g, 0, DefaultXeon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts != b.Counts {
+		t.Fatalf("nondeterministic counts:\n%+v\n%+v", a.Counts, b.Counts)
+	}
+	for v := range a.Values {
+		if a.Values[v] != b.Values[v] {
+			t.Fatalf("nondeterministic value at %d", v)
+		}
+	}
+}
+
+func TestCFStable(t *testing.T) {
+	g, _ := testGraph(7)
+	res, err := CF(g, 10, 0.05, 0.01, DefaultXeon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, x := range res.Values {
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			t.Fatalf("CF diverged at %d", v)
+		}
+	}
+}
+
+func TestErrorsOnBadInput(t *testing.T) {
+	g, _ := testGraph(8)
+	if _, err := BFS(g, -1, DefaultXeon()); err == nil {
+		t.Error("BFS accepted bad source")
+	}
+	if _, err := SSSP(g, int32(g.N), DefaultXeon()); err == nil {
+		t.Error("SSSP accepted bad source")
+	}
+	if _, err := PageRank(g, 0, 0.15, DefaultXeon()); err == nil {
+		t.Error("PageRank accepted 0 iterations")
+	}
+	if _, err := CF(g, 0, 0.1, 0.1, DefaultXeon()); err == nil {
+		t.Error("CF accepted 0 iterations")
+	}
+}

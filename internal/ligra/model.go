@@ -1,0 +1,96 @@
+package ligra
+
+// XeonModel converts Ligra's operation counts into execution time and
+// energy on the paper's baseline machine (Intel Xeon E7-4860, 48 cores,
+// 2.6 GHz, 256 GB DRAM — Fig. 10 caption).
+//
+// The model is the standard roofline decomposition for graph kernels:
+// execution time is the maximum of (a) compute throughput across cores,
+// (b) streaming bandwidth for sequential traffic, and (c) random-access
+// throughput, which on large graphs is the binding constraint — each
+// pulled/pushed edge touches one remote cache line more or less at
+// random, and an out-of-order core sustains a limited number of
+// outstanding misses (MLP). This is the same first-order accounting the
+// paper's own comparison relies on ("the CPU has much more hardware
+// resources ... but consumes at least 200× more power").
+type XeonModel struct {
+	Cores       int
+	FreqHz      float64
+	IPC         float64 // sustained instructions/cycle/core on graph code
+	StreamBW    float64 // bytes/s, sequential
+	RandLatDRAM float64 // seconds per random DRAM access
+	MLP         float64 // outstanding misses per core, independent gathers
+	// MLPDependent applies to Cond-filtered (BFS-style) traversals,
+	// whose visited-check + early-exit inner loop serializes its loads.
+	MLPDependent float64
+	CacheHit     float64 // fraction of "random" accesses caught on-chip
+	PowerW       float64 // package power under load
+}
+
+// DefaultXeon parameterizes the Fig. 10 baseline.
+func DefaultXeon() XeonModel {
+	return XeonModel{
+		Cores:        48,
+		FreqHz:       2.6e9,
+		IPC:          1.2,
+		StreamBW:     85e9,
+		RandLatDRAM:  90e-9,
+		MLP:          10,
+		MLPDependent: 3,
+		CacheHit:     0.35,
+		PowerW:       200, // multi-socket package+DRAM power under load
+	}
+}
+
+// bytesPerEdge: edge structure read (8 B index+weight) plus the value
+// touch (4 B within a 64 B line; random misses fetch the full line).
+const (
+	seqBytesPerEdge   = 12
+	lineBytes         = 64
+	seqBytesPerVertex = 8
+	opsPerScanVertex  = 1
+)
+
+// Time returns modelled seconds for the counted work.
+func (x XeonModel) Time(c Counts) float64 {
+	edges := c.EdgesPushed + c.EdgesPulled
+	// (a) compute
+	ops := float64(c.Ops + edges*2 + c.VertexScans*opsPerScanVertex)
+	tCompute := ops / (float64(x.Cores) * x.IPC * x.FreqHz)
+	// (b) streaming: edge-list scans (dense steps read every in-edge,
+	// active or not), pushed edge arrays, and vertex scans
+	scanned := c.EdgesScanned
+	if scanned < c.EdgesPulled {
+		scanned = c.EdgesPulled
+	}
+	seq := float64(scanned*seqBytesPerEdge + c.EdgesPushed*seqBytesPerEdge + c.VertexScans*seqBytesPerVertex)
+	tStream := seq / x.StreamBW
+	// (c) random value accesses: one per edge, missing on-chip caches
+	// (1-CacheHit) of the time; cores overlap MLP of them. Dependent
+	// (BFS-style) traversals overlap far fewer.
+	indep := float64(edges-c.DependentEdges) * (1 - x.CacheHit)
+	dep := float64(c.DependentEdges) * (1 - x.CacheHit)
+	tRand := indep*x.RandLatDRAM/(float64(x.Cores)*x.MLP) +
+		dep*x.RandLatDRAM/(float64(x.Cores)*x.MLPDependent)
+	// The random lines also consume bandwidth.
+	tRandBW := (indep + dep) * lineBytes / x.StreamBW
+
+	t := tCompute
+	if tStream > t {
+		t = tStream
+	}
+	if tRand > t {
+		t = tRand
+	}
+	if tRandBW > t {
+		t = tRandBW
+	}
+	// Per-step synchronization overhead (parallel-for fork/join).
+	t += float64(c.Iterations) * 3e-6
+	return t
+}
+
+// Energy returns modelled joules (package power × time).
+func (x XeonModel) Energy(c Counts) float64 {
+	return x.PowerW * x.Time(c)
+}

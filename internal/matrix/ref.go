@@ -1,0 +1,46 @@
+package matrix
+
+// RefSpMV computes y = A·x with ordinary (+,×) arithmetic directly from
+// the COO representation. It is the correctness oracle for the
+// simulated kernels; float64 accumulation keeps it a little more
+// accurate than the float32 kernels, so comparisons use a tolerance.
+func RefSpMV(m *COO, x Dense) Dense {
+	acc := make([]float64, m.R)
+	for k := range m.Val {
+		acc[m.Row[k]] += float64(m.Val[k]) * float64(x[m.Col[k]])
+	}
+	y := make(Dense, m.R)
+	for i, a := range acc {
+		y[i] = float32(a)
+	}
+	return y
+}
+
+// RefSpMVSparse computes y = A·x for a sparse x, touching only the
+// columns with explicit entries — the work-skipping property that makes
+// OP win at low frontier density. Returns a sparse result containing
+// only rows that received at least one contribution.
+func RefSpMVSparse(m *CSC, x *SparseVec) *SparseVec {
+	acc := make(map[int32]float64)
+	for k, j := range x.Idx {
+		xv := float64(x.Val[k])
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			acc[m.Row[p]] += float64(m.Val[p]) * xv
+		}
+	}
+	idx := make([]int32, 0, len(acc))
+	for i := range acc {
+		idx = append(idx, i)
+	}
+	// Sorted output keeps the representation canonical.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && idx[j] < idx[j-1]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	out := &SparseVec{N: m.R, Idx: idx, Val: make([]float32, len(idx))}
+	for k, i := range idx {
+		out.Val[k] = float32(acc[i])
+	}
+	return out
+}

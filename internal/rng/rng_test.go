@@ -1,0 +1,188 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between distinct seeds", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a degenerate stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	seen := make(map[int]int)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		seen[v]++
+	}
+	for v := 0; v < 7; v++ {
+		if seen[v] < 1000 {
+			t.Errorf("value %d seen only %d/10000 times; distribution badly skewed", v, seen[v])
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	sum := 0.0
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / 100000; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean %g, want ~0.5", mean)
+	}
+}
+
+func TestFloat32Range(t *testing.T) {
+	r := New(10)
+	for i := 0; i < 10000; i++ {
+		f := r.Float32()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float32 = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid/duplicate element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(6)
+	for _, n := range []uint64{1, 2, 3, 1 << 40, math.MaxUint64} {
+		for i := 0; i < 100; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestExpPositive(t *testing.T) {
+	r := New(8)
+	sum := 0.0
+	for i := 0; i < 50000; i++ {
+		e := r.Exp()
+		if e < 0 || math.IsInf(e, 0) || math.IsNaN(e) {
+			t.Fatalf("Exp() = %g", e)
+		}
+		sum += e
+	}
+	if mean := sum / 50000; math.Abs(mean-1.0) > 0.05 {
+		t.Errorf("Exp mean %g, want ~1", mean)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func TestInt31nRangeAndPanic(t *testing.T) {
+	r := New(21)
+	for i := 0; i < 1000; i++ {
+		if v := r.Int31n(13); v < 0 || v >= 13 {
+			t.Fatalf("Int31n(13) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int31n(0) did not panic")
+		}
+	}()
+	r.Int31n(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(22)
+	a := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r.Shuffle(len(a), func(i, j int) { a[i], a[j] = a[j], a[i] })
+	seen := make(map[int]bool)
+	for _, v := range a {
+		if seen[v] {
+			t.Fatalf("duplicate %d after shuffle", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatal("elements lost")
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// χ²-light check over 8 buckets.
+	r := New(23)
+	counts := make([]int, 8)
+	const trials = 80000
+	for i := 0; i < trials; i++ {
+		counts[r.Uint64n(8)]++
+	}
+	for b, c := range counts {
+		if c < trials/8-trials/80 || c > trials/8+trials/80 {
+			t.Errorf("bucket %d count %d deviates >10%% from uniform", b, c)
+		}
+	}
+}

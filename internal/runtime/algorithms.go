@@ -1,0 +1,229 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+
+	"cosparse/internal/matrix"
+	"cosparse/internal/semiring"
+)
+
+// BFSResult holds the output of a breadth-first search.
+type BFSResult struct {
+	// Parent[v] is the BFS parent of v, v's own id for the source, or
+	// -1 for unreachable vertices.
+	Parent []int32
+	// Level[v] is the BFS depth of v, or -1 for unreachable vertices.
+	Level []int32
+}
+
+// BFS runs breadth-first search from src using the Table I mapping:
+// frontier values carry vertex labels and destinations adopt the
+// minimum proposing label as their parent.
+func (f *Framework) BFS(src int32) (*BFSResult, *Report, error) {
+	n := f.N()
+	if src < 0 || int(src) >= n {
+		return nil, nil, fmt.Errorf("runtime: BFS source %d out of range [0,%d)", src, n)
+	}
+	ring := semiring.BFS()
+	vals := make(matrix.Dense, n)
+	for i := range vals {
+		vals[i] = ring.Identity
+	}
+	vals[src] = float32(src)
+	frontier := &matrix.SparseVec{N: n, Idx: []int32{src}, Val: []float32{float32(src)}}
+
+	res := &BFSResult{Parent: make([]int32, n), Level: make([]int32, n)}
+	for i := range res.Parent {
+		res.Parent[i] = -1
+		res.Level[i] = -1
+	}
+	res.Parent[src] = src
+	res.Level[src] = 0
+
+	// Levels fall out of the iteration at which each vertex first joins
+	// the frontier, observed through the driver's iteration hook.
+	saved := f.opts.OnIteration
+	f.opts.OnIteration = func(st IterStat, next *matrix.SparseVec) {
+		if next != nil {
+			for _, v := range next.Idx {
+				if res.Level[v] < 0 {
+					res.Level[v] = int32(st.Iter) + 1
+				}
+			}
+		}
+		if saved != nil {
+			saved(st, next)
+		}
+	}
+	vals, rep := f.driver("BFS", ring, semiring.Ctx{}, vals, frontier, f.opts.MaxIters)
+	f.opts.OnIteration = saved
+
+	for i := range vals {
+		if !math.IsInf(float64(vals[i]), 1) {
+			res.Parent[i] = int32(vals[i])
+		}
+	}
+	return res, rep, nil
+}
+
+// SSSP runs single-source shortest paths (frontier-based Bellman–Ford,
+// the Table I min-plus mapping) from src over the stored edge weights.
+// Distances are +Inf for unreachable vertices.
+func (f *Framework) SSSP(src int32) (matrix.Dense, *Report, error) {
+	n := f.N()
+	if src < 0 || int(src) >= n {
+		return nil, nil, fmt.Errorf("runtime: SSSP source %d out of range [0,%d)", src, n)
+	}
+	ring := semiring.SSSP()
+	vals := make(matrix.Dense, n)
+	for i := range vals {
+		vals[i] = ring.Identity
+	}
+	vals[src] = 0
+	frontier := &matrix.SparseVec{N: n, Idx: []int32{src}, Val: []float32{0}}
+	vals, rep := f.driver("SSSP", ring, semiring.Ctx{}, vals, frontier, f.opts.MaxIters)
+	return vals, rep, nil
+}
+
+// PageRank runs the damped power iteration of Table I for the given
+// number of iterations (the paper's PR uses dense vectors throughout).
+func (f *Framework) PageRank(iters int, alpha float32) (matrix.Dense, *Report, error) {
+	if iters <= 0 {
+		return nil, nil, fmt.Errorf("runtime: PageRank iterations must be positive, got %d", iters)
+	}
+	n := f.N()
+	ring := semiring.PR()
+	vals := make(matrix.Dense, n)
+	for i := range vals {
+		vals[i] = 1 / float32(n)
+	}
+	vals, rep := f.driver("PR", ring, semiring.Ctx{Alpha: alpha}, vals, nil, iters)
+	return vals, rep, nil
+}
+
+// CF runs collaborative-filtering gradient descent (one latent factor,
+// Table I) for the given number of iterations with learning rate beta
+// and regularization lambda.
+func (f *Framework) CF(iters int, beta, lambda float32) (matrix.Dense, *Report, error) {
+	if iters <= 0 {
+		return nil, nil, fmt.Errorf("runtime: CF iterations must be positive, got %d", iters)
+	}
+	n := f.N()
+	ring := semiring.CF()
+	vals := make(matrix.Dense, n)
+	for i := range vals {
+		// Deterministic small positive init, spread across vertices.
+		vals[i] = 0.1 + 0.01*float32(i%17)
+	}
+	vals, rep := f.driver("CF", ring, semiring.Ctx{Beta: beta, Lambda: lambda}, vals, nil, iters)
+	return vals, rep, nil
+}
+
+// SpMV runs one plain (+,×) sparse matrix–vector product through the
+// full CoSPARSE path (decision tree, kernel, merge) and returns the
+// result along with a one-iteration report. This is the primitive the
+// paper's Fig. 8 measures.
+func (f *Framework) SpMV(frontier *matrix.SparseVec) (matrix.Dense, *Report, error) {
+	if frontier.N != f.N() {
+		return nil, nil, fmt.Errorf("runtime: SpMV frontier length %d, graph has %d vertices", frontier.N, f.N())
+	}
+	ring := semiring.SpMV()
+	vals := make(matrix.Dense, f.N())
+	out, rep := f.driver("SpMV", ring, semiring.Ctx{}, vals, frontier.Clone(), 1)
+	return out, rep, nil
+}
+
+// RunCustom drives a user-defined algorithm (a custom Table I row)
+// through the full reconfigurable iteration loop: vals holds the
+// per-vertex state, frontier the initially active vertices (ignored for
+// DenseFrontier semirings, which keep every vertex active). It returns
+// the final values and the per-iteration report.
+//
+// This is the extensibility point the paper describes in §III-D: "end
+// users only need to define the key computations to realize a graph
+// algorithm".
+func (f *Framework) RunCustom(ring semiring.Semiring, ctx semiring.Ctx,
+	vals matrix.Dense, frontier *matrix.SparseVec, maxIters int) (matrix.Dense, *Report, error) {
+	if len(vals) != f.N() {
+		return nil, nil, fmt.Errorf("runtime: RunCustom values length %d, graph has %d vertices", len(vals), f.N())
+	}
+	if ring.MatOp == nil || ring.Reduce == nil || ring.Improving == nil {
+		return nil, nil, fmt.Errorf("runtime: RunCustom semiring must define MatOp, Reduce and Improving")
+	}
+	if !ring.DenseFrontier {
+		if frontier == nil {
+			return nil, nil, fmt.Errorf("runtime: RunCustom requires an initial frontier for sparse-frontier algorithms")
+		}
+		if err := frontier.Validate(); err != nil {
+			return nil, nil, err
+		}
+		if frontier.N != f.N() {
+			return nil, nil, fmt.Errorf("runtime: RunCustom frontier length %d, graph has %d vertices", frontier.N, f.N())
+		}
+		frontier = frontier.Clone()
+	}
+	if maxIters <= 0 {
+		maxIters = f.opts.MaxIters
+	}
+	name := ring.Name
+	if name == "" {
+		name = "custom"
+	}
+	out, rep := f.driver(name, ring, ctx, vals.Clone(), frontier, maxIters)
+	return out, rep, nil
+}
+
+// PageRankTol runs the damped power iteration until the relative L1
+// change of the rank vector (Σ|Δ| / Σ|rank|) drops below tol, or
+// maxIters is hit, returning the ranks and the number of iterations
+// executed — the convergence-driven variant real deployments use on top
+// of the paper's fixed-iteration evaluation. The change contracts by
+// roughly (1−α) per iteration, so tol=1e-3 with α=0.15 converges in
+// ~45 iterations.
+func (f *Framework) PageRankTol(tol float32, maxIters int, alpha float32) (matrix.Dense, int, *Report, error) {
+	if tol <= 0 {
+		return nil, 0, nil, fmt.Errorf("runtime: PageRankTol tolerance must be positive, got %g", tol)
+	}
+	if maxIters <= 0 {
+		maxIters = 100
+	}
+	n := f.N()
+	ring := semiring.PR()
+	vals := make(matrix.Dense, n)
+	for i := range vals {
+		vals[i] = 1 / float32(n)
+	}
+
+	total := &Report{Algorithm: "PR(tol)", Geometry: f.opts.Geometry}
+	prev := vals.Clone()
+	iters := 0
+	for iters < maxIters {
+		var rep *Report
+		vals, rep = f.driver("PR", ring, semiring.Ctx{Alpha: alpha}, vals, nil, 1)
+		total.Iters = append(total.Iters, rep.Iters...)
+		total.TotalCycles += rep.TotalCycles
+		total.EnergyJ += rep.EnergyJ
+		total.Stats.Add(rep.Stats)
+		iters++
+
+		var delta, norm float64
+		for i := range vals {
+			d := float64(vals[i] - prev[i])
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+			v := float64(vals[i])
+			if v < 0 {
+				v = -v
+			}
+			norm += v
+		}
+		if norm > 0 && delta/norm < float64(tol) {
+			break
+		}
+		copy(prev, vals)
+	}
+	return vals, iters, total, nil
+}

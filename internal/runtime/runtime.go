@@ -1,0 +1,402 @@
+// Package runtime implements the CoSPARSE reconfiguration layer
+// (paper §III): for every SpMV invocation of an iterative graph
+// algorithm it selects the software configuration (inner- vs
+// outer-product) from the frontier density, then the hardware
+// configuration (SC/SCS for IP, PC/PS for OP) from the matrix/vector
+// working-set sizes — and charges the reconfiguration and vector
+// format-conversion costs the paper describes in §III-D2.
+package runtime
+
+import (
+	"fmt"
+	"math"
+
+	"cosparse/internal/kernels"
+	"cosparse/internal/matrix"
+	"cosparse/internal/semiring"
+	"cosparse/internal/sim"
+)
+
+// SWChoice selects or forces the software configuration.
+type SWChoice int
+
+const (
+	// AutoSW lets the decision tree pick IP or OP per iteration.
+	AutoSW SWChoice = iota
+	// ForceIP always runs the inner-product kernel.
+	ForceIP
+	// ForceOP always runs the outer-product kernel.
+	ForceOP
+)
+
+// HWChoice selects or forces the hardware configuration.
+type HWChoice int
+
+const (
+	// AutoHW lets the decision tree pick the memory configuration.
+	AutoHW HWChoice = iota
+	// ForceSC .. ForcePS pin the named configuration (the kernel
+	// dataflow still follows the SW choice).
+	ForceSC
+	ForceSCS
+	ForcePC
+	ForcePS
+)
+
+func (h HWChoice) hw() sim.HWConfig {
+	switch h {
+	case ForceSC:
+		return sim.SC
+	case ForceSCS:
+		return sim.SCS
+	case ForcePC:
+		return sim.PC
+	default:
+		return sim.PS
+	}
+}
+
+// Policy holds the calibrated thresholds of the decision tree
+// (§III-C). DefaultPolicy's constants were derived from the Fig. 4–6
+// sweeps on this simulator, mirroring how the paper derives its own.
+type Policy struct {
+	// CVDCoeff sets the crossover vector density: CVD = CVDCoeff /
+	// PEsPerTile, clamped to [CVDMin, CVDMax]. The paper reports CVD
+	// falling from ~2% at 8 PEs/tile to ~0.5% at 32.
+	CVDCoeff float64
+	CVDMin   float64
+	CVDMax   float64
+
+	// SCSReuseFloor is the minimum reuse per SPM-filled word —
+	// nnz/(|V|·Tiles), i.e. how many matrix elements each vector word a
+	// tile stages into its scratchpad will serve (the per-word form of
+	// the paper's N·r·P/T, §III-C2) — for SCS to amortize its fill.
+	SCSReuseFloor float64
+
+	// SCSMinDensity is the frontier density below which SCS cannot win
+	// (Fig. 5: SCS gains grow with vector density, because dense
+	// frontiers drive the output traffic that evicts vector lines from
+	// SC's caches).
+	SCSMinDensity float64
+
+	// PSListFactor scales the private-L1 capacity when deciding whether
+	// the OP sorted list fits in a PC-mode cache bank (Fig. 6): PS is
+	// chosen when listBytes > PSListFactor × L1BankBytes.
+	PSListFactor float64
+}
+
+// DefaultPolicy returns thresholds calibrated on this simulator from
+// the Fig. 4–6 sweeps (see EXPERIMENTS.md). The resulting CVD matches
+// the paper's takeaway exactly: 2% at 8 PEs/tile, 1% at 16, 0.5% at 32.
+func DefaultPolicy() Policy {
+	return Policy{
+		CVDCoeff:      0.16,
+		CVDMin:        0.003,
+		CVDMax:        0.02,
+		SCSReuseFloor: 1.5,
+		SCSMinDensity: 0.02,
+		PSListFactor:  0.5,
+	}
+}
+
+// CVD returns the crossover vector density for a machine with p PEs
+// per tile.
+func (pol Policy) CVD(p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	cvd := pol.CVDCoeff / float64(p)
+	return math.Min(pol.CVDMax, math.Max(pol.CVDMin, cvd))
+}
+
+// Options configure a Framework.
+type Options struct {
+	Geometry  sim.Geometry
+	Params    sim.Params // zero value = sim.DefaultParams()
+	Policy    Policy     // zero value = DefaultPolicy()
+	Balancing kernels.Balancing
+	SW        SWChoice
+	HW        HWChoice
+	MaxIters  int // safety bound for traversal algorithms; 0 = 4·|V|
+
+	// OnIteration, if set, observes each completed iteration: the
+	// iteration's stats and the frontier it produced (nil when the
+	// semiring keeps a dense frontier). The callback must not retain or
+	// mutate the frontier.
+	OnIteration func(st IterStat, next *matrix.SparseVec)
+}
+
+// Framework is a CoSPARSE instance bound to one graph: it owns the two
+// matrix copies (COO for IP, CSC for OP, §III-D2), their partitions,
+// and the decision policy.
+type Framework struct {
+	coo  *matrix.COO
+	csc  *matrix.CSC
+	deg  []int32
+	opts Options
+
+	ipPart *kernels.IPPartition // vblocked to the SPM capacity (used by SC and SCS)
+	opPart *kernels.OPPartition
+
+	// rev is the lazily-built framework over the reversed graph,
+	// needed by algorithms with backward sweeps (BC).
+	rev *Framework
+}
+
+// New builds a Framework for the transposed adjacency matrix m
+// (element (dst, src) = edge src→dst).
+func New(m *matrix.COO, opts Options) (*Framework, error) {
+	if m.R != m.C {
+		return nil, fmt.Errorf("runtime: adjacency matrix must be square, got %dx%d", m.R, m.C)
+	}
+	if opts.Params.WordBytes == 0 {
+		opts.Params = sim.DefaultParams()
+	}
+	if opts.Policy == (Policy{}) {
+		opts.Policy = DefaultPolicy()
+	}
+	if opts.MaxIters == 0 {
+		opts.MaxIters = 4*m.R + 8
+	}
+	cfg := sim.Config{Geometry: opts.Geometry, HW: sim.SC, Params: opts.Params}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Framework{coo: m, csc: m.ToCSC(), deg: m.OutDegrees(), opts: opts}
+	// One IP layout, vblocked to the SCS scratchpad capacity, shared by
+	// both SC and SCS: the paper notes the vertical partition "is not
+	// required for the SC mode but can still be beneficial" (§III-B),
+	// and our calibration confirms SC with blocked locality is the
+	// baseline that reproduces Fig. 5's gain envelope.
+	scs := sim.Config{Geometry: opts.Geometry, HW: sim.SCS, Params: opts.Params}
+	f.ipPart = kernels.NewIPPartition(m, opts.Geometry.TotalPEs(), scs.SPMWordsPerTile(), opts.Balancing)
+	f.opPart = kernels.NewOPPartition(f.csc, opts.Geometry.Tiles, opts.Balancing)
+	return f, nil
+}
+
+// N returns the number of vertices.
+func (f *Framework) N() int { return f.coo.R }
+
+// Degrees returns the out-degree array (shared, do not mutate).
+func (f *Framework) Degrees() []int32 { return f.deg }
+
+// Decision is one iteration's configuration choice.
+type Decision struct {
+	UseIP bool
+	HW    sim.HWConfig
+}
+
+// String formats the decision like the paper's Fig. 9 ("IP/SCS").
+func (d Decision) String() string {
+	sw := "OP"
+	if d.UseIP {
+		sw = "IP"
+	}
+	return sw + "/" + d.HW.String()
+}
+
+// Decide runs the decision tree of Fig. 2 for a frontier with nnzF
+// active vertices.
+func (f *Framework) Decide(nnzF int) Decision {
+	g := f.opts.Geometry
+	pol := f.opts.Policy
+	par := f.opts.Params
+	density := float64(nnzF) / float64(f.coo.C)
+
+	useIP := density >= pol.CVD(g.PEsPerTile)
+	switch f.opts.SW {
+	case ForceIP:
+		useIP = true
+	case ForceOP:
+		useIP = false
+	}
+
+	var hw sim.HWConfig
+	if useIP {
+		// SC vs SCS: staging vector segments in the scratchpad pays off
+		// when (a) each staged word serves enough matrix elements to
+		// amortize the per-tile fill — nnz/(|V|·Tiles), the per-word
+		// form of the paper's N·r·P/T reuse metric (§III-C2) — and
+		// (b) the frontier is dense enough that the matrix stream and
+		// output traffic would evict SC's cached vector lines (Fig. 5:
+		// SCS gains grow with vector density).
+		perWordReuse := float64(f.coo.NNZ()) / (float64(f.coo.C) * float64(g.Tiles))
+		if perWordReuse >= pol.SCSReuseFloor && density >= pol.SCSMinDensity {
+			hw = sim.SCS
+		} else {
+			hw = sim.SC
+		}
+	} else {
+		// PC vs PS: does the per-PE sorted list fit in a private L1 bank?
+		perPE := (nnzF + g.PEsPerTile - 1) / g.PEsPerTile
+		listBytes := float64(perPE * 16) // four words per sorted-list entry
+		if listBytes > pol.PSListFactor*float64(par.L1BankBytes) {
+			hw = sim.PS
+		} else {
+			hw = sim.PC
+		}
+	}
+	if f.opts.HW != AutoHW {
+		// Forced configurations are honored verbatim — the Fig. 9
+		// experiment deliberately evaluates off-diagonal pairings such
+		// as OP under SC.
+		return Decision{UseIP: useIP, HW: f.opts.HW.hw()}
+	}
+	// Keep auto SW/HW pairings legal: IP runs on shared configs, OP on
+	// private ones (Fig. 2).
+	if useIP && (hw == sim.PC || hw == sim.PS) {
+		hw = sim.SC
+	}
+	if !useIP && (hw == sim.SC || hw == sim.SCS) {
+		hw = sim.PC
+	}
+	return Decision{UseIP: useIP, HW: hw}
+}
+
+// IterStat records one iteration for reporting (the rows of Fig. 9).
+type IterStat struct {
+	Iter        int
+	FrontierNNZ int
+	Density     float64
+	Decision    Decision
+	Reconfig    bool
+
+	KernelCycles int64
+	MergeCycles  int64
+	ConvCycles   int64
+	TotalCycles  int64
+	EnergyJ      float64
+	Stats        sim.Stats
+}
+
+// Report summarizes a full algorithm run.
+type Report struct {
+	Algorithm   string
+	Geometry    sim.Geometry
+	Iters       []IterStat
+	TotalCycles int64
+	EnergyJ     float64
+	Stats       sim.Stats
+}
+
+// Seconds converts the cycle total at the 1 GHz clock of Table II.
+func (r *Report) Seconds() float64 { return float64(r.TotalCycles) / sim.ClockHz }
+
+// AvgPowerW returns average power over the run.
+func (r *Report) AvgPowerW() float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return r.EnergyJ / r.Seconds()
+}
+
+func (f *Framework) cfg(hw sim.HWConfig) sim.Config {
+	return sim.Config{Geometry: f.opts.Geometry, HW: hw, Params: f.opts.Params}
+}
+
+// driver runs the iterative frontier loop shared by every algorithm.
+//
+// vals is the persistent per-vertex value array; frontier the initial
+// active set. For DenseFrontier semirings the frontier argument is
+// ignored and every vertex stays active for maxIters iterations.
+func (f *Framework) driver(name string, ring semiring.Semiring, ctx semiring.Ctx,
+	vals matrix.Dense, frontier *matrix.SparseVec, maxIters int) (matrix.Dense, *Report) {
+
+	rep := &Report{Algorithm: name, Geometry: f.opts.Geometry}
+	op := kernels.Operand{Ring: ring, Ctx: ctx}
+	if ring.NeedsSrcDeg {
+		op.Deg = f.deg
+	}
+
+	n := f.coo.R
+	var fDense matrix.Dense                             // persistent IP frontier buffer
+	var lastSet *matrix.SparseVec                       // what is currently scattered into fDense
+	prev := Decision{UseIP: true, HW: sim.HWConfig(-1)} // sentinel: first iteration always "reconfigures" freely
+
+	for iter := 0; iter < maxIters; iter++ {
+		var nnzF int
+		if ring.DenseFrontier {
+			nnzF = n
+		} else {
+			if frontier == nil || frontier.NNZ() == 0 {
+				break
+			}
+			nnzF = frontier.NNZ()
+		}
+		dec := f.Decide(nnzF)
+		st := IterStat{
+			Iter:        iter,
+			FrontierNNZ: nnzF,
+			Density:     float64(nnzF) / float64(n),
+			Decision:    dec,
+			Reconfig:    iter > 0 && dec != prev,
+		}
+		cfg := f.cfg(dec.HW)
+		if ring.NeedsDstVal {
+			op.Prev = vals
+		}
+
+		var contribDense matrix.Dense
+		var contribSparse *matrix.SparseVec
+		if dec.UseIP {
+			var x matrix.Dense
+			if ring.DenseFrontier {
+				x = vals // PR/CF: the frontier is the value vector itself
+			} else {
+				if fDense == nil {
+					fDense = make(matrix.Dense, n)
+					for i := range fDense {
+						fDense[i] = ring.Identity
+					}
+				}
+				var convRes sim.Result
+				fDense, convRes = kernels.RunFrontierDense(cfg, fDense, lastSet, frontier, op)
+				lastSet = frontier
+				st.ConvCycles = convRes.Cycles
+				st.EnergyJ += convRes.EnergyJ
+				st.Stats.Add(convRes.Stats)
+				x = fDense
+			}
+			var kres sim.Result
+			contribDense, kres = kernels.RunIP(cfg, f.ipPart, x, op)
+			st.KernelCycles = kres.Cycles
+			st.EnergyJ += kres.EnergyJ
+			st.Stats.Add(kres.Stats)
+		} else {
+			var kres sim.Result
+			contribSparse, kres = kernels.RunOP(cfg, f.opPart, frontier, op)
+			st.KernelCycles = kres.Cycles
+			st.EnergyJ += kres.EnergyJ
+			st.Stats.Add(kres.Stats)
+		}
+
+		var mres sim.Result
+		var next *matrix.SparseVec
+		if dec.UseIP {
+			vals, next, mres = kernels.RunMergeDense(cfg, contribDense, vals, op)
+		} else {
+			vals, next, mres = kernels.RunScatterMerge(cfg, contribSparse, vals, op)
+		}
+		st.MergeCycles = mres.Cycles
+		st.EnergyJ += mres.EnergyJ
+		st.Stats.Add(mres.Stats)
+
+		st.TotalCycles = st.ConvCycles + st.KernelCycles + st.MergeCycles
+		if st.Reconfig {
+			st.TotalCycles += f.opts.Params.ReconfigCycles
+			st.Stats.ReconfigCycles += f.opts.Params.ReconfigCycles
+		}
+		prev = dec
+
+		rep.Iters = append(rep.Iters, st)
+		rep.TotalCycles += st.TotalCycles
+		rep.EnergyJ += st.EnergyJ
+		rep.Stats.Add(st.Stats)
+		if f.opts.OnIteration != nil {
+			f.opts.OnIteration(st, next)
+		}
+
+		frontier = next
+	}
+	return vals, rep
+}

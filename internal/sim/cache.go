@@ -1,0 +1,255 @@
+package sim
+
+// cacheBank is one set-associative RCache bank with true LRU
+// replacement and write-back, write-allocate policy. Banks store only
+// tags and metadata — the simulator is timing-only; data values live in
+// the kernels' ordinary Go slices.
+type cacheBank struct {
+	sets      int
+	ways      int
+	shift     uint // log2(block bytes)
+	tags      []uint64
+	valid     []bool
+	dirty     []bool
+	lru       []int64 // last-use timestamp per way
+	ready     []int64 // fill completion time (for prefetched lines)
+	free      int64   // next cycle the bank can accept a request
+	hits      int64
+	misses    int64
+	evictions int64
+	wbacks    int64
+}
+
+func newCacheBank(bytes, assoc, blockBytes int) *cacheBank {
+	sets := bytes / blockBytes / assoc
+	if sets < 1 {
+		sets = 1
+	}
+	shift := uint(0)
+	for 1<<shift < blockBytes {
+		shift++
+	}
+	n := sets * assoc
+	return &cacheBank{
+		sets:  sets,
+		ways:  assoc,
+		shift: shift,
+		tags:  make([]uint64, n),
+		valid: make([]bool, n),
+		dirty: make([]bool, n),
+		lru:   make([]int64, n),
+		ready: make([]int64, n),
+	}
+}
+
+// lookupResult describes the outcome of a cache bank probe.
+type lookupResult struct {
+	hit         bool
+	readyAt     int64 // for hits on in-flight (prefetched) lines: when data is usable
+	victim      int   // way index chosen for fill on a miss
+	victimDirty bool
+}
+
+// probe checks for the block containing addr at time now, updating LRU
+// on a hit. It does not allocate; the caller decides whether to fill.
+func (b *cacheBank) probe(addr uint64, now int64) lookupResult {
+	block := addr >> b.shift
+	set := int(block % uint64(b.sets))
+	base := set * b.ways
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == block {
+			b.hits++
+			b.lru[i] = now
+			return lookupResult{hit: true, readyAt: b.ready[i]}
+		}
+	}
+	b.misses++
+	// Choose an LRU victim (prefer invalid ways).
+	victim := base
+	oldest := int64(1<<62 - 1)
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if !b.valid[i] {
+			victim = i
+			oldest = -1
+			break
+		}
+		if b.lru[i] < oldest {
+			oldest = b.lru[i]
+			victim = i
+		}
+	}
+	return lookupResult{victim: victim, victimDirty: b.valid[victim] && b.dirty[victim]}
+}
+
+// fill installs the block containing addr into the given way.
+func (b *cacheBank) fill(addr uint64, way int, now, readyAt int64, dirty bool) {
+	if b.valid[way] {
+		b.evictions++
+		if b.dirty[way] {
+			b.wbacks++
+		}
+	}
+	b.tags[way] = addr >> b.shift
+	b.valid[way] = true
+	b.dirty[way] = dirty
+	b.lru[way] = now
+	b.ready[way] = readyAt
+}
+
+// install quietly places the block containing addr into the bank (used
+// for prefetched stream lines landing in the cache): no hit/miss
+// accounting, LRU victim selection, returns whether a dirty line was
+// displaced. Present blocks are refreshed, not duplicated.
+func (b *cacheBank) install(addr uint64, now int64) (victimDirty bool) {
+	block := addr >> b.shift
+	set := int(block % uint64(b.sets))
+	base := set * b.ways
+	victim := base
+	oldest := int64(1<<62 - 1)
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == block {
+			b.lru[i] = now
+			return false
+		}
+		if !b.valid[i] {
+			victim = i
+			oldest = -1
+		} else if oldest >= 0 && b.lru[i] < oldest {
+			oldest = b.lru[i]
+			victim = i
+		}
+	}
+	victimDirty = b.valid[victim] && b.dirty[victim]
+	if b.valid[victim] {
+		b.evictions++
+		if victimDirty {
+			b.wbacks++
+		}
+	}
+	b.tags[victim] = block
+	b.valid[victim] = true
+	b.dirty[victim] = false
+	b.lru[victim] = now
+	b.ready[victim] = now
+	return victimDirty
+}
+
+// markDirty flags the block containing addr dirty if present.
+func (b *cacheBank) markDirty(addr uint64) {
+	block := addr >> b.shift
+	set := int(block % uint64(b.sets))
+	base := set * b.ways
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == block {
+			b.dirty[i] = true
+			return
+		}
+	}
+}
+
+// contains reports whether the block holding addr is resident (used by
+// the prefetcher to avoid duplicate fills). Does not touch LRU state.
+func (b *cacheBank) contains(addr uint64) bool {
+	block := addr >> b.shift
+	set := int(block % uint64(b.sets))
+	base := set * b.ways
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == block {
+			return true
+		}
+	}
+	return false
+}
+
+// occupy serializes a request at the bank: the request issued at time t
+// starts when the bank is free and holds it for `busy` cycles. Returns
+// the queueing delay.
+func (b *cacheBank) occupy(t, busy int64) int64 {
+	start := t
+	if b.free > start {
+		start = b.free
+	}
+	b.free = start + busy
+	return start - t
+}
+
+// streamPrefetcher is a per-PE stride detector with a small stream
+// table, the "stride prefetcher" of Table II. Each tracked stream
+// accepts misses within a window of its last miss, so a PE that
+// interleaves a sequential matrix stream with random frontier gathers
+// (exactly what the IP kernel does) keeps the stream trained — this is
+// what lets IP stream COO data at near bandwidth. Training tolerates
+// the miss-skipping that its own prefetches cause: once lines are
+// fetched ahead, demand misses land every `degree` blocks, and any
+// small same-direction jump keeps the stream confident.
+type streamPrefetcher struct {
+	streams [4]pfStream
+	next    int
+	issued  int64
+}
+
+type pfStream struct {
+	lastBlock uint64
+	lastDelta int64
+	confident bool
+}
+
+// streamWindow is how far (in blocks) a miss may land from a stream's
+// last miss and still belong to it.
+const streamWindow = 8
+
+// observeMiss updates the detector with a missing block address and
+// returns the unit stride (+1/−1 blocks) to prefetch with, or 0.
+func (p *streamPrefetcher) observeMiss(block uint64) int64 {
+	for i := range p.streams {
+		s := &p.streams[i]
+		if s.lastBlock == 0 {
+			continue
+		}
+		delta := int64(block) - int64(s.lastBlock)
+		if delta == 0 {
+			return 0 // same line re-missed (fill in flight); no retrain
+		}
+		if delta >= -streamWindow && delta <= streamWindow {
+			sameDir := (delta > 0) == (s.lastDelta > 0)
+			s.confident = s.lastDelta != 0 && sameDir
+			s.lastDelta = delta
+			s.lastBlock = block
+			if s.confident {
+				if delta > 0 {
+					return 1
+				}
+				return -1
+			}
+			return 0
+		}
+	}
+	// No stream matched: allocate, preferring empty or untrained slots
+	// so scattered misses cannot evict a trained stream.
+	victim := -1
+	for i := range p.streams {
+		if p.streams[i].lastBlock == 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		for i := range p.streams {
+			if !p.streams[i].confident {
+				victim = i
+				break
+			}
+		}
+	}
+	if victim < 0 {
+		victim = p.next
+		p.next = (p.next + 1) % len(p.streams)
+	}
+	p.streams[victim] = pfStream{lastBlock: block}
+	return 0
+}

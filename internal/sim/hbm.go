@@ -1,0 +1,49 @@
+package sim
+
+// hbm models the HBM2 stack of Table II: 16 pseudo-channels, each with
+// its own service queue. A 64 B line transfer occupies its channel for
+// HBMLineOccupied cycles (64 B at 8 GB/s ≈ 8 ns) on top of the base
+// access latency, so concurrent misses from many PEs queue per channel
+// and aggregate bandwidth saturates at channels × line rate — the
+// first-order behaviour that makes SpMV memory-bound.
+type hbm struct {
+	params   Params
+	chanFree []int64
+	accesses int64
+	queued   int64 // cumulative queueing delay, for stats
+}
+
+func newHBM(p Params) *hbm {
+	return &hbm{params: p, chanFree: make([]int64, p.HBMChannels)}
+}
+
+// channelOf maps a block address to its pseudo-channel (block-interleaved).
+func (h *hbm) channelOf(addr uint64) int {
+	return int((addr / uint64(h.params.BlockBytes)) % uint64(len(h.chanFree)))
+}
+
+// access services a line fetch issued at time t and returns the
+// completion time.
+func (h *hbm) access(addr uint64, t int64) int64 {
+	h.accesses++
+	ch := h.channelOf(addr)
+	start := t
+	if h.chanFree[ch] > start {
+		start = h.chanFree[ch]
+	}
+	h.queued += start - t
+	h.chanFree[ch] = start + h.params.HBMLineOccupied
+	return start + h.params.HBMBaseLatency + h.params.HBMLineOccupied
+}
+
+// writeLine books channel occupancy for a writeback without anyone
+// waiting on the result.
+func (h *hbm) writeLine(addr uint64, t int64) {
+	h.accesses++
+	ch := h.channelOf(addr)
+	start := t
+	if h.chanFree[ch] > start {
+		start = h.chanFree[ch]
+	}
+	h.chanFree[ch] = start + h.params.HBMLineOccupied
+}

@@ -1,0 +1,684 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Arena is a bump allocator for the simulated physical address space.
+// Kernels allocate one region per data structure (matrix arrays,
+// vectors, heaps, staging buffers) so that the cache and channel
+// interleaving see realistic, non-aliasing layouts. Addresses are
+// byte-granular and block-aligned per allocation.
+type Arena struct {
+	next       uint64
+	blockBytes uint64
+}
+
+// NewArena returns an allocator for a machine with the given
+// parameters. The first block is skipped so that address 0 never
+// appears (the prefetcher uses block 0 as its reset sentinel).
+func NewArena(p Params) *Arena {
+	return &Arena{next: uint64(p.BlockBytes), blockBytes: uint64(p.BlockBytes)}
+}
+
+// Alloc reserves space for n words and returns the base byte address.
+func (a *Arena) Alloc(words int) uint64 {
+	base := a.next
+	bytes := uint64(words) * 4
+	blocks := (bytes + a.blockBytes - 1) / a.blockBytes
+	a.next += (blocks + 1) * a.blockBytes // one guard block between regions
+	return base
+}
+
+// Program is the software loaded onto the machine for one kernel
+// invocation. PE runs on every processing element; LCP (optional) runs
+// on each tile's local control processor after the tile's PEs have
+// finished — the store-and-merge model used by the OP kernel's
+// writeback stage.
+type Program struct {
+	PE  func(p *Proc)
+	LCP func(p *Proc)
+}
+
+// Machine is one configured instance of the Transmuter-style hardware.
+// A Machine simulates a single kernel invocation; the CoSPARSE runtime
+// constructs a fresh Machine per iteration and accounts reconfiguration
+// costs between them.
+type Machine struct {
+	cfg Config
+
+	l1      []*cacheBank // indexed tile*PEsPerTile + bankInTile (cache banks only)
+	l2      []*cacheBank // indexed tile*PEsPerTile + bankInTile
+	mem     *hbm
+	spmFree []int64 // per SPM bank queue (SCS shared SPM)
+
+	stats Stats
+}
+
+// Stats aggregates event counts across the whole machine. Energy and
+// bandwidth figures are derived from these by the power model.
+type Stats struct {
+	Cycles         int64 // makespan: max agent completion time
+	ALUOps         int64
+	Loads          int64
+	Stores         int64
+	L1Hits         int64
+	L1Misses       int64
+	L2Hits         int64
+	L2Misses       int64
+	HBMLines       int64
+	HBMQueued      int64 // cumulative channel queueing delay
+	StreamLoads    int64 // loads served by the stream-buffer path
+	SPMReads       int64
+	SPMWrites      int64
+	XbarHops       int64
+	StallCycles    int64 // PE cycles spent waiting on memory
+	Prefetches     int64
+	Writebacks     int64
+	ReconfigCycles int64 // charged by the runtime, included in Cycles there
+}
+
+// L1HitRate returns hits/(hits+misses) at L1, or 0 with no accesses.
+func (s Stats) L1HitRate() float64 {
+	if t := s.L1Hits + s.L1Misses; t > 0 {
+		return float64(s.L1Hits) / float64(t)
+	}
+	return 0
+}
+
+// L2HitRate returns hits/(hits+misses) at L2, or 0 with no accesses.
+func (s Stats) L2HitRate() float64 {
+	if t := s.L2Hits + s.L2Misses; t > 0 {
+		return float64(s.L2Hits) / float64(t)
+	}
+	return 0
+}
+
+// HBMBandwidthGBs returns the achieved main-memory bandwidth over the
+// run in GB/s (at the 1 GHz clock).
+func (s Stats) HBMBandwidthGBs(blockBytes int) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	bytes := float64(s.HBMLines) * float64(blockBytes)
+	return bytes / (float64(s.Cycles) / ClockHz) / 1e9
+}
+
+// Add accumulates other into s (used by the runtime to total iterations).
+func (s *Stats) Add(o Stats) {
+	s.Cycles += o.Cycles
+	s.ALUOps += o.ALUOps
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.L1Hits += o.L1Hits
+	s.L1Misses += o.L1Misses
+	s.L2Hits += o.L2Hits
+	s.L2Misses += o.L2Misses
+	s.HBMLines += o.HBMLines
+	s.HBMQueued += o.HBMQueued
+	s.StreamLoads += o.StreamLoads
+	s.SPMReads += o.SPMReads
+	s.SPMWrites += o.SPMWrites
+	s.XbarHops += o.XbarHops
+	s.StallCycles += o.StallCycles
+	s.Prefetches += o.Prefetches
+	s.Writebacks += o.Writebacks
+	s.ReconfigCycles += o.ReconfigCycles
+}
+
+// Result of one Machine.Run.
+type Result struct {
+	Cycles  int64
+	Stats   Stats
+	EnergyJ float64
+	// Balance is mean PE completion time over the makespan (1.0 =
+	// perfectly balanced, small = one straggler dominated) — the
+	// quantity the §III-B partitioning strategies optimize.
+	Balance float64
+}
+
+// NewMachine constructs the configured hardware.
+func NewMachine(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := cfg.Geometry
+	p := cfg.Params
+	m := &Machine{cfg: cfg, mem: newHBM(p)}
+	nL1 := g.Tiles * cfg.L1CacheBanksPerTile()
+	for i := 0; i < nL1; i++ {
+		m.l1 = append(m.l1, newCacheBank(p.L1BankBytes, p.L1Assoc, p.BlockBytes))
+	}
+	for i := 0; i < g.Tiles*g.PEsPerTile; i++ {
+		m.l2 = append(m.l2, newCacheBank(p.L2BankBytes, p.L2Assoc, p.BlockBytes))
+	}
+	m.spmFree = make([]int64, g.Tiles*cfg.SPMBanksPerTile())
+	return m, nil
+}
+
+// MustMachine is NewMachine that panics on error, for tests and
+// internal callers with static configurations.
+func MustMachine(cfg Config) *Machine {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Proc is the execution context handed to kernel code: one per PE or
+// LCP. Kernel code calls Compute/Load/Store/SPM methods to advance its
+// local clock; the scheduler interleaves Procs so shared-memory timing
+// is honest. Proc methods must only be called from inside the kernel
+// function while it owns the scheduler token.
+type Proc struct {
+	m    *Machine
+	id   int // global agent id
+	tile int
+	pe   int // index within tile; -1 for the LCP
+
+	time  int64
+	until int64
+
+	resume chan int64
+	yield  chan yieldMsg
+
+	pf       streamPrefetcher
+	sbufs    [numStreamBufs]streamBuf
+	sbufNext int
+	storeBuf []int64 // completion times of in-flight stores (FIFO)
+
+	// local event counters, merged into Machine.stats at completion
+	st Stats
+}
+
+type yieldMsg struct {
+	done     bool
+	panicked interface{} // non-nil: the kernel function panicked
+}
+
+// Tile returns the tile index of this processor.
+func (p *Proc) Tile() int { return p.tile }
+
+// PE returns the PE index within the tile, or -1 for an LCP.
+func (p *Proc) PE() int { return p.pe }
+
+// GlobalPE returns the machine-wide PE index (tile*PEsPerTile+pe).
+func (p *Proc) GlobalPE() int { return p.tile*p.m.cfg.Geometry.PEsPerTile + p.pe }
+
+// Now returns the processor's local clock in cycles.
+func (p *Proc) Now() int64 { return p.time }
+
+// Machine returns the machine this processor belongs to.
+func (p *Proc) Machine() *Machine { return p.m }
+
+func (p *Proc) maybeYield() {
+	if p.time > p.until {
+		p.yield <- yieldMsg{}
+		p.until = <-p.resume
+	}
+}
+
+// Compute charges n single-cycle ALU/FPU operations (the PEs are
+// 1-issue in-order cores, so arithmetic is one op per cycle).
+func (p *Proc) Compute(n int) {
+	p.time += int64(n)
+	p.st.ALUOps += int64(n)
+}
+
+// Load issues a blocking word load from the cacheable address space and
+// stalls the processor for the full access latency.
+func (p *Proc) Load(addr uint64) {
+	p.maybeYield()
+	lat := p.m.access(p, addr, false)
+	p.time += lat
+	p.st.Loads++
+	p.st.StallCycles += lat - 1
+}
+
+// LoadN issues n consecutive word loads starting at addr, a convenience
+// for streaming multi-word records (e.g. a COO triple).
+func (p *Proc) LoadN(addr uint64, n int) {
+	for i := 0; i < n; i++ {
+		p.Load(addr + uint64(i*p.m.cfg.Params.WordBytes))
+	}
+}
+
+// Store issues a word store. Stores retire through a small store
+// buffer: the PE is charged one cycle unless the buffer is full, in
+// which case it stalls until the oldest store completes.
+func (p *Proc) Store(addr uint64) {
+	p.maybeYield()
+	if len(p.storeBuf) >= p.m.cfg.Params.StoreBufDepth {
+		oldest := p.storeBuf[0]
+		p.storeBuf = p.storeBuf[1:]
+		if oldest > p.time {
+			p.st.StallCycles += oldest - p.time
+			p.time = oldest
+		}
+	}
+	lat := p.m.access(p, addr, true)
+	p.storeBuf = append(p.storeBuf, p.time+lat)
+	p.time++
+	p.st.Stores++
+}
+
+// SPMLoad reads one word from scratchpad. In SCS the offset indexes the
+// tile's shared SPM (word-interleaved across the tile's SPM banks,
+// arbitrated crossbar); in PS it indexes this PE's private SPM (direct,
+// single cycle). Offsets beyond the SPM capacity are the caller's bug.
+func (p *Proc) SPMLoad(offsetWords int) {
+	p.spmAccess(offsetWords, false)
+}
+
+// SPMStore writes one word to scratchpad; see SPMLoad for addressing.
+func (p *Proc) SPMStore(offsetWords int) {
+	p.spmAccess(offsetWords, true)
+}
+
+func (p *Proc) spmAccess(offsetWords int, write bool) {
+	p.maybeYield()
+	cfg := p.m.cfg
+	lat := cfg.Params.SPMLatency
+	if cfg.HW == SCS {
+		// Shared SPM: word-interleaved banks behind a word-granular
+		// crossbar. Traversal is pipelined; only bank conflicts are
+		// charged — this is the "fast random access" property that
+		// motivates the configuration (paper, Fig. 3). Writes retire
+		// through the store path and only book bank occupancy.
+		banks := cfg.SPMBanksPerTile()
+		bank := p.tile*banks + offsetWords%banks
+		start := p.time
+		if p.m.spmFree[bank] > start {
+			if !write {
+				lat += p.m.spmFree[bank] - start
+			}
+			start = p.m.spmFree[bank]
+		}
+		p.m.spmFree[bank] = start + 1
+		p.st.XbarHops++
+	}
+	if write {
+		p.time += cfg.Params.SPMLatency
+		p.st.SPMWrites++
+		return
+	}
+	p.time += lat
+	if lat > 1 {
+		p.st.StallCycles += lat - 1
+	}
+	p.st.SPMReads++
+}
+
+// access walks the memory hierarchy for the word at addr and returns
+// the latency seen by the requesting processor. Cache state, bank
+// queues and channel queues are updated as side effects.
+func (m *Machine) access(p *Proc, addr uint64, write bool) int64 {
+	cfg := m.cfg
+	par := cfg.Params
+	t := p.time
+	var lat int64
+
+	// ---- L1 ----
+	// Hits are pipelined on the in-order PE: the charge is the bank
+	// latency plus crossbar arbitration (shared mode) plus any
+	// bank-conflict queueing; the crossbar traversal itself overlaps
+	// with issue (it still costs energy, counted via XbarHops).
+	l1bank := m.l1BankFor(p, addr)
+	if l1bank >= 0 {
+		b := m.l1[l1bank]
+		laddr := m.l1LocalAddr(addr)
+		if cfg.HW.L1Shared() {
+			lat += par.XbarArb
+		}
+		p.st.XbarHops++
+		lat += b.occupy(t+lat, 1) + par.L1Latency
+		res := b.probe(laddr, t+lat)
+		if res.hit {
+			p.st.L1Hits++
+			if res.readyAt > t+lat {
+				// Prefetched line still in flight: wait for the fill
+				// and keep the prefetcher chasing ahead of the stream.
+				lat = res.readyAt - t
+				m.prefetch(p, addr, t+lat, true)
+			}
+			if write {
+				b.markDirty(laddr)
+			}
+			return lat
+		}
+		p.st.L1Misses++
+		// Miss: fetch from L2 (and below), fill, train the prefetcher.
+		fillDone, fromHBM := m.l2Access(p, addr, t+lat)
+		b.fill(laddr, res.victim, t+lat, fillDone, write)
+		if res.victimDirty {
+			m.writebackBelow(p, addr, t+lat)
+		}
+		m.prefetch(p, addr, t+lat, fromHBM)
+		return fillDone - t
+	}
+
+	// ---- PS mode or LCP: straight to L2 ----
+	fillDone, fromHBM := m.l2Access(p, addr, t)
+	m.prefetch(p, addr, t, fromHBM)
+	return fillDone - t
+}
+
+// l1BankFor returns the global L1 cache bank index serving this
+// processor for addr, or -1 if the processor has no L1 cache (PS mode,
+// or an LCP, which connects at L2).
+func (m *Machine) l1BankFor(p *Proc, addr uint64) int {
+	cfg := m.cfg
+	banks := cfg.L1CacheBanksPerTile()
+	if banks == 0 || p.pe < 0 {
+		return -1
+	}
+	if cfg.HW.L1Shared() {
+		block := addr / uint64(cfg.Params.BlockBytes)
+		return p.tile*banks + int(block%uint64(banks))
+	}
+	// Private: PE i owns bank i. (In SCS, L1 is shared by definition.)
+	if p.pe >= banks {
+		return -1
+	}
+	return p.tile*banks + p.pe
+}
+
+// l2Access probes L2 and, on a miss, HBM. Returns the absolute
+// completion time of the fill and whether it came from HBM.
+func (m *Machine) l2Access(p *Proc, addr uint64, t int64) (int64, bool) {
+	cfg := m.cfg
+	par := cfg.Params
+	var lat int64
+	if cfg.HW.L2Shared() {
+		lat += par.XbarArb
+	}
+	p.st.XbarHops++
+	bank := m.l2BankFor(p, addr)
+	b := m.l2[bank]
+	laddr := m.l2LocalAddr(addr)
+	lat += b.occupy(t+lat, 1) + par.L2Latency
+	res := b.probe(laddr, t+lat)
+	if res.hit {
+		p.st.L2Hits++
+		done := t + lat
+		if res.readyAt > done {
+			done = res.readyAt
+		}
+		return done, false
+	}
+	p.st.L2Misses++
+	done := m.mem.access(addr, t+lat)
+	p.st.HBMLines++
+	b.fill(laddr, res.victim, t+lat, done, false)
+	if res.victimDirty {
+		p.st.Writebacks++
+		m.mem.writeLine(addr, t+lat)
+	}
+	return done, true
+}
+
+// l2BankFor maps an address to an L2 bank for this processor's tile in
+// private mode, or to the global pool in shared mode.
+func (m *Machine) l2BankFor(p *Proc, addr uint64) int {
+	cfg := m.cfg
+	perTile := cfg.Geometry.PEsPerTile
+	block := addr / uint64(cfg.Params.BlockBytes)
+	if cfg.HW.L2Shared() {
+		return int(block % uint64(len(m.l2)))
+	}
+	return p.tile*perTile + int(block%uint64(perTile))
+}
+
+// l1LocalAddr strips the bank-interleave bits from an address before it
+// reaches an L1 bank's set index: pooled banks split the block address
+// space round-robin, so the per-bank set index must come from the
+// quotient or the bank would alias onto a fraction of its sets.
+func (m *Machine) l1LocalAddr(addr uint64) uint64 {
+	if !m.cfg.HW.L1Shared() {
+		return addr
+	}
+	banks := uint64(m.cfg.L1CacheBanksPerTile())
+	bb := uint64(m.cfg.Params.BlockBytes)
+	return (addr / bb / banks) * bb
+}
+
+// l2LocalAddr strips the L2 pool interleave bits; see l1LocalAddr.
+func (m *Machine) l2LocalAddr(addr uint64) uint64 {
+	bb := uint64(m.cfg.Params.BlockBytes)
+	var banks uint64
+	if m.cfg.HW.L2Shared() {
+		banks = uint64(len(m.l2))
+	} else {
+		banks = uint64(m.cfg.Geometry.PEsPerTile)
+	}
+	return (addr / bb / banks) * bb
+}
+
+// installStream lands a stream-fetched line in the requesting
+// processor's L1 bank, evicting the LRU victim (writeback charged to
+// the lower level if dirty). PS mode and LCPs have no L1 to pollute.
+func (m *Machine) installStream(p *Proc, addr uint64, ready int64) {
+	bank := m.l1BankFor(p, addr)
+	if bank < 0 {
+		return
+	}
+	if m.l1[bank].install(m.l1LocalAddr(addr), ready) {
+		m.writebackBelow(p, addr, ready)
+	}
+}
+
+// writebackBelow books the writeback of an evicted dirty L1 line into
+// the L2 bank queue (the PE does not wait on it).
+func (m *Machine) writebackBelow(p *Proc, addr uint64, t int64) {
+	bank := m.l2BankFor(p, addr)
+	m.l2[bank].occupy(t, 1)
+	m.l2[bank].markDirty(m.l2LocalAddr(addr))
+	p.st.Writebacks++
+}
+
+// prefetch trains the per-processor stride detector with the missed
+// block and, once confident, fetches PrefetchDegree lines ahead into
+// the processor's cache level without stalling it.
+func (m *Machine) prefetch(p *Proc, addr uint64, t int64, fromHBM bool) {
+	par := m.cfg.Params
+	if par.PrefetchDegree <= 0 {
+		return
+	}
+	block := addr / uint64(par.BlockBytes)
+	stride := p.pf.observeMiss(block)
+	if stride == 0 {
+		return
+	}
+	if p.pf.issued > int64(par.MSHRs) {
+		p.pf.issued = 0 // crude MSHR recycling: allow a new batch
+	}
+	for i := 1; i <= par.PrefetchDegree; i++ {
+		next := int64(block) + stride*int64(i)
+		if next <= 0 {
+			continue
+		}
+		naddr := uint64(next) * uint64(par.BlockBytes)
+		p.pf.issued++
+		p.st.Prefetches++
+		l1bank := m.l1BankFor(p, naddr)
+		if l1bank >= 0 {
+			b := m.l1[l1bank]
+			laddr := m.l1LocalAddr(naddr)
+			if b.contains(laddr) {
+				continue
+			}
+			done, _ := m.l2Access(p, naddr, t)
+			res := b.probe(laddr, t) // records a miss and picks a victim
+			b.fill(laddr, res.victim, t, done, false)
+			if res.victimDirty {
+				m.writebackBelow(p, naddr, t)
+			}
+		} else {
+			// PS/LCP: prefetch into L2 only.
+			bank := m.l2BankFor(p, naddr)
+			if !m.l2[bank].contains(m.l2LocalAddr(naddr)) {
+				m.l2Access(p, naddr, t)
+			}
+		}
+	}
+}
+
+// Run executes the program on every PE (and then each tile's LCP, if
+// provided) and returns the aggregate result. Deterministic: identical
+// programs and configuration give identical cycle counts.
+func (m *Machine) Run(prog Program) Result {
+	if prog.PE == nil {
+		panic("sim: Program.PE must not be nil")
+	}
+	g := m.cfg.Geometry
+	peEnd := make([]int64, g.Tiles) // max PE end time per tile
+	var makespan int64
+
+	procs := make([]*Proc, 0, g.TotalPEs())
+	for tile := 0; tile < g.Tiles; tile++ {
+		for pe := 0; pe < g.PEsPerTile; pe++ {
+			procs = append(procs, m.newProc(len(procs), tile, pe))
+		}
+	}
+	ends := m.schedule(procs, prog.PE)
+	var endSum int64
+	for i, p := range procs {
+		endSum += ends[i]
+		if ends[i] > peEnd[p.tile] {
+			peEnd[p.tile] = ends[i]
+		}
+		if ends[i] > makespan {
+			makespan = ends[i]
+		}
+	}
+
+	if prog.LCP != nil {
+		lcps := make([]*Proc, 0, g.Tiles)
+		for tile := 0; tile < g.Tiles; tile++ {
+			lp := m.newProc(tile, tile, -1)
+			lp.time = peEnd[tile] // store-and-merge: LCP starts when its tile's PEs finish
+			lcps = append(lcps, lp)
+		}
+		lends := m.schedule(lcps, prog.LCP)
+		for _, e := range lends {
+			if e > makespan {
+				makespan = e
+			}
+		}
+	}
+
+	m.stats.Cycles = makespan
+	m.stats.HBMQueued = m.mem.queued
+	res := Result{Cycles: makespan, Stats: m.stats}
+	res.EnergyJ = Energy(m.cfg, res.Stats)
+	if makespan > 0 {
+		res.Balance = float64(endSum) / float64(len(procs)) / float64(makespan)
+	}
+	return res
+}
+
+func (m *Machine) newProc(id, tile, pe int) *Proc {
+	return &Proc{
+		m:      m,
+		id:     id,
+		tile:   tile,
+		pe:     pe,
+		resume: make(chan int64),
+		yield:  make(chan yieldMsg),
+	}
+}
+
+// procHeap orders processors by local time, ties broken by id for
+// determinism.
+type procHeap []*Proc
+
+func (h procHeap) Len() int { return len(h) }
+func (h procHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].id < h[j].id
+}
+func (h procHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *procHeap) Push(x interface{}) { *h = append(*h, x.(*Proc)) }
+func (h *procHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// schedule runs fn on each processor under min-time-first interleaving
+// and returns each processor's completion time.
+func (m *Machine) schedule(procs []*Proc, fn func(*Proc)) []int64 {
+	window := m.cfg.Params.SchedulerWindow
+	ends := make([]int64, len(procs))
+
+	for _, p := range procs {
+		p := p
+		go func() {
+			p.until = <-p.resume
+			// A panicking kernel must still report completion, or the
+			// scheduler would deadlock with the remaining processors.
+			defer func() {
+				if r := recover(); r != nil {
+					p.yield <- yieldMsg{done: true, panicked: r}
+				}
+			}()
+			fn(p)
+			p.yield <- yieldMsg{done: true}
+		}()
+	}
+
+	h := make(procHeap, len(procs))
+	copy(h, procs)
+	heap.Init(&h)
+	idx := make(map[*Proc]int, len(procs))
+	for i, p := range procs {
+		idx[p] = i
+	}
+
+	var panicked interface{}
+	active := len(procs)
+	for active > 0 {
+		p := heap.Pop(&h).(*Proc)
+		until := int64(1<<62 - 1)
+		if len(h) > 0 {
+			until = h[0].time + window
+		}
+		p.resume <- until
+		msg := <-p.yield
+		if msg.done {
+			active--
+			ends[idx[p]] = p.time
+			m.stats.Add(p.st)
+			p.st = Stats{}
+			if msg.panicked != nil && panicked == nil {
+				panicked = msg.panicked
+			}
+		} else {
+			heap.Push(&h, p)
+		}
+	}
+	if panicked != nil {
+		// Every goroutine has exited; re-raise the kernel's panic at
+		// the caller.
+		panic(panicked)
+	}
+	return ends
+}
+
+// Describe returns a human-readable summary of the machine, used by the
+// experiment harness to echo Table II.
+func (m *Machine) Describe() string {
+	c := m.cfg
+	return fmt.Sprintf("%s %s: L1 %d cache banks + %d SPM banks/tile (%d B each), L2 %d B/tile, HBM %d channels",
+		c.Geometry, c.HW, c.L1CacheBanksPerTile(), c.SPMBanksPerTile(), c.Params.L1BankBytes,
+		c.L2TileBytes(), c.Params.HBMChannels)
+}

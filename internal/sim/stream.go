@@ -1,0 +1,93 @@
+package sim
+
+// Stream buffers: the non-polluting sequential-load path.
+//
+// The IP kernel's dominant traffic is perfectly sequential (row-major
+// COO triples, frontier compaction arrays). Real implementations of
+// such kernels stream this data through stride prefetchers with
+// stream buffers / non-temporal hints so that (a) latency is hidden by
+// fetching several lines ahead and (b) the stream does not wash the
+// reusable working set (the frontier vector, the merge heap) out of
+// the caches. Modelling that path explicitly — per-PE stream buffers
+// that fetch up to MSHRs lines ahead straight from HBM, bypassing the
+// RCaches — is what makes IP bandwidth-bound and OP latency-bound,
+// exactly the regime the paper's Figs. 4–6 explore.
+//
+// Proc.LoadStream is the kernel-facing API; randomly-accessed data
+// keeps using Proc.Load (the cacheable path).
+
+type streamBuf struct {
+	valid    bool
+	lastLine uint64
+	next     uint64           // next line index to fetch ahead
+	ready    map[uint64]int64 // outstanding/arrived line → ready time
+}
+
+// streamBufs per PE; two concurrent streams cover every kernel here
+// (e.g. the OP setup walks frontier indices and values in lockstep),
+// four leaves margin.
+const numStreamBufs = 4
+
+// streamNear returns the stream buffer tracking lines near `line`, or
+// nil.
+func (p *Proc) streamNear(line uint64) *streamBuf {
+	for i := range p.sbufs {
+		s := &p.sbufs[i]
+		if !s.valid {
+			continue
+		}
+		d := int64(line) - int64(s.lastLine)
+		if d >= -2 && d <= int64(p.m.cfg.Params.MSHRs)+2 {
+			return s
+		}
+	}
+	return nil
+}
+
+// LoadStream issues a word load on the sequential streaming path: the
+// line is fetched from main memory through a stream buffer that runs up
+// to MSHRs lines ahead, so a well-formed stream costs one cycle per
+// word plus any bandwidth backpressure, without touching the caches.
+func (p *Proc) LoadStream(addr uint64) {
+	p.maybeYield()
+	par := p.m.cfg.Params
+	line := addr / uint64(par.BlockBytes)
+
+	s := p.streamNear(line)
+	if s == nil {
+		// Allocate (round-robin) and start a fresh window at this line.
+		s = &p.sbufs[p.sbufNext]
+		p.sbufNext = (p.sbufNext + 1) % numStreamBufs
+		*s = streamBuf{valid: true, lastLine: line, next: line, ready: make(map[uint64]int64)}
+	}
+	s.lastLine = line
+
+	// Run the fetch window ahead of the consumer.
+	ahead := uint64(par.MSHRs)
+	if s.next < line {
+		s.next = line
+	}
+	for s.next <= line+ahead {
+		if _, ok := s.ready[s.next]; !ok {
+			naddr := s.next * uint64(par.BlockBytes)
+			done := p.m.mem.access(naddr, p.time)
+			s.ready[s.next] = done
+			p.st.HBMLines++
+			// The fetched line also lands in the L1 cache (the machine
+			// has no dedicated stream storage), displacing a victim —
+			// the stream-vs-vector contention of paper §III-C2.
+			p.m.installStream(p, naddr, done)
+		}
+		s.next++
+	}
+
+	p.st.Loads++
+	p.st.StreamLoads++
+	if ready, ok := s.ready[line]; ok && ready > p.time {
+		p.st.StallCycles += ready - p.time
+		p.time = ready
+	} else {
+		p.time++
+	}
+	delete(s.ready, line-2) // retire lines the consumer has passed
+}

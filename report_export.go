@@ -1,0 +1,42 @@
+package cosparse
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serializes the report (including every iteration) for
+// external tooling — plotting the Fig. 9-style traces, dashboards, etc.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV emits one row per iteration:
+// iter,frontier,density,software,hardware,reconfigured,cycles,energy_j.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"iter", "frontier", "density", "software", "hardware", "reconfigured", "cycles", "energy_j"}); err != nil {
+		return err
+	}
+	for _, it := range r.Iterations {
+		rec := []string{
+			fmt.Sprintf("%d", it.Iter),
+			fmt.Sprintf("%d", it.FrontierSize),
+			fmt.Sprintf("%g", it.Density),
+			it.Software,
+			it.Hardware,
+			fmt.Sprintf("%t", it.Reconfigured),
+			fmt.Sprintf("%d", it.Cycles),
+			fmt.Sprintf("%g", it.EnergyJ),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,57 @@
+package cosparse
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	eng := testEngine(t, g)
+	_, rep, err := eng.SSSP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rep.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Algorithm != rep.Algorithm || back.TotalCycles != rep.TotalCycles ||
+		len(back.Iterations) != len(rep.Iterations) {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	g := testGraph(t)
+	eng := testEngine(t, g)
+	_, rep, err := eng.SSSP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rep.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(rep.Iterations)+1 {
+		t.Fatalf("CSV rows %d, want %d", len(records), len(rep.Iterations)+1)
+	}
+	if records[0][0] != "iter" || records[0][6] != "cycles" {
+		t.Fatalf("CSV header wrong: %v", records[0])
+	}
+	for i, rec := range records[1:] {
+		if rec[3] != rep.Iterations[i].Software || rec[4] != rep.Iterations[i].Hardware {
+			t.Fatalf("row %d config mismatch: %v", i, rec)
+		}
+	}
+}
