@@ -1,0 +1,72 @@
+package cosparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Algo names one of the framework's built-in graph algorithms. It is
+// the shared vocabulary between the CLI tools, the cosparsed service
+// API, and any other front end that needs to accept an algorithm name:
+// parse once with ParseAlgo, dispatch on the value.
+type Algo int
+
+const (
+	// AlgoBFS is breadth-first search.
+	AlgoBFS Algo = iota
+	// AlgoSSSP is single-source shortest paths.
+	AlgoSSSP
+	// AlgoPageRank is the damped power iteration.
+	AlgoPageRank
+	// AlgoCF is collaborative-filtering gradient descent.
+	AlgoCF
+)
+
+// Algos lists every built-in algorithm in canonical order.
+func Algos() []Algo { return []Algo{AlgoBFS, AlgoSSSP, AlgoPageRank, AlgoCF} }
+
+// String returns the canonical lower-case name ("bfs", "sssp", "pr",
+// "cf"), accepted back by ParseAlgo.
+func (a Algo) String() string {
+	switch a {
+	case AlgoBFS:
+		return "bfs"
+	case AlgoSSSP:
+		return "sssp"
+	case AlgoPageRank:
+		return "pr"
+	case AlgoCF:
+		return "cf"
+	}
+	return fmt.Sprintf("Algo(%d)", int(a))
+}
+
+// NeedsSource reports whether the algorithm takes a source vertex
+// (BFS, SSSP) rather than an iteration count (PR, CF).
+func (a Algo) NeedsSource() bool { return a == AlgoBFS || a == AlgoSSSP }
+
+// ValueMode returns the edge-value mode the algorithm expects from
+// generated graphs: Weighted for SSSP/CF, Unweighted for BFS/PR.
+func (a Algo) ValueMode() ValueMode {
+	if a == AlgoSSSP || a == AlgoCF {
+		return Weighted
+	}
+	return Unweighted
+}
+
+// ParseAlgo parses an algorithm name, case-insensitively. It accepts
+// the canonical names ("bfs", "sssp", "pr", "cf") plus the common
+// aliases "pagerank" and "collaborative-filtering".
+func ParseAlgo(s string) (Algo, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "bfs":
+		return AlgoBFS, nil
+	case "sssp":
+		return AlgoSSSP, nil
+	case "pr", "pagerank":
+		return AlgoPageRank, nil
+	case "cf", "collaborative-filtering":
+		return AlgoCF, nil
+	}
+	return 0, fmt.Errorf("cosparse: unknown algorithm %q (want bfs, sssp, pr, cf)", s)
+}

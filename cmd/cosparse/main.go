@@ -41,7 +41,24 @@ func main() {
 	csvOut := flag.String("csv", "", "write the per-iteration trace as CSV to this file")
 	flag.Parse()
 
-	g, err := loadGraph(*graph, *graphScale, *undirected, weighted(*algo), *seed)
+	a, err := cosparse.ParseAlgo(*algo)
+	if err != nil {
+		fail(err)
+	}
+	if *tiles <= 0 || *pes <= 0 {
+		fail(fmt.Errorf("-tiles and -pes must be positive, got %d/%d", *tiles, *pes))
+	}
+	if *iters <= 0 {
+		fail(fmt.Errorf("-iters must be positive, got %d", *iters))
+	}
+	if *graphScale <= 0 {
+		fail(fmt.Errorf("-graph-scale must be positive, got %d", *graphScale))
+	}
+	if *src < -1 {
+		fail(fmt.Errorf("-src must be a vertex id or -1 for highest out-degree, got %d", *src))
+	}
+
+	g, err := loadGraph(*graph, *graphScale, *undirected, a.ValueMode(), *seed)
 	if err != nil {
 		fail(err)
 	}
@@ -80,10 +97,13 @@ func main() {
 	if s < 0 {
 		s = maxDegree(g)
 	}
+	if a.NeedsSource() && int(s) >= g.NumVertices() {
+		fail(fmt.Errorf("-src %d out of range [0,%d)", s, g.NumVertices()))
+	}
 
 	var rep *cosparse.Report
-	switch strings.ToLower(*algo) {
-	case "bfs":
+	switch a {
+	case cosparse.AlgoBFS:
 		var res *cosparse.BFSResult
 		res, rep, err = eng.BFS(s)
 		if err == nil {
@@ -95,7 +115,7 @@ func main() {
 			}
 			fmt.Printf("bfs from %d: reached %d/%d vertices\n", s, reached, g.NumVertices())
 		}
-	case "sssp":
+	case cosparse.AlgoSSSP:
 		var dist []float32
 		dist, rep, err = eng.SSSP(s)
 		if err == nil {
@@ -108,7 +128,7 @@ func main() {
 			}
 			fmt.Printf("sssp from %d: reached %d vertices, mean distance %.4f\n", s, n, sum/float64(max(n, 1)))
 		}
-	case "pr", "pagerank":
+	case cosparse.AlgoPageRank:
 		var pr []float32
 		pr, rep, err = eng.PageRank(*iters, float32(*alpha))
 		if err == nil {
@@ -120,13 +140,11 @@ func main() {
 			}
 			fmt.Printf("pagerank: top vertex %d with score %.5f\n", best, bv)
 		}
-	case "cf":
+	case cosparse.AlgoCF:
 		_, rep, err = eng.CF(*iters, float32(*beta), float32(*lambda))
 		if err == nil {
 			fmt.Printf("cf: trained %d iterations\n", *iters)
 		}
-	default:
-		err = fmt.Errorf("unknown -algo %q (want bfs, sssp, pr, cf)", *algo)
 	}
 	if err != nil {
 		fail(err)
@@ -157,30 +175,29 @@ func writeTo(path string, write func(io.Writer) error) error {
 	return write(f)
 }
 
-func weighted(algo string) cosparse.ValueMode {
-	switch strings.ToLower(algo) {
-	case "sssp", "cf":
-		return cosparse.Weighted
-	}
-	return cosparse.Unweighted
-}
-
 func loadGraph(spec string, scale int, undirected bool, mode cosparse.ValueMode, seed uint64) (*cosparse.Graph, error) {
 	switch {
 	case strings.HasPrefix(spec, "suite:"):
-		return cosparse.GenerateSuite(strings.TrimPrefix(spec, "suite:"), scale, mode, seed)
+		name := strings.TrimPrefix(spec, "suite:")
+		if name == "" {
+			return nil, fmt.Errorf("malformed -graph %q: want suite:NAME", spec)
+		}
+		return cosparse.GenerateSuite(name, scale, mode, seed)
 	case strings.HasPrefix(spec, "uniform:"), strings.HasPrefix(spec, "powerlaw:"):
 		parts := strings.Split(spec, ":")
 		if len(parts) != 3 {
-			return nil, fmt.Errorf("want %s:N:E", parts[0])
+			return nil, fmt.Errorf("malformed -graph %q: want %s:N:E", spec, parts[0])
 		}
 		n, err := strconv.Atoi(parts[1])
 		if err != nil {
-			return nil, fmt.Errorf("bad vertex count: %v", err)
+			return nil, fmt.Errorf("malformed -graph %q: bad vertex count: %v", spec, err)
 		}
 		e, err := strconv.Atoi(parts[2])
 		if err != nil {
-			return nil, fmt.Errorf("bad edge count: %v", err)
+			return nil, fmt.Errorf("malformed -graph %q: bad edge count: %v", spec, err)
+		}
+		if n <= 0 || e < 0 {
+			return nil, fmt.Errorf("malformed -graph %q: need positive vertices and non-negative edges", spec)
 		}
 		if parts[0] == "uniform" {
 			return cosparse.GenerateUniform(n, e, mode, seed)
@@ -214,6 +231,7 @@ func max(a, b int) int {
 }
 
 func fail(err error) {
-	fmt.Fprintf(os.Stderr, "cosparse: %v\n", err)
+	// Library errors already carry the package prefix; don't double it.
+	fmt.Fprintf(os.Stderr, "cosparse: %s\n", strings.TrimPrefix(err.Error(), "cosparse: "))
 	os.Exit(1)
 }

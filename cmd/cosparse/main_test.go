@@ -70,11 +70,26 @@ func TestLoadGraphFromFile(t *testing.T) {
 }
 
 func TestWeightedByAlgo(t *testing.T) {
-	if weighted("sssp") != cosparse.Weighted || weighted("cf") != cosparse.Weighted {
+	if cosparse.AlgoSSSP.ValueMode() != cosparse.Weighted || cosparse.AlgoCF.ValueMode() != cosparse.Weighted {
 		t.Fatal("sssp/cf must be weighted")
 	}
-	if weighted("bfs") != cosparse.Unweighted || weighted("pr") != cosparse.Unweighted {
+	if cosparse.AlgoBFS.ValueMode() != cosparse.Unweighted || cosparse.AlgoPageRank.ValueMode() != cosparse.Unweighted {
 		t.Fatal("bfs/pr must be unweighted")
+	}
+}
+
+func TestLoadGraphMalformedSpecs(t *testing.T) {
+	cases := []string{
+		"suite:",            // missing suite name
+		"uniform:0:100",     // non-positive vertices
+		"powerlaw:100:-5",   // negative edges
+		"uniform:1:2:3",     // too many parts
+		"powerlaw:2.5:1000", // non-integer vertices
+	}
+	for _, spec := range cases {
+		if _, err := loadGraph(spec, 1, false, cosparse.Unweighted, 1); err == nil {
+			t.Errorf("loadGraph(%q) accepted malformed spec", spec)
+		}
 	}
 }
 

@@ -1,0 +1,117 @@
+// Command cosparsed is the CoSPARSE graph-analytics service: a
+// long-running daemon that holds registered graphs, caches prepared
+// engines, and runs bfs/sssp/pr/cf jobs against them through a bounded
+// worker pool, all over an HTTP/JSON API.
+//
+// Usage:
+//
+//	cosparsed -addr :8080 -workers 4 -queue 32
+//
+// API sketch (see README "Running the service" for curl examples):
+//
+//	POST   /v1/graphs      register/generate a graph
+//	GET    /v1/graphs      list graphs
+//	GET    /v1/graphs/{id} one graph
+//	DELETE /v1/graphs/{id} unregister (refused while jobs run)
+//	POST   /v1/jobs        submit a job (202; 429 when saturated)
+//	GET    /v1/jobs/{id}   job status / result
+//	DELETE /v1/jobs/{id}   cancel a job
+//	GET    /healthz        liveness
+//	GET    /metrics        Prometheus text metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cosparse"
+	"cosparse/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "job worker pool size")
+	queue := flag.Int("queue", 16, "bounded job queue depth (submissions beyond it get 429)")
+	cache := flag.Int("engine-cache", 8, "LRU capacity of the prepared-engine cache")
+	maxGraphs := flag.Int("max-graphs", 64, "maximum registered graphs")
+	maxVertices := flag.Int("max-vertices", 1<<22, "per-graph vertex ceiling")
+	maxEdges := flag.Int("max-edges", 1<<26, "per-graph edge ceiling")
+	tiles := flag.Int("tiles", 16, "default simulated tiles for jobs that name no geometry")
+	pes := flag.Int("pes", 16, "default simulated PEs per tile")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-job deadline")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "ceiling on client-requested job deadlines")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+	flag.Parse()
+
+	if *workers <= 0 || *queue <= 0 || *cache <= 0 {
+		fail(fmt.Errorf("-workers, -queue and -engine-cache must be positive, got %d/%d/%d", *workers, *queue, *cache))
+	}
+	if *tiles <= 0 || *pes <= 0 {
+		fail(fmt.Errorf("-tiles and -pes must be positive, got %d/%d", *tiles, *pes))
+	}
+	if *timeout <= 0 || *maxTimeout < *timeout {
+		fail(fmt.Errorf("need 0 < -timeout <= -max-timeout, got %s/%s", *timeout, *maxTimeout))
+	}
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	svc := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		EngineCacheSize: *cache,
+		MaxGraphs:       *maxGraphs,
+		MaxVertices:     *maxVertices,
+		MaxEdges:        *maxEdges,
+		DefaultSystem:   cosparse.System{Tiles: *tiles, PEsPerTile: *pes},
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		Logger:          logger,
+	})
+	defer svc.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("cosparsed listening", slog.String("addr", *addr),
+			slog.Int("workers", *workers), slog.Int("queue", *queue))
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		logger.Info("shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			logger.Warn("shutdown", slog.String("err", err.Error()))
+		}
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "cosparsed: %v\n", err)
+	os.Exit(1)
+}

@@ -32,6 +32,19 @@ func main() {
 	stats := flag.Bool("stats", false, "print degree-distribution statistics to stderr")
 	flag.Parse()
 
+	if *n <= 0 || *e < 0 {
+		fail(fmt.Errorf("-n must be positive and -e non-negative, got %d/%d", *n, *e))
+	}
+	if *scale <= 0 {
+		fail(fmt.Errorf("-scale must be positive, got %d", *scale))
+	}
+	if *rmatScale == 0 || *rmatScale > 30 {
+		fail(fmt.Errorf("-rmat-scale must be in [1,30], got %d", *rmatScale))
+	}
+	if *skew <= 0 || *skew >= 1 {
+		fail(fmt.Errorf("-skew must be in (0,1), got %g", *skew))
+	}
+
 	mode := gen.Pattern
 	if *weighted {
 		mode = gen.UniformWeight

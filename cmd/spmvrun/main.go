@@ -35,6 +35,19 @@ func main() {
 	seed := flag.Uint64("seed", 42, "generator seed")
 	flag.Parse()
 
+	if *n <= 0 || *nnz <= 0 {
+		fail(fmt.Errorf("-n and -nnz must be positive, got %d/%d", *n, *nnz))
+	}
+	if *tiles <= 0 || *pes <= 0 {
+		fail(fmt.Errorf("-tiles and -pes must be positive, got %d/%d", *tiles, *pes))
+	}
+	if *density < 0 || *density > 1 {
+		fail(fmt.Errorf("-density must be in [0,1], got %g", *density))
+	}
+	if s := strings.ToLower(*sw); s != "ip" && s != "op" {
+		fail(fmt.Errorf("unknown -sw %q (want ip or op)", *sw))
+	}
+
 	var coo *matrix.COO
 	switch *mkind {
 	case "uniform":

@@ -1,0 +1,84 @@
+package cosparse
+
+import (
+	"context"
+
+	"cosparse/internal/matrix"
+	"cosparse/internal/runtime"
+)
+
+// Context-aware entry points. Each variant consults ctx once per
+// algorithm iteration, before the SpMV is issued: a cancelled or
+// deadline-expired context stops the run between iterations and the
+// call returns ctx's error (wrapped) together with the partial report
+// covering the iterations that did complete. They are what a serving
+// layer (cmd/cosparsed) uses to enforce job deadlines and client
+// cancellations without abandoning goroutines mid-kernel.
+
+// BFSContext runs breadth-first search from src under ctx.
+func (e *Engine) BFSContext(ctx context.Context, src int32) (*BFSResult, *Report, error) {
+	res, rep, err := e.fw.BFSContext(ctx, src)
+	if err != nil {
+		return nil, e.partialReport(rep), err
+	}
+	return &BFSResult{Parent: res.Parent, Level: res.Level}, e.report(rep), nil
+}
+
+// SSSPContext runs single-source shortest paths from src under ctx.
+func (e *Engine) SSSPContext(ctx context.Context, src int32) ([]float32, *Report, error) {
+	dist, rep, err := e.fw.SSSPContext(ctx, src)
+	if err != nil {
+		return nil, e.partialReport(rep), err
+	}
+	return dist, e.report(rep), nil
+}
+
+// PageRankContext runs the damped power iteration under ctx.
+func (e *Engine) PageRankContext(ctx context.Context, iters int, alpha float32) ([]float32, *Report, error) {
+	pr, rep, err := e.fw.PageRankContext(ctx, iters, alpha)
+	if err != nil {
+		return nil, e.partialReport(rep), err
+	}
+	return pr, e.report(rep), nil
+}
+
+// CFContext runs collaborative-filtering gradient descent under ctx.
+func (e *Engine) CFContext(ctx context.Context, iters int, beta, lambda float32) ([]float32, *Report, error) {
+	v, rep, err := e.fw.CFContext(ctx, iters, beta, lambda)
+	if err != nil {
+		return nil, e.partialReport(rep), err
+	}
+	return v, e.report(rep), nil
+}
+
+// BetweennessContext runs single-source betweenness centrality under
+// ctx.
+func (e *Engine) BetweennessContext(ctx context.Context, src int32) ([]float32, *Report, error) {
+	bc, rep, err := e.fw.BCContext(ctx, src)
+	if err != nil {
+		return nil, e.partialReport(rep), err
+	}
+	return bc, e.report(rep), nil
+}
+
+// SpMVContext computes one y = G.T·x under ctx.
+func (e *Engine) SpMVContext(ctx context.Context, idx []int32, val []float32) ([]float32, *Report, error) {
+	sv, err := matrix.NewSparseVec(e.fw.N(), idx, val)
+	if err != nil {
+		return nil, nil, err
+	}
+	y, rep, err := e.fw.SpMVContext(ctx, sv)
+	if err != nil {
+		return nil, e.partialReport(rep), err
+	}
+	return y, e.report(rep), nil
+}
+
+// partialReport converts a possibly-nil runtime report (the iterations
+// completed before an interruption) for error returns.
+func (e *Engine) partialReport(rep *runtime.Report) *Report {
+	if rep == nil {
+		return nil
+	}
+	return e.report(rep)
+}

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -21,6 +22,13 @@ type BFSResult struct {
 // frontier values carry vertex labels and destinations adopt the
 // minimum proposing label as their parent.
 func (f *Framework) BFS(src int32) (*BFSResult, *Report, error) {
+	return f.BFSContext(context.Background(), src)
+}
+
+// BFSContext is BFS with per-iteration cancellation: a cancelled or
+// deadline-expired ctx stops the traversal between SpMV iterations,
+// returning ctx's error.
+func (f *Framework) BFSContext(ctx context.Context, src int32) (*BFSResult, *Report, error) {
 	n := f.N()
 	if src < 0 || int(src) >= n {
 		return nil, nil, fmt.Errorf("runtime: BFS source %d out of range [0,%d)", src, n)
@@ -43,8 +51,7 @@ func (f *Framework) BFS(src int32) (*BFSResult, *Report, error) {
 
 	// Levels fall out of the iteration at which each vertex first joins
 	// the frontier, observed through the driver's iteration hook.
-	saved := f.opts.OnIteration
-	f.opts.OnIteration = func(st IterStat, next *matrix.SparseVec) {
+	onIter := func(st IterStat, next *matrix.SparseVec) {
 		if next != nil {
 			for _, v := range next.Idx {
 				if res.Level[v] < 0 {
@@ -52,12 +59,11 @@ func (f *Framework) BFS(src int32) (*BFSResult, *Report, error) {
 				}
 			}
 		}
-		if saved != nil {
-			saved(st, next)
-		}
 	}
-	vals, rep := f.driver("BFS", ring, semiring.Ctx{}, vals, frontier, f.opts.MaxIters)
-	f.opts.OnIteration = saved
+	vals, rep, err := f.driver(ctx, "BFS", ring, semiring.Ctx{}, vals, frontier, f.opts.MaxIters, onIter)
+	if err != nil {
+		return nil, rep, err
+	}
 
 	for i := range vals {
 		if !math.IsInf(float64(vals[i]), 1) {
@@ -71,6 +77,11 @@ func (f *Framework) BFS(src int32) (*BFSResult, *Report, error) {
 // the Table I min-plus mapping) from src over the stored edge weights.
 // Distances are +Inf for unreachable vertices.
 func (f *Framework) SSSP(src int32) (matrix.Dense, *Report, error) {
+	return f.SSSPContext(context.Background(), src)
+}
+
+// SSSPContext is SSSP with per-iteration cancellation.
+func (f *Framework) SSSPContext(ctx context.Context, src int32) (matrix.Dense, *Report, error) {
 	n := f.N()
 	if src < 0 || int(src) >= n {
 		return nil, nil, fmt.Errorf("runtime: SSSP source %d out of range [0,%d)", src, n)
@@ -82,13 +93,17 @@ func (f *Framework) SSSP(src int32) (matrix.Dense, *Report, error) {
 	}
 	vals[src] = 0
 	frontier := &matrix.SparseVec{N: n, Idx: []int32{src}, Val: []float32{0}}
-	vals, rep := f.driver("SSSP", ring, semiring.Ctx{}, vals, frontier, f.opts.MaxIters)
-	return vals, rep, nil
+	return f.driver(ctx, "SSSP", ring, semiring.Ctx{}, vals, frontier, f.opts.MaxIters, nil)
 }
 
 // PageRank runs the damped power iteration of Table I for the given
 // number of iterations (the paper's PR uses dense vectors throughout).
 func (f *Framework) PageRank(iters int, alpha float32) (matrix.Dense, *Report, error) {
+	return f.PageRankContext(context.Background(), iters, alpha)
+}
+
+// PageRankContext is PageRank with per-iteration cancellation.
+func (f *Framework) PageRankContext(ctx context.Context, iters int, alpha float32) (matrix.Dense, *Report, error) {
 	if iters <= 0 {
 		return nil, nil, fmt.Errorf("runtime: PageRank iterations must be positive, got %d", iters)
 	}
@@ -98,14 +113,18 @@ func (f *Framework) PageRank(iters int, alpha float32) (matrix.Dense, *Report, e
 	for i := range vals {
 		vals[i] = 1 / float32(n)
 	}
-	vals, rep := f.driver("PR", ring, semiring.Ctx{Alpha: alpha}, vals, nil, iters)
-	return vals, rep, nil
+	return f.driver(ctx, "PR", ring, semiring.Ctx{Alpha: alpha}, vals, nil, iters, nil)
 }
 
 // CF runs collaborative-filtering gradient descent (one latent factor,
 // Table I) for the given number of iterations with learning rate beta
 // and regularization lambda.
 func (f *Framework) CF(iters int, beta, lambda float32) (matrix.Dense, *Report, error) {
+	return f.CFContext(context.Background(), iters, beta, lambda)
+}
+
+// CFContext is CF with per-iteration cancellation.
+func (f *Framework) CFContext(ctx context.Context, iters int, beta, lambda float32) (matrix.Dense, *Report, error) {
 	if iters <= 0 {
 		return nil, nil, fmt.Errorf("runtime: CF iterations must be positive, got %d", iters)
 	}
@@ -116,8 +135,7 @@ func (f *Framework) CF(iters int, beta, lambda float32) (matrix.Dense, *Report, 
 		// Deterministic small positive init, spread across vertices.
 		vals[i] = 0.1 + 0.01*float32(i%17)
 	}
-	vals, rep := f.driver("CF", ring, semiring.Ctx{Beta: beta, Lambda: lambda}, vals, nil, iters)
-	return vals, rep, nil
+	return f.driver(ctx, "CF", ring, semiring.Ctx{Beta: beta, Lambda: lambda}, vals, nil, iters, nil)
 }
 
 // SpMV runs one plain (+,×) sparse matrix–vector product through the
@@ -125,13 +143,18 @@ func (f *Framework) CF(iters int, beta, lambda float32) (matrix.Dense, *Report, 
 // result along with a one-iteration report. This is the primitive the
 // paper's Fig. 8 measures.
 func (f *Framework) SpMV(frontier *matrix.SparseVec) (matrix.Dense, *Report, error) {
+	return f.SpMVContext(context.Background(), frontier)
+}
+
+// SpMVContext is SpMV with cancellation (checked once, before the
+// single iteration is issued).
+func (f *Framework) SpMVContext(ctx context.Context, frontier *matrix.SparseVec) (matrix.Dense, *Report, error) {
 	if frontier.N != f.N() {
 		return nil, nil, fmt.Errorf("runtime: SpMV frontier length %d, graph has %d vertices", frontier.N, f.N())
 	}
 	ring := semiring.SpMV()
 	vals := make(matrix.Dense, f.N())
-	out, rep := f.driver("SpMV", ring, semiring.Ctx{}, vals, frontier.Clone(), 1)
-	return out, rep, nil
+	return f.driver(ctx, "SpMV", ring, semiring.Ctx{}, vals, frontier.Clone(), 1, nil)
 }
 
 // RunCustom drives a user-defined algorithm (a custom Table I row)
@@ -144,6 +167,12 @@ func (f *Framework) SpMV(frontier *matrix.SparseVec) (matrix.Dense, *Report, err
 // users only need to define the key computations to realize a graph
 // algorithm".
 func (f *Framework) RunCustom(ring semiring.Semiring, ctx semiring.Ctx,
+	vals matrix.Dense, frontier *matrix.SparseVec, maxIters int) (matrix.Dense, *Report, error) {
+	return f.RunCustomContext(context.Background(), ring, ctx, vals, frontier, maxIters)
+}
+
+// RunCustomContext is RunCustom with per-iteration cancellation.
+func (f *Framework) RunCustomContext(ctx context.Context, ring semiring.Semiring, sctx semiring.Ctx,
 	vals matrix.Dense, frontier *matrix.SparseVec, maxIters int) (matrix.Dense, *Report, error) {
 	if len(vals) != f.N() {
 		return nil, nil, fmt.Errorf("runtime: RunCustom values length %d, graph has %d vertices", len(vals), f.N())
@@ -170,8 +199,7 @@ func (f *Framework) RunCustom(ring semiring.Semiring, ctx semiring.Ctx,
 	if name == "" {
 		name = "custom"
 	}
-	out, rep := f.driver(name, ring, ctx, vals.Clone(), frontier, maxIters)
-	return out, rep, nil
+	return f.driver(ctx, name, ring, sctx, vals.Clone(), frontier, maxIters, nil)
 }
 
 // PageRankTol runs the damped power iteration until the relative L1
@@ -182,6 +210,11 @@ func (f *Framework) RunCustom(ring semiring.Semiring, ctx semiring.Ctx,
 // roughly (1−α) per iteration, so tol=1e-3 with α=0.15 converges in
 // ~45 iterations.
 func (f *Framework) PageRankTol(tol float32, maxIters int, alpha float32) (matrix.Dense, int, *Report, error) {
+	return f.PageRankTolContext(context.Background(), tol, maxIters, alpha)
+}
+
+// PageRankTolContext is PageRankTol with per-iteration cancellation.
+func (f *Framework) PageRankTolContext(ctx context.Context, tol float32, maxIters int, alpha float32) (matrix.Dense, int, *Report, error) {
 	if tol <= 0 {
 		return nil, 0, nil, fmt.Errorf("runtime: PageRankTol tolerance must be positive, got %g", tol)
 	}
@@ -200,11 +233,17 @@ func (f *Framework) PageRankTol(tol float32, maxIters int, alpha float32) (matri
 	iters := 0
 	for iters < maxIters {
 		var rep *Report
-		vals, rep = f.driver("PR", ring, semiring.Ctx{Alpha: alpha}, vals, nil, 1)
-		total.Iters = append(total.Iters, rep.Iters...)
-		total.TotalCycles += rep.TotalCycles
-		total.EnergyJ += rep.EnergyJ
-		total.Stats.Add(rep.Stats)
+		var err error
+		vals, rep, err = f.driver(ctx, "PR", ring, semiring.Ctx{Alpha: alpha}, vals, nil, 1, nil)
+		if rep != nil {
+			total.Iters = append(total.Iters, rep.Iters...)
+			total.TotalCycles += rep.TotalCycles
+			total.EnergyJ += rep.EnergyJ
+			total.Stats.Add(rep.Stats)
+		}
+		if err != nil {
+			return vals, iters, total, err
+		}
 		iters++
 
 		var delta, norm float64

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 
 	"cosparse/internal/matrix"
@@ -29,6 +30,12 @@ import (
 // addition §III-D advertises the framework makes easy (Ligra ships the
 // same algorithm).
 func (f *Framework) BC(src int32) (matrix.Dense, *Report, error) {
+	return f.BCContext(context.Background(), src)
+}
+
+// BCContext is BC with per-iteration cancellation: ctx is consulted
+// between every SpMV pass of all three phases.
+func (f *Framework) BCContext(ctx context.Context, src int32) (matrix.Dense, *Report, error) {
 	n := f.N()
 	if src < 0 || int(src) >= n {
 		return nil, nil, fmt.Errorf("runtime: BC source %d out of range [0,%d)", src, n)
@@ -43,7 +50,7 @@ func (f *Framework) BC(src int32) (matrix.Dense, *Report, error) {
 	}
 
 	// ---- Phase 1: levels ----
-	bres, rep, err := f.BFS(src)
+	bres, rep, err := f.BFSContext(ctx, src)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -93,7 +100,7 @@ func (f *Framework) BC(src int32) (matrix.Dense, *Report, error) {
 			return nil, nil, err
 		}
 		before := sigma.Clone()
-		out, rep, err := f.RunCustom(ring, semiring.Ctx{}, sigma, fr, 1)
+		out, rep, err := f.RunCustomContext(ctx, ring, semiring.Ctx{}, sigma, fr, 1)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -135,7 +142,7 @@ func (f *Framework) BC(src int32) (matrix.Dense, *Report, error) {
 			return nil, nil, err
 		}
 		before := delta.Clone()
-		out, rep, err := f.rev.RunCustom(ring, semiring.Ctx{}, delta, fr, 1)
+		out, rep, err := f.rev.RunCustomContext(ctx, ring, semiring.Ctx{}, delta, fr, 1)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -8,6 +8,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -299,11 +300,19 @@ func (f *Framework) cfg(hw sim.HWConfig) sim.Config {
 // vals is the persistent per-vertex value array; frontier the initial
 // active set. For DenseFrontier semirings the frontier argument is
 // ignored and every vertex stays active for maxIters iterations.
-func (f *Framework) driver(name string, ring semiring.Semiring, ctx semiring.Ctx,
-	vals matrix.Dense, frontier *matrix.SparseVec, maxIters int) (matrix.Dense, *Report) {
+//
+// ctx is consulted once per iteration, before the SpMV is issued: a
+// cancelled or deadline-expired context stops the run between
+// iterations, returning the partial report alongside ctx's error.
+// onIter, if non-nil, observes each completed iteration in addition to
+// Options.OnIteration (same contract: do not retain or mutate the
+// frontier).
+func (f *Framework) driver(ctx context.Context, name string, ring semiring.Semiring, sctx semiring.Ctx,
+	vals matrix.Dense, frontier *matrix.SparseVec, maxIters int,
+	onIter func(IterStat, *matrix.SparseVec)) (matrix.Dense, *Report, error) {
 
 	rep := &Report{Algorithm: name, Geometry: f.opts.Geometry}
-	op := kernels.Operand{Ring: ring, Ctx: ctx}
+	op := kernels.Operand{Ring: ring, Ctx: sctx}
 	if ring.NeedsSrcDeg {
 		op.Deg = f.deg
 	}
@@ -314,6 +323,9 @@ func (f *Framework) driver(name string, ring semiring.Semiring, ctx semiring.Ctx
 	prev := Decision{UseIP: true, HW: sim.HWConfig(-1)} // sentinel: first iteration always "reconfigures" freely
 
 	for iter := 0; iter < maxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return vals, rep, fmt.Errorf("runtime: %s stopped after %d iterations: %w", name, len(rep.Iters), err)
+		}
 		var nnzF int
 		if ring.DenseFrontier {
 			nnzF = n
@@ -395,8 +407,11 @@ func (f *Framework) driver(name string, ring semiring.Semiring, ctx semiring.Ctx
 		if f.opts.OnIteration != nil {
 			f.opts.OnIteration(st, next)
 		}
+		if onIter != nil {
+			onIter(st, next)
+		}
 
 		frontier = next
 	}
-	return vals, rep
+	return vals, rep, nil
 }

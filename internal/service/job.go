@@ -1,0 +1,190 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"cosparse"
+)
+
+// JobRequest is the JSON body of POST /v1/jobs.
+type JobRequest struct {
+	// GraphID names a registered graph ("g1", ...).
+	GraphID string `json:"graph_id"`
+	// Algo is one of bfs, sssp, pr, cf (cosparse.ParseAlgo vocabulary).
+	Algo string `json:"algo"`
+	// Source is the start vertex for bfs/sssp. -1 (the default when
+	// omitted is 0) is rejected; out-of-range sources fail validation.
+	Source int32 `json:"source,omitempty"`
+	// Iterations bounds pr/cf (default 10).
+	Iterations int `json:"iterations,omitempty"`
+	// Alpha is the PageRank damping factor (default 0.15).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Beta/Lambda are the CF learning rate and regularization
+	// (defaults 0.05 / 0.01).
+	Beta   float64 `json:"beta,omitempty"`
+	Lambda float64 `json:"lambda,omitempty"`
+	// Tiles/PEs select the simulated geometry (defaults from server
+	// config). Each distinct geometry is a separate cached engine.
+	Tiles int `json:"tiles,omitempty"`
+	PEs   int `json:"pes,omitempty"`
+	// TimeoutMs caps the job's run time (default and ceiling from
+	// server config). The deadline is enforced between SpMV
+	// iterations.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// IncludeTrace attaches the full per-iteration report to the
+	// result (can be large; off by default).
+	IncludeTrace bool `json:"include_trace,omitempty"`
+}
+
+// JobResult is the payload of a successfully finished job.
+type JobResult struct {
+	Algo    string `json:"algo"`
+	Summary string `json:"summary"`
+
+	// Algorithm-specific headline numbers.
+	Reached      int     `json:"reached,omitempty"`       // bfs, sssp
+	MeanDistance float64 `json:"mean_distance,omitempty"` // sssp
+	TopVertex    int32   `json:"top_vertex,omitempty"`    // pr
+	TopScore     float64 `json:"top_score,omitempty"`     // pr
+
+	// Simulation accounting.
+	Iterations  int     `json:"iterations"`
+	TotalCycles int64   `json:"total_cycles"`
+	SimSeconds  float64 `json:"sim_seconds"`
+	EnergyJ     float64 `json:"energy_j"`
+	// WallMs is host wall-clock time spent running the job.
+	WallMs float64 `json:"wall_ms"`
+
+	// Report is the full per-iteration trace when include_trace was
+	// set.
+	Report *cosparse.Report `json:"report,omitempty"`
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: executing on a worker.
+	JobRunning JobState = "running"
+	// JobDone: finished successfully; Result is set.
+	JobDone JobState = "done"
+	// JobFailed: finished with an error (including deadline exceeded).
+	JobFailed JobState = "failed"
+	// JobCancelled: stopped by a client DELETE.
+	JobCancelled JobState = "cancelled"
+)
+
+// JobStatus is the JSON view of a job (GET /v1/jobs/{id}).
+type JobStatus struct {
+	ID       string     `json:"id"`
+	GraphID  string     `json:"graph_id"`
+	Algo     string     `json:"algo"`
+	System   string     `json:"system"`
+	State    JobState   `json:"state"`
+	Error    string     `json:"error,omitempty"`
+	Result   *JobResult `json:"result,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// Job is one scheduled algorithm run.
+type Job struct {
+	id    string
+	req   JobRequest
+	algo  cosparse.Algo
+	sys   cosparse.System
+	graph *GraphEntry
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	// done closes exactly once, when the job reaches a terminal state;
+	// tests and clients synchronize on it instead of polling.
+	done chan struct{}
+	// release unpins registry resources; called once on the terminal
+	// transition.
+	release func()
+
+	mu       sync.Mutex
+	state    JobState
+	errMsg   string
+	result   *JobResult
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// ID returns the job id ("j1", ...).
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the current lifecycle phase.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:      j.id,
+		GraphID: j.req.GraphID,
+		Algo:    j.algo.String(),
+		System:  j.sys.String(),
+		State:   j.state,
+		Error:   j.errMsg,
+		Result:  j.result,
+		Created: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// start transitions queued → running; false if the job was already
+// terminal (e.g. cancelled while queued).
+func (j *Job) start() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish moves the job to a terminal state; only the first call wins.
+// It closes done and releases registry pins.
+func (j *Job) finish(state JobState, res *JobResult, errMsg string) bool {
+	j.mu.Lock()
+	if j.state == JobDone || j.state == JobFailed || j.state == JobCancelled {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = state
+	j.result = res
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.mu.Unlock()
+	if j.release != nil {
+		j.release()
+	}
+	close(j.done)
+	return true
+}

@@ -1,0 +1,187 @@
+// Package service implements cosparsed, the multi-tenant CoSPARSE
+// graph-analytics daemon: a graph registry with an LRU-bounded cache of
+// prepared engines, a bounded job scheduler with per-job deadlines and
+// cancellation, and an HTTP/JSON front end with Prometheus-style
+// metrics and structured request logging.
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// CycleBuckets are the histogram bounds for per-job simulated cycle
+// counts (log-spaced: jobs span toy graphs to suite-scale runs).
+var CycleBuckets = []float64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11}
+
+// SecondsBuckets are the histogram bounds for per-job wall time.
+var SecondsBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60}
+
+// Histogram is a fixed-bucket cumulative histogram, safe for
+// concurrent Observe.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // counts[i] = observations <= bounds[i]; last = +Inf
+	sum    float64
+	total  int64
+}
+
+// NewHistogram builds a histogram over the given ascending bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// write renders the histogram in Prometheus text format under name
+// with one fixed label pair.
+func (h *Histogram) write(w io.Writer, name, labelKey, labelVal string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, labelKey, labelVal, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, labelKey, labelVal, cum)
+	fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, labelKey, labelVal, h.sum)
+	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, labelKey, labelVal, cum)
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// Metrics is the daemon's observability surface: atomic counters and
+// gauges plus per-algorithm histograms, rendered in Prometheus text
+// format by WritePrometheus. The zero value is NOT ready; use
+// NewMetrics.
+type Metrics struct {
+	// Job lifecycle counters (monotonic).
+	JobsSubmitted atomic.Int64
+	JobsDone      atomic.Int64
+	JobsFailed    atomic.Int64
+	JobsCancelled atomic.Int64
+	JobsRejected  atomic.Int64 // queue-full 429s
+
+	// Gauges.
+	JobsQueued  atomic.Int64 // jobs waiting in the queue right now
+	JobsRunning atomic.Int64 // jobs executing right now
+
+	// Graph registry.
+	GraphsRegistered atomic.Int64 // gauge: graphs currently held
+	GraphsCreated    atomic.Int64 // counter: registrations ever accepted
+
+	// Engine cache.
+	EngineCacheHits      atomic.Int64
+	EngineCacheMisses    atomic.Int64
+	EngineCacheEvictions atomic.Int64
+	EngineCacheSize      atomic.Int64 // gauge
+
+	// HTTP plane.
+	HTTPRequests atomic.Int64
+
+	mu      sync.Mutex
+	cycles  map[string]*Histogram // per-algorithm simulated cycles
+	seconds map[string]*Histogram // per-algorithm wall time
+}
+
+// NewMetrics returns an initialized Metrics.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		cycles:  make(map[string]*Histogram),
+		seconds: make(map[string]*Histogram),
+	}
+}
+
+// ObserveJob records one finished job's simulated cycle count and
+// wall-clock duration under its algorithm name.
+func (m *Metrics) ObserveJob(algo string, cycles int64, wallSeconds float64) {
+	m.histogram(m.cycles, algo, CycleBuckets).Observe(float64(cycles))
+	m.histogram(m.seconds, algo, SecondsBuckets).Observe(wallSeconds)
+}
+
+func (m *Metrics) histogram(set map[string]*Histogram, algo string, bounds []float64) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := set[algo]
+	if !ok {
+		h = NewHistogram(bounds)
+		set[algo] = h
+	}
+	return h
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format, in deterministic order.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("cosparsed_jobs_submitted_total", "Jobs accepted into the queue.", m.JobsSubmitted.Load())
+	counter("cosparsed_jobs_done_total", "Jobs finished successfully.", m.JobsDone.Load())
+	counter("cosparsed_jobs_failed_total", "Jobs finished with an error (including deadline-exceeded).", m.JobsFailed.Load())
+	counter("cosparsed_jobs_cancelled_total", "Jobs cancelled by the client.", m.JobsCancelled.Load())
+	counter("cosparsed_jobs_rejected_total", "Job submissions rejected because the queue was full.", m.JobsRejected.Load())
+	gauge("cosparsed_queue_depth", "Jobs waiting in the queue.", m.JobsQueued.Load())
+	gauge("cosparsed_jobs_running", "Jobs currently executing.", m.JobsRunning.Load())
+	gauge("cosparsed_graphs_registered", "Graphs currently held in the registry.", m.GraphsRegistered.Load())
+	counter("cosparsed_graphs_created_total", "Graph registrations ever accepted.", m.GraphsCreated.Load())
+	counter("cosparsed_engine_cache_hits_total", "Prepared-engine cache hits.", m.EngineCacheHits.Load())
+	counter("cosparsed_engine_cache_misses_total", "Prepared-engine cache misses (engine built).", m.EngineCacheMisses.Load())
+	counter("cosparsed_engine_cache_evictions_total", "Prepared engines evicted from the LRU cache.", m.EngineCacheEvictions.Load())
+	gauge("cosparsed_engine_cache_size", "Prepared engines currently cached.", m.EngineCacheSize.Load())
+	counter("cosparsed_http_requests_total", "HTTP requests served.", m.HTTPRequests.Load())
+
+	m.mu.Lock()
+	cycleAlgos := sortedKeys(m.cycles)
+	secondAlgos := sortedKeys(m.seconds)
+	m.mu.Unlock()
+
+	if len(cycleAlgos) > 0 {
+		fmt.Fprintf(w, "# HELP cosparsed_job_cycles Simulated cycles per finished job.\n# TYPE cosparsed_job_cycles histogram\n")
+		for _, a := range cycleAlgos {
+			m.histogram(m.cycles, a, CycleBuckets).write(w, "cosparsed_job_cycles", "algo", a)
+		}
+	}
+	if len(secondAlgos) > 0 {
+		fmt.Fprintf(w, "# HELP cosparsed_job_seconds Wall-clock seconds per finished job.\n# TYPE cosparsed_job_seconds histogram\n")
+		for _, a := range secondAlgos {
+			m.histogram(m.seconds, a, SecondsBuckets).write(w, "cosparsed_job_seconds", "algo", a)
+		}
+	}
+}
+
+func sortedKeys(m map[string]*Histogram) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,329 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+
+	"cosparse"
+)
+
+// GraphSpec describes a graph to register: either generated on the
+// server (uniform / powerlaw / suite) or supplied inline as a
+// SNAP-style edge list. Exactly the JSON body of POST /v1/graphs.
+type GraphSpec struct {
+	// Name is an optional human label, echoed back in listings.
+	Name string `json:"name,omitempty"`
+	// Kind is "uniform", "powerlaw", "suite", or "edgelist".
+	Kind string `json:"kind"`
+	// Vertices/Edges size generated graphs (uniform, powerlaw).
+	Vertices int `json:"vertices,omitempty"`
+	Edges    int `json:"edges,omitempty"`
+	// Suite names a Table III stand-in ("livejournal", "pokec",
+	// "youtube", "twitter", "vsp"); Scale divides the published size.
+	Suite string `json:"suite,omitempty"`
+	Scale int    `json:"scale,omitempty"`
+	// Weighted attaches uniform (0,1] weights (SSSP/CF need them).
+	Weighted bool `json:"weighted,omitempty"`
+	// Seed drives deterministic generation (default 42).
+	Seed uint64 `json:"seed,omitempty"`
+	// EdgeList is a SNAP-style "src dst [weight]" text body for
+	// kind=edgelist; Undirected mirrors every edge.
+	EdgeList   string `json:"edge_list,omitempty"`
+	Undirected bool   `json:"undirected,omitempty"`
+}
+
+// Build materializes the spec, enforcing the registry's size limits.
+func (s GraphSpec) Build(maxVertices, maxEdges int) (*cosparse.Graph, error) {
+	mode := cosparse.Unweighted
+	if s.Weighted {
+		mode = cosparse.Weighted
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	switch strings.ToLower(s.Kind) {
+	case "uniform", "powerlaw":
+		if s.Vertices <= 0 || s.Edges <= 0 {
+			return nil, fmt.Errorf("kind %q needs positive vertices and edges, got %d/%d", s.Kind, s.Vertices, s.Edges)
+		}
+		if s.Vertices > maxVertices || s.Edges > maxEdges {
+			return nil, fmt.Errorf("graph too large: %d vertices / %d edges exceeds the server limit of %d/%d",
+				s.Vertices, s.Edges, maxVertices, maxEdges)
+		}
+		if strings.ToLower(s.Kind) == "uniform" {
+			return cosparse.GenerateUniform(s.Vertices, s.Edges, mode, seed)
+		}
+		return cosparse.GeneratePowerLaw(s.Vertices, s.Edges, mode, seed)
+	case "suite":
+		if s.Suite == "" {
+			return nil, fmt.Errorf("kind \"suite\" needs a suite name")
+		}
+		scale := s.Scale
+		if scale <= 0 {
+			scale = 64
+		}
+		g, err := cosparse.GenerateSuite(s.Suite, scale, mode, seed)
+		if err != nil {
+			return nil, err
+		}
+		if g.NumVertices() > maxVertices || g.NumEdges() > maxEdges {
+			return nil, fmt.Errorf("suite %q at scale 1/%d is %d vertices / %d edges, over the server limit of %d/%d — raise scale",
+				s.Suite, scale, g.NumVertices(), g.NumEdges(), maxVertices, maxEdges)
+		}
+		return g, nil
+	case "edgelist":
+		if strings.TrimSpace(s.EdgeList) == "" {
+			return nil, fmt.Errorf("kind \"edgelist\" needs a non-empty edge_list body")
+		}
+		g, err := cosparse.LoadEdgeList(strings.NewReader(s.EdgeList), s.Undirected)
+		if err != nil {
+			return nil, err
+		}
+		if g.NumVertices() > maxVertices || g.NumEdges() > maxEdges {
+			return nil, fmt.Errorf("edge list is %d vertices / %d edges, over the server limit of %d/%d",
+				g.NumVertices(), g.NumEdges(), maxVertices, maxEdges)
+		}
+		return g, nil
+	case "":
+		return nil, fmt.Errorf("missing graph kind (want uniform, powerlaw, suite, or edgelist)")
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q (want uniform, powerlaw, suite, or edgelist)", s.Kind)
+	}
+}
+
+// GraphEntry is one registered graph.
+type GraphEntry struct {
+	ID    string
+	Spec  GraphSpec
+	Graph *cosparse.Graph
+
+	refs int // running/queued jobs holding the graph
+}
+
+// GraphInfo is the JSON view of a registry entry.
+type GraphInfo struct {
+	ID       string `json:"id"`
+	Name     string `json:"name,omitempty"`
+	Kind     string `json:"kind"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Weighted bool   `json:"weighted"`
+	Refs     int    `json:"active_jobs"`
+}
+
+// engineEntry is one prepared engine in the LRU cache. runMu serializes
+// algorithm runs on the engine: a Framework is cheap to share but its
+// run loop is single-threaded by design (lazy reverse-graph init,
+// per-run scratch reuse), so concurrent jobs against the same cached
+// engine take turns while jobs on other engines proceed in parallel.
+type engineEntry struct {
+	key   string
+	eng   *cosparse.Engine
+	runMu sync.Mutex
+	elem  *list.Element
+}
+
+// Registry holds registered graphs (ref-counted by active jobs) and an
+// LRU-bounded cache of prepared engines keyed by graph × geometry. The
+// COO+CSC prep inside cosparse.New is the expensive part of serving a
+// job, so reusing a prepared engine is the service's main cache.
+type Registry struct {
+	mu        sync.Mutex
+	graphs    map[string]*GraphEntry
+	nextID    int
+	maxGraphs int
+
+	engines   map[string]*engineEntry
+	lru       *list.List // front = most recently used; values are *engineEntry
+	maxEngine int
+
+	maxVertices, maxEdges int
+	m                     *Metrics
+}
+
+// NewRegistry builds a registry bounded to maxGraphs registered graphs
+// and maxEngines cached engines, with per-graph size ceilings.
+func NewRegistry(maxGraphs, maxEngines, maxVertices, maxEdges int, m *Metrics) *Registry {
+	if maxGraphs <= 0 {
+		maxGraphs = 64
+	}
+	if maxEngines <= 0 {
+		maxEngines = 8
+	}
+	if maxVertices <= 0 {
+		maxVertices = 1 << 22
+	}
+	if maxEdges <= 0 {
+		maxEdges = 1 << 26
+	}
+	if m == nil {
+		m = NewMetrics()
+	}
+	return &Registry{
+		graphs:      make(map[string]*GraphEntry),
+		maxGraphs:   maxGraphs,
+		engines:     make(map[string]*engineEntry),
+		lru:         list.New(),
+		maxEngine:   maxEngines,
+		maxVertices: maxVertices,
+		maxEdges:    maxEdges,
+		m:           m,
+	}
+}
+
+// Register materializes spec and stores it under a fresh id ("g1",
+// "g2", ...).
+func (r *Registry) Register(spec GraphSpec) (*GraphEntry, error) {
+	g, err := spec.Build(r.maxVertices, r.maxEdges)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.graphs) >= r.maxGraphs {
+		return nil, fmt.Errorf("registry full: %d graphs registered (limit %d); delete one first", len(r.graphs), r.maxGraphs)
+	}
+	r.nextID++
+	e := &GraphEntry{ID: fmt.Sprintf("g%d", r.nextID), Spec: spec, Graph: g}
+	r.graphs[e.ID] = e
+	r.m.GraphsRegistered.Store(int64(len(r.graphs)))
+	r.m.GraphsCreated.Add(1)
+	return e, nil
+}
+
+// Get returns the entry for id, or nil.
+func (r *Registry) Get(id string) *GraphEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.graphs[id]
+}
+
+// List returns every registered graph's info, ordered by id number.
+func (r *Registry) List() []GraphInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]GraphInfo, 0, len(r.graphs))
+	for i := 1; i <= r.nextID; i++ {
+		if e, ok := r.graphs[fmt.Sprintf("g%d", i)]; ok {
+			out = append(out, r.infoLocked(e))
+		}
+	}
+	return out
+}
+
+// Info returns the JSON view of one graph, or ok=false.
+func (r *Registry) Info(id string) (GraphInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.graphs[id]
+	if !ok {
+		return GraphInfo{}, false
+	}
+	return r.infoLocked(e), true
+}
+
+func (r *Registry) infoLocked(e *GraphEntry) GraphInfo {
+	return GraphInfo{
+		ID:       e.ID,
+		Name:     e.Spec.Name,
+		Kind:     strings.ToLower(e.Spec.Kind),
+		Vertices: e.Graph.NumVertices(),
+		Edges:    e.Graph.NumEdges(),
+		Weighted: e.Spec.Weighted,
+		Refs:     e.refs,
+	}
+}
+
+// Acquire pins the graph for a job (Release must follow). It fails for
+// unknown ids.
+func (r *Registry) Acquire(id string) (*GraphEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.graphs[id]
+	if !ok {
+		return nil, fmt.Errorf("unknown graph %q", id)
+	}
+	e.refs++
+	return e, nil
+}
+
+// Release unpins the graph after a job finishes.
+func (r *Registry) Release(e *GraphEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.refs > 0 {
+		e.refs--
+	}
+}
+
+// Delete unregisters a graph and drops its cached engines. Graphs with
+// active jobs are protected.
+func (r *Registry) Delete(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.graphs[id]
+	if !ok {
+		return fmt.Errorf("unknown graph %q", id)
+	}
+	if e.refs > 0 {
+		return fmt.Errorf("graph %q has %d active jobs", id, e.refs)
+	}
+	delete(r.graphs, id)
+	r.m.GraphsRegistered.Store(int64(len(r.graphs)))
+	prefix := id + "/"
+	for k, ee := range r.engines {
+		if strings.HasPrefix(k, prefix) {
+			r.lru.Remove(ee.elem)
+			delete(r.engines, k)
+		}
+	}
+	r.m.EngineCacheSize.Store(int64(len(r.engines)))
+	return nil
+}
+
+// Engine returns a prepared engine for (graph, system), building and
+// caching it on a miss and evicting the least-recently-used engine
+// beyond the cache bound. The returned entry's runMu must be held for
+// the duration of an algorithm run.
+func (r *Registry) Engine(ge *GraphEntry, sys cosparse.System) (*engineEntry, error) {
+	key := ge.ID + "/" + sys.String()
+	r.mu.Lock()
+	if ee, ok := r.engines[key]; ok {
+		r.lru.MoveToFront(ee.elem)
+		r.m.EngineCacheHits.Add(1)
+		r.mu.Unlock()
+		return ee, nil
+	}
+	r.mu.Unlock()
+
+	// Build outside the registry lock: prep walks every edge and can
+	// dominate small-job latency; concurrent misses for the same key
+	// may race to build, and the loser's engine is simply dropped.
+	r.m.EngineCacheMisses.Add(1)
+	eng, err := cosparse.New(ge.Graph, sys)
+	if err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ee, ok := r.engines[key]; ok { // lost the build race
+		r.lru.MoveToFront(ee.elem)
+		return ee, nil
+	}
+	ee := &engineEntry{key: key, eng: eng}
+	ee.elem = r.lru.PushFront(ee)
+	r.engines[key] = ee
+	for r.lru.Len() > r.maxEngine {
+		oldest := r.lru.Back()
+		victim := oldest.Value.(*engineEntry)
+		r.lru.Remove(oldest)
+		delete(r.engines, victim.key)
+		r.m.EngineCacheEvictions.Add(1)
+	}
+	r.m.EngineCacheSize.Store(int64(len(r.engines)))
+	return ee, nil
+}

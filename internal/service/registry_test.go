@@ -1,0 +1,138 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"cosparse"
+)
+
+func TestGraphSpecBuildErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec GraphSpec
+		want string
+	}{
+		{"missing kind", GraphSpec{}, "missing graph kind"},
+		{"unknown kind", GraphSpec{Kind: "torus"}, "unknown graph kind"},
+		{"non-positive size", GraphSpec{Kind: "powerlaw", Vertices: 0, Edges: 10}, "positive vertices"},
+		{"too large", GraphSpec{Kind: "uniform", Vertices: 1 << 30, Edges: 10}, "server limit"},
+		{"suite unnamed", GraphSpec{Kind: "suite"}, "needs a suite name"},
+		{"suite unknown", GraphSpec{Kind: "suite", Suite: "orkut"}, "orkut"},
+		{"empty edgelist", GraphSpec{Kind: "edgelist"}, "non-empty"},
+	}
+	for _, c := range cases {
+		_, err := c.spec.Build(1<<20, 1<<22)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestGraphSpecBuildDeterministic(t *testing.T) {
+	spec := GraphSpec{Kind: "powerlaw", Vertices: 500, Edges: 2500, Seed: 9, Weighted: true}
+	g1, err := spec.Build(1<<20, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := spec.Build(1<<20, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumVertices() != g2.NumVertices() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("same spec, different graphs: %d/%d vs %d/%d",
+			g1.NumVertices(), g1.NumEdges(), g2.NumVertices(), g2.NumEdges())
+	}
+}
+
+func TestRegistryRefcountAndDelete(t *testing.T) {
+	m := NewMetrics()
+	r := NewRegistry(4, 2, 1<<20, 1<<22, m)
+	e, err := r.Register(GraphSpec{Kind: "uniform", Vertices: 100, Edges: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "g1" {
+		t.Fatalf("id = %q", e.ID)
+	}
+	ge, err := r.Acquire("g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete("g1"); err == nil {
+		t.Fatal("delete succeeded with an active reference")
+	}
+	r.Release(ge)
+	if err := r.Delete("g1"); err != nil {
+		t.Fatalf("delete after release: %v", err)
+	}
+	if _, err := r.Acquire("g1"); err == nil {
+		t.Fatal("acquire succeeded on a deleted graph")
+	}
+	if got := m.GraphsRegistered.Load(); got != 0 {
+		t.Fatalf("graphs gauge = %d", got)
+	}
+}
+
+func TestRegistryFull(t *testing.T) {
+	r := NewRegistry(1, 2, 1<<20, 1<<22, nil)
+	if _, err := r.Register(GraphSpec{Kind: "uniform", Vertices: 10, Edges: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register(GraphSpec{Kind: "uniform", Vertices: 10, Edges: 20}); err == nil {
+		t.Fatal("second register should hit the registry bound")
+	}
+}
+
+func TestEngineCacheLRU(t *testing.T) {
+	m := NewMetrics()
+	r := NewRegistry(8, 2, 1<<20, 1<<22, m)
+	var entries []*GraphEntry
+	for i := 0; i < 3; i++ {
+		e, err := r.Register(GraphSpec{Kind: "uniform", Vertices: 64, Edges: 256, Seed: uint64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, e)
+	}
+	sys := cosparse.System{Tiles: 2, PEsPerTile: 2}
+
+	e0a, err := r.Engine(entries[0], sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0b, _ := r.Engine(entries[0], sys) // hit
+	if e0a != e0b {
+		t.Fatal("hit returned a different engine entry")
+	}
+	r.Engine(entries[1], sys) // miss, cache = {g1, g2}
+	r.Engine(entries[2], sys) // miss, evicts g1 (LRU)
+
+	if hits := m.EngineCacheHits.Load(); hits != 1 {
+		t.Fatalf("hits = %d", hits)
+	}
+	if misses := m.EngineCacheMisses.Load(); misses != 3 {
+		t.Fatalf("misses = %d", misses)
+	}
+	if ev := m.EngineCacheEvictions.Load(); ev != 1 {
+		t.Fatalf("evictions = %d", ev)
+	}
+
+	// g1's engine was evicted: touching it again is a rebuild miss.
+	e0c, _ := r.Engine(entries[0], sys)
+	if e0c == e0a {
+		t.Fatal("evicted entry came back identical (not rebuilt)")
+	}
+	if misses := m.EngineCacheMisses.Load(); misses != 4 {
+		t.Fatalf("misses after rebuild = %d", misses)
+	}
+
+	// Distinct geometries cache separately.
+	r.Engine(entries[0], cosparse.System{Tiles: 4, PEsPerTile: 4})
+	if misses := m.EngineCacheMisses.Load(); misses != 5 {
+		t.Fatalf("geometry should miss separately, misses = %d", misses)
+	}
+	if size := m.EngineCacheSize.Load(); size != 2 {
+		t.Fatalf("cache size gauge = %d", size)
+	}
+}

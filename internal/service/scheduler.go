@@ -1,0 +1,218 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrQueueFull is returned by Submit when the bounded queue is
+// saturated; the HTTP layer maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("service: scheduler closed")
+
+// Scheduler runs jobs from a bounded queue on a fixed worker pool.
+// Saturation is surfaced to the caller as ErrQueueFull rather than
+// queuing unboundedly — backpressure is the contract.
+type Scheduler struct {
+	queue   chan *Job
+	workers int
+	run     func(*Job) (*JobResult, error)
+	m       *Metrics
+
+	// beforeRun, when set (tests), is called on the worker goroutine
+	// after dequeue and before execution; it may block to hold the
+	// worker in a known state.
+	beforeRun func(*Job)
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // insertion order for listings
+	nextID int
+	closed bool
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewScheduler builds a scheduler with the given worker count and
+// queue depth (both floored to 1) around run, the job executor.
+func NewScheduler(workers, depth int, run func(*Job) (*JobResult, error), m *Metrics) *Scheduler {
+	if workers <= 0 {
+		workers = 1
+	}
+	if depth <= 0 {
+		depth = 1
+	}
+	if m == nil {
+		m = NewMetrics()
+	}
+	s := &Scheduler{
+		queue:   make(chan *Job, depth),
+		workers: workers,
+		run:     run,
+		m:       m,
+		jobs:    make(map[string]*Job),
+		quit:    make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// SubmitJob enqueues j. On queue saturation it returns ErrQueueFull
+// without taking ownership (the caller releases its pins).
+func (s *Scheduler) SubmitJob(j *Job, timeout time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	j.id = fmt.Sprintf("j%d", s.nextID+1)
+	j.created = time.Now()
+	j.state = JobQueued
+	j.done = make(chan struct{})
+	j.ctx, j.cancel = context.WithTimeout(context.Background(), timeout)
+	// The enqueue attempt stays under the lock (it never blocks) so a
+	// rejected submission spends no id and a worker can only see jobs
+	// that are already in the map.
+	select {
+	case s.queue <- j:
+		s.nextID++
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.mu.Unlock()
+		s.m.JobsSubmitted.Add(1)
+		s.m.JobsQueued.Add(1)
+		return nil
+	default:
+		s.mu.Unlock()
+		j.cancel()
+		s.m.JobsRejected.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// Get returns the job by id, or nil.
+func (s *Scheduler) Get(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// List returns every job's status in submission order.
+func (s *Scheduler) List() []JobStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	return out
+}
+
+// Cancel stops the job: a queued job terminates immediately, a running
+// one at its next iteration boundary. It returns false for unknown
+// ids.
+func (s *Scheduler) Cancel(id string) bool {
+	j := s.Get(id)
+	if j == nil {
+		return false
+	}
+	j.cancel()
+	// A queued job will never reach a worker transition, so settle it
+	// here; a running job settles on its worker, which observes the
+	// cancelled context at the next iteration boundary.
+	j.mu.Lock()
+	queued := j.state == JobQueued
+	j.mu.Unlock()
+	if queued {
+		if j.finish(JobCancelled, nil, "cancelled by client") {
+			s.m.JobsCancelled.Add(1)
+		}
+	}
+	return true
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.m.JobsQueued.Add(-1)
+			if s.beforeRun != nil {
+				s.beforeRun(j)
+			}
+			if !j.start() {
+				// Terminal already (cancelled while queued): the
+				// canceller settled it.
+				j.cancel()
+				continue
+			}
+			s.m.JobsRunning.Add(1)
+			res, err := s.run(j)
+			s.m.JobsRunning.Add(-1)
+			switch {
+			case err == nil:
+				if j.finish(JobDone, res, "") {
+					s.m.JobsDone.Add(1)
+				}
+			case errors.Is(err, context.Canceled):
+				if j.finish(JobCancelled, nil, err.Error()) {
+					s.m.JobsCancelled.Add(1)
+				}
+			default:
+				if j.finish(JobFailed, nil, err.Error()) {
+					s.m.JobsFailed.Add(1)
+				}
+			}
+			j.cancel() // release the deadline timer
+		}
+	}
+}
+
+// Close stops accepting submissions, cancels every live job, and waits
+// for the workers to drain.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+	}
+	close(s.quit)
+	s.wg.Wait()
+	// Settle anything still queued after the workers stopped.
+	for {
+		select {
+		case j := <-s.queue:
+			s.m.JobsQueued.Add(-1)
+			if j.finish(JobCancelled, nil, "server shutting down") {
+				s.m.JobsCancelled.Add(1)
+			}
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,468 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"time"
+
+	"cosparse"
+)
+
+// Config tunes a Service. Zero fields take the documented defaults.
+type Config struct {
+	// Workers is the job worker-pool size (default 2).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting to run; submissions
+	// beyond it get 429 (default 16).
+	QueueDepth int
+	// EngineCacheSize bounds the LRU cache of prepared engines
+	// (default 8).
+	EngineCacheSize int
+	// MaxGraphs bounds the registry (default 64).
+	MaxGraphs int
+	// MaxVertices/MaxEdges cap any single registered graph.
+	MaxVertices int
+	MaxEdges    int
+	// DefaultSystem is the geometry used when a job names none
+	// (default 16×16). MaxTiles/MaxPEs cap per-job overrides
+	// (default 64 each).
+	DefaultSystem cosparse.System
+	MaxTiles      int
+	MaxPEs        int
+	// DefaultTimeout / MaxTimeout bound per-job deadlines
+	// (defaults 30s / 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Logger receives structured request and job logs (default: slog
+	// text to stderr via slog.Default).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.EngineCacheSize <= 0 {
+		c.EngineCacheSize = 8
+	}
+	if c.MaxGraphs <= 0 {
+		c.MaxGraphs = 64
+	}
+	if c.MaxVertices <= 0 {
+		c.MaxVertices = 1 << 22
+	}
+	if c.MaxEdges <= 0 {
+		c.MaxEdges = 1 << 26
+	}
+	if c.DefaultSystem.Tiles <= 0 || c.DefaultSystem.PEsPerTile <= 0 {
+		c.DefaultSystem = cosparse.System{Tiles: 16, PEsPerTile: 16}
+	}
+	if c.MaxTiles <= 0 {
+		c.MaxTiles = 64
+	}
+	if c.MaxPEs <= 0 {
+		c.MaxPEs = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Service is the cosparsed daemon: registry + scheduler + metrics
+// behind an HTTP/JSON API.
+type Service struct {
+	cfg   Config
+	m     *Metrics
+	reg   *Registry
+	sched *Scheduler
+	log   *slog.Logger
+	start time.Time
+}
+
+// New assembles a Service (call Close when done).
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	m := NewMetrics()
+	s := &Service{
+		cfg:   cfg,
+		m:     m,
+		reg:   NewRegistry(cfg.MaxGraphs, cfg.EngineCacheSize, cfg.MaxVertices, cfg.MaxEdges, m),
+		log:   cfg.Logger,
+		start: time.Now(),
+	}
+	s.sched = NewScheduler(cfg.Workers, cfg.QueueDepth, s.runJob, m)
+	return s
+}
+
+// Close drains the worker pool, cancelling live jobs.
+func (s *Service) Close() { s.sched.Close() }
+
+// Metrics exposes the service's counters (for the daemon's own use).
+func (s *Service) Metrics() *Metrics { return s.m }
+
+// Handler returns the full HTTP API with request logging attached.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
+	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
+	mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleDeleteGraph)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.logging(mux)
+}
+
+// statusWriter captures the response code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// logging is the structured request-log middleware.
+func (s *Service) logging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.m.HTTPRequests.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.log.Info("http",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Int("bytes", sw.bytes),
+			slog.Duration("dur", time.Since(t0)),
+		)
+	})
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Service) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
+	var spec GraphSpec
+	if err := decodeBody(r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad graph spec: %v", err)
+		return
+	}
+	e, err := s.reg.Register(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	info, _ := s.reg.Info(e.ID)
+	s.log.Info("graph registered",
+		slog.String("graph", e.ID),
+		slog.String("kind", info.Kind),
+		slog.Int("vertices", info.Vertices),
+		slog.Int("edges", info.Edges),
+	)
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Service) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": s.reg.List()})
+}
+
+func (s *Service) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.reg.Info(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Service) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Delete(r.PathValue("id")); err != nil {
+		code := http.StatusNotFound
+		if ge := s.reg.Get(r.PathValue("id")); ge != nil {
+			code = http.StatusConflict // exists but busy
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("id")})
+}
+
+func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job request: %v", err)
+		return
+	}
+	j, err := s.buildJob(req)
+	if err != nil {
+		var nf *notFoundError
+		if errors.As(err, &nf) {
+			writeError(w, http.StatusNotFound, "%v", err)
+		} else {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	if err := s.sched.SubmitJob(j, timeout); err != nil {
+		j.release() // the job never entered the queue; unpin here
+		if errors.Is(err, ErrQueueFull) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		} else {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		}
+		return
+	}
+	s.log.Info("job queued",
+		slog.String("job", j.id),
+		slog.String("graph", j.req.GraphID),
+		slog.String("algo", j.algo.String()),
+		slog.String("system", j.sys.String()),
+	)
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+// notFoundError marks validation failures that should map to 404.
+type notFoundError struct{ msg string }
+
+func (e *notFoundError) Error() string { return e.msg }
+
+// buildJob validates the request against the registry and pins the
+// graph. On success the caller owns the release (via scheduler finish
+// or explicit call on submit failure).
+func (s *Service) buildJob(req JobRequest) (*Job, error) {
+	algo, err := cosparse.ParseAlgo(req.Algo)
+	if err != nil {
+		return nil, err
+	}
+	sys := s.cfg.DefaultSystem
+	if req.Tiles != 0 || req.PEs != 0 {
+		if req.Tiles <= 0 || req.PEs <= 0 {
+			return nil, fmt.Errorf("tiles and pes must both be positive, got %d/%d", req.Tiles, req.PEs)
+		}
+		if req.Tiles > s.cfg.MaxTiles || req.PEs > s.cfg.MaxPEs {
+			return nil, fmt.Errorf("geometry %dx%d exceeds the server limit %dx%d", req.Tiles, req.PEs, s.cfg.MaxTiles, s.cfg.MaxPEs)
+		}
+		sys = cosparse.System{Tiles: req.Tiles, PEsPerTile: req.PEs}
+	}
+	if req.Iterations < 0 {
+		return nil, fmt.Errorf("iterations must be positive, got %d", req.Iterations)
+	}
+	if req.Iterations == 0 {
+		req.Iterations = 10
+	}
+	if req.Alpha == 0 {
+		req.Alpha = 0.15
+	}
+	if req.Beta == 0 {
+		req.Beta = 0.05
+	}
+	if req.Lambda == 0 {
+		req.Lambda = 0.01
+	}
+	ge, err := s.reg.Acquire(req.GraphID)
+	if err != nil {
+		return nil, &notFoundError{msg: err.Error()}
+	}
+	if algo.NeedsSource() && (req.Source < 0 || int(req.Source) >= ge.Graph.NumVertices()) {
+		s.reg.Release(ge)
+		return nil, fmt.Errorf("source %d out of range [0,%d)", req.Source, ge.Graph.NumVertices())
+	}
+	j := &Job{req: req, algo: algo, sys: sys, graph: ge}
+	j.release = func() { s.reg.Release(ge) }
+	return j, nil
+}
+
+// runJob executes one job on a worker goroutine; the scheduler maps
+// its error into the job's terminal state.
+func (s *Service) runJob(j *Job) (*JobResult, error) {
+	ee, err := s.reg.Engine(j.graph, j.sys)
+	if err != nil {
+		return nil, err
+	}
+	// One run at a time per engine; jobs on other engines proceed in
+	// parallel on the remaining workers.
+	ee.runMu.Lock()
+	defer ee.runMu.Unlock()
+	if err := j.ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	t0 := time.Now()
+	res := &JobResult{Algo: j.algo.String()}
+	var rep *cosparse.Report
+	switch j.algo {
+	case cosparse.AlgoBFS:
+		var out *cosparse.BFSResult
+		out, rep, err = ee.eng.BFSContext(j.ctx, j.req.Source)
+		if err == nil {
+			for _, l := range out.Level {
+				if l >= 0 {
+					res.Reached++
+				}
+			}
+			res.Summary = fmt.Sprintf("bfs from %d reached %d/%d vertices", j.req.Source, res.Reached, j.graph.Graph.NumVertices())
+		}
+	case cosparse.AlgoSSSP:
+		var dist []float32
+		dist, rep, err = ee.eng.SSSPContext(j.ctx, j.req.Source)
+		if err == nil {
+			sum := 0.0
+			for _, d := range dist {
+				if !math.IsInf(float64(d), 1) {
+					sum += float64(d)
+					res.Reached++
+				}
+			}
+			if res.Reached > 0 {
+				res.MeanDistance = sum / float64(res.Reached)
+			}
+			res.Summary = fmt.Sprintf("sssp from %d reached %d vertices, mean distance %.4f", j.req.Source, res.Reached, res.MeanDistance)
+		}
+	case cosparse.AlgoPageRank:
+		var pr []float32
+		pr, rep, err = ee.eng.PageRankContext(j.ctx, j.req.Iterations, float32(j.req.Alpha))
+		if err == nil {
+			for i, v := range pr {
+				if float64(v) > res.TopScore {
+					res.TopVertex, res.TopScore = int32(i), float64(v)
+				}
+			}
+			res.Summary = fmt.Sprintf("pagerank(%d iters): top vertex %d score %.5f", j.req.Iterations, res.TopVertex, res.TopScore)
+		}
+	case cosparse.AlgoCF:
+		_, rep, err = ee.eng.CFContext(j.ctx, j.req.Iterations, float32(j.req.Beta), float32(j.req.Lambda))
+		if err == nil {
+			res.Summary = fmt.Sprintf("cf trained %d iterations", j.req.Iterations)
+		}
+	default:
+		err = fmt.Errorf("algorithm %q not runnable as a job", j.algo)
+	}
+	wall := time.Since(t0)
+	if err != nil {
+		s.log.Warn("job stopped",
+			slog.String("job", j.id),
+			slog.String("algo", j.algo.String()),
+			slog.Duration("wall", wall),
+			slog.String("err", err.Error()),
+		)
+		return nil, err
+	}
+
+	res.Iterations = len(rep.Iterations)
+	res.TotalCycles = rep.TotalCycles
+	res.SimSeconds = rep.Seconds
+	res.EnergyJ = rep.EnergyJ
+	res.WallMs = float64(wall) / float64(time.Millisecond)
+	if j.req.IncludeTrace {
+		res.Report = rep
+	}
+	s.m.ObserveJob(j.algo.String(), rep.TotalCycles, wall.Seconds())
+	s.log.Info("job done",
+		slog.String("job", j.id),
+		slog.String("algo", j.algo.String()),
+		slog.Int64("cycles", rep.TotalCycles),
+		slog.Duration("wall", wall),
+	)
+	return res, nil
+}
+
+func (s *Service) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.sched.List()})
+}
+
+func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j := s.sched.Get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Service) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	if !s.sched.Cancel(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sched.Get(r.PathValue("id")).Status())
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "ok",
+		"uptime_ms":    time.Since(s.start).Milliseconds(),
+		"graphs":       s.m.GraphsRegistered.Load(),
+		"jobs_running": s.m.JobsRunning.Load(),
+		"queue_depth":  s.m.JobsQueued.Load(),
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.m.WritePrometheus(w)
+}
+
+// decodeBody strictly decodes one JSON object from the request body.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}

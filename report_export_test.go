@@ -7,6 +7,112 @@ import (
 	"testing"
 )
 
+// goldenReport is a hand-built report with every field populated, for
+// byte-exact format tests: the cosparsed service hands WriteJSON/
+// WriteCSV bytes to clients, so field names, order, and number
+// formatting are API surface.
+func goldenReport() *Report {
+	return &Report{
+		Algorithm: "SSSP",
+		System:    System{Tiles: 4, PEsPerTile: 8},
+		Iterations: []IterationStat{
+			{Iter: 0, FrontierSize: 1, Density: 0.001, Software: "OP", Hardware: "PC", Reconfigured: false, Cycles: 1200, EnergyJ: 0.25},
+			{Iter: 1, FrontierSize: 500, Density: 0.5, Software: "IP", Hardware: "SCS", Reconfigured: true, Cycles: 34000, EnergyJ: 1.5},
+		},
+		TotalCycles: 35200,
+		Seconds:     3.52e-05,
+		EnergyJ:     1.75,
+		AvgPowerW:   49715.909090909096,
+	}
+}
+
+func TestReportJSONGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenReport().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "Algorithm": "SSSP",
+  "System": {
+    "Tiles": 4,
+    "PEsPerTile": 8
+  },
+  "Iterations": [
+    {
+      "Iter": 0,
+      "FrontierSize": 1,
+      "Density": 0.001,
+      "Software": "OP",
+      "Hardware": "PC",
+      "Reconfigured": false,
+      "Cycles": 1200,
+      "EnergyJ": 0.25
+    },
+    {
+      "Iter": 1,
+      "FrontierSize": 500,
+      "Density": 0.5,
+      "Software": "IP",
+      "Hardware": "SCS",
+      "Reconfigured": true,
+      "Cycles": 34000,
+      "EnergyJ": 1.5
+    }
+  ],
+  "TotalCycles": 35200,
+  "Seconds": 0.0000352,
+  "EnergyJ": 1.75,
+  "AvgPowerW": 49715.909090909096
+}
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("WriteJSON drifted from the golden output:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestReportCSVGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenReport().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "iter,frontier,density,software,hardware,reconfigured,cycles,energy_j\n" +
+		"0,1,0.001,OP,PC,false,1200,0.25\n" +
+		"1,500,0.5,IP,SCS,true,34000,1.5\n"
+	if got := sb.String(); got != want {
+		t.Fatalf("WriteCSV drifted from the golden output:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestReportExportDeterministic(t *testing.T) {
+	g := testGraph(t)
+	eng := testEngine(t, g)
+	_, rep, err := eng.SSSP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b strings.Builder
+	if err := rep.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two WriteJSON calls on the same report differ")
+	}
+	a.Reset()
+	b.Reset()
+	if err := rep.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two WriteCSV calls on the same report differ")
+	}
+}
+
 func TestReportJSONRoundTrip(t *testing.T) {
 	g := testGraph(t)
 	eng := testEngine(t, g)
