@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench clean
+.PHONY: all build vet test race chaos fuzz check bench clean
 
 all: check
 
@@ -13,8 +13,20 @@ vet:
 test:
 	$(GO) test ./...
 
-race:
+race: chaos fuzz
 	$(GO) test -race -short ./...
+
+# chaos runs the fault-injection suite under the race detector: hundreds
+# of jobs against an armed injector (panics, transient errors, latency)
+# plus the graceful-drain paths.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestDrain' -count=1 ./internal/service
+
+# fuzz gives each parser fuzz target a short budget; crashes land in
+# internal/gen/testdata/fuzz for triage.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParseSNAP -fuzztime=10s ./internal/gen
+	$(GO) test -run='^$$' -fuzz=FuzzParseMatrixMarket -fuzztime=10s ./internal/gen
 
 # check is the tier-1 gate: everything must pass before a commit.
 check: vet build race

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"cosparse"
+	"cosparse/internal/fault"
 	"cosparse/internal/service"
 )
 
@@ -48,6 +49,12 @@ func main() {
 	pes := flag.Int("pes", 16, "default simulated PEs per tile")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-job deadline")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "ceiling on client-requested job deadlines")
+	memBudget := flag.Int64("mem-budget", 2<<30, "estimated-resident-bytes budget for registered graphs; loads beyond it get 413 (0 = unlimited)")
+	maxBody := flag.Int64("max-body", 64<<20, "request body size limit in bytes (oversize bodies get 413)")
+	retries := flag.Int("retries", 3, "max automatic re-runs of a transiently failing job (backoff between attempts)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long in-flight jobs get to finish on SIGTERM before being cancelled")
+	faultSpec := flag.String("fault-spec", "", "arm deterministic fault injection, e.g. 'scheduler.job_run:err=0.1,transient=true' (testing only)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for -fault-spec decisions")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	flag.Parse()
 
@@ -60,6 +67,22 @@ func main() {
 	if *timeout <= 0 || *maxTimeout < *timeout {
 		fail(fmt.Errorf("need 0 < -timeout <= -max-timeout, got %s/%s", *timeout, *maxTimeout))
 	}
+	if *maxBody <= 0 || *retries < 0 || *drainTimeout <= 0 {
+		fail(fmt.Errorf("need -max-body > 0, -retries >= 0, -drain-timeout > 0"))
+	}
+
+	if *retries == 0 {
+		*retries = -1 // RetryPolicy: 0 means default, negative disables
+	}
+
+	var inject *fault.Injector
+	if *faultSpec != "" {
+		var err error
+		inject, err = fault.ParseSpec(*faultSeed, *faultSpec)
+		if err != nil {
+			fail(fmt.Errorf("-fault-spec: %w", err))
+		}
+	}
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
 	if *logJSON {
@@ -68,16 +91,20 @@ func main() {
 	logger := slog.New(handler)
 
 	svc := service.New(service.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		EngineCacheSize: *cache,
-		MaxGraphs:       *maxGraphs,
-		MaxVertices:     *maxVertices,
-		MaxEdges:        *maxEdges,
-		DefaultSystem:   cosparse.System{Tiles: *tiles, PEsPerTile: *pes},
-		DefaultTimeout:  *timeout,
-		MaxTimeout:      *maxTimeout,
-		Logger:          logger,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		EngineCacheSize:   *cache,
+		MaxGraphs:         *maxGraphs,
+		MaxVertices:       *maxVertices,
+		MaxEdges:          *maxEdges,
+		DefaultSystem:     cosparse.System{Tiles: *tiles, PEsPerTile: *pes},
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		MemoryBudgetBytes: *memBudget,
+		MaxBodyBytes:      *maxBody,
+		Retry:             service.RetryPolicy{MaxRetries: *retries},
+		Faults:            inject,
+		Logger:            logger,
 	})
 	defer svc.Close()
 
@@ -85,6 +112,9 @@ func main() {
 		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      *maxTimeout + time.Minute,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -98,7 +128,14 @@ func main() {
 
 	select {
 	case <-ctx.Done():
-		logger.Info("shutting down")
+		// Graceful drain: /readyz flips to 503 immediately, queued jobs
+		// are failed, and in-flight jobs get -drain-timeout to finish
+		// before being cancelled. Only then is the listener closed, so
+		// clients can still poll job status during the drain.
+		logger.Info("shutting down", slog.Duration("drain_timeout", *drainTimeout))
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+		_ = svc.Drain(drainCtx)
+		cancelDrain()
 		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shCtx); err != nil {

@@ -228,6 +228,16 @@ func WithMaxIterations(n int) Option {
 	return func(o *runtime.Options) { o.MaxIters = n }
 }
 
+// WithIterationHook installs fn at every iteration boundary, right
+// after the context check and before the SpMV is issued. A non-nil
+// return stops the run like a cancelled context: the Context entry
+// points return the partial report together with the (wrapped) error.
+// The serving layer uses this to thread fault injection and health
+// checks through the simulated engine's run path.
+func WithIterationHook(fn func(iter int) error) Option {
+	return func(o *runtime.Options) { o.IterHook = fn }
+}
+
 // Thresholds tunes the reconfiguration decision tree (§III-C). Zero
 // fields keep the calibrated defaults.
 type Thresholds struct {

@@ -1,0 +1,62 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSNAP throws arbitrary text at the SNAP edge-list reader. The
+// parser must either return an error or a matrix that passes Validate
+// with a square shape — never panic or hang.
+func FuzzParseSNAP(f *testing.F) {
+	f.Add("0 1\n1 2\n2 0\n", false)
+	f.Add("# comment\n% other comment style\n3 4 0.5\n4 3 2\n", true)
+	f.Add("10 20\n20 10\n10 10\n", false)
+	f.Add("", false)
+	f.Add("a b\n", false)
+	f.Add("1\n", true)
+	f.Add("-5 7\n7 -5\n", false)
+	f.Add("9223372036854775807 0\n", false)
+	f.Add("0 1 NaN\n", true)
+	f.Add("0 0\n0 0\n0 0\n", false)
+
+	f.Fuzz(func(t *testing.T, data string, undirected bool) {
+		m, err := ReadEdgeList(strings.NewReader(data), undirected)
+		if err != nil {
+			return
+		}
+		if m.R != m.C {
+			t.Fatalf("edge list produced non-square %dx%d matrix", m.R, m.C)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted matrix fails validation: %v", err)
+		}
+	})
+}
+
+// FuzzParseMatrixMarket throws arbitrary text at the MatrixMarket
+// reader: error or a valid matrix whose entries respect the declared
+// dimensions, never a panic — in particular not from a hostile size
+// line (negative or absurd nnz, dimensions beyond int32).
+func FuzzParseMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n3 3 2\n1 2 0.5\n3 1 -1\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n4 4 3\n1 2\n2 3\n4 4\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n2 2 1\n2 2 7\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 -1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 99999999999999999\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n99999999999 99999999999 1\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix array real general\n2 2\n")
+	f.Add("not a header\n1 1 1\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 1\n5 5 1\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		m, err := ReadMatrixMarket(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted matrix fails validation: %v", err)
+		}
+	})
+}

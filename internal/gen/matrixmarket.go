@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -65,8 +66,20 @@ func ReadMatrixMarket(r io.Reader) (*matrix.COO, error) {
 	if rows <= 0 || cols <= 0 {
 		return nil, fmt.Errorf("gen: MatrixMarket: bad dimensions %dx%d", rows, cols)
 	}
+	if rows > math.MaxInt32 || cols > math.MaxInt32 {
+		return nil, fmt.Errorf("gen: MatrixMarket: dimensions %dx%d exceed 32-bit indices", rows, cols)
+	}
+	if nnz < 0 {
+		return nil, fmt.Errorf("gen: MatrixMarket: negative entry count %d", nnz)
+	}
 
-	elems := make([]matrix.Coord, 0, nnz)
+	// The size line is untrusted: cap the pre-allocation so a forged
+	// entry count can't allocate unboundedly — append grows as needed.
+	prealloc := nnz
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	elems := make([]matrix.Coord, 0, prealloc)
 	count := 0
 	for sc.Scan() && count < nnz {
 		line := strings.TrimSpace(sc.Text())

@@ -125,6 +125,13 @@ type Options struct {
 	// semiring keeps a dense frontier). The callback must not retain or
 	// mutate the frontier.
 	OnIteration func(st IterStat, next *matrix.SparseVec)
+
+	// IterHook, if set, is consulted at every iteration boundary right
+	// after the context check, before the SpMV is issued. A non-nil
+	// error stops the run the same way a cancelled context does: the
+	// partial report is returned alongside the (wrapped) error. The
+	// serving layer uses this for fault injection and health probes.
+	IterHook func(iter int) error
 }
 
 // Framework is a CoSPARSE instance bound to one graph: it owns the two
@@ -325,6 +332,11 @@ func (f *Framework) driver(ctx context.Context, name string, ring semiring.Semir
 	for iter := 0; iter < maxIters; iter++ {
 		if err := ctx.Err(); err != nil {
 			return vals, rep, fmt.Errorf("runtime: %s stopped after %d iterations: %w", name, len(rep.Iters), err)
+		}
+		if f.opts.IterHook != nil {
+			if err := f.opts.IterHook(iter); err != nil {
+				return vals, rep, fmt.Errorf("runtime: %s stopped after %d iterations: %w", name, len(rep.Iters), err)
+			}
 		}
 		var nnzF int
 		if ring.DenseFrontier {

@@ -85,6 +85,7 @@ type JobStatus struct {
 	Algo     string     `json:"algo"`
 	System   string     `json:"system"`
 	State    JobState   `json:"state"`
+	Retries  int        `json:"retries,omitempty"`
 	Error    string     `json:"error,omitempty"`
 	Result   *JobResult `json:"result,omitempty"`
 	Created  time.Time  `json:"created"`
@@ -111,6 +112,7 @@ type Job struct {
 
 	mu       sync.Mutex
 	state    JobState
+	retries  int // completed backoff re-runs after transient failures
 	errMsg   string
 	result   *JobResult
 	created  time.Time
@@ -141,6 +143,7 @@ func (j *Job) Status() JobStatus {
 		Algo:    j.algo.String(),
 		System:  j.sys.String(),
 		State:   j.state,
+		Retries: j.retries,
 		Error:   j.errMsg,
 		Result:  j.result,
 		Created: j.created,
@@ -154,6 +157,20 @@ func (j *Job) Status() JobStatus {
 		st.Finished = &t
 	}
 	return st
+}
+
+// Retries returns how many backoff re-runs the job has taken.
+func (j *Job) Retries() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.retries
+}
+
+// noteRetry records one transient-failure re-run.
+func (j *Job) noteRetry() {
+	j.mu.Lock()
+	j.retries++
+	j.mu.Unlock()
 }
 
 // start transitions queued → running; false if the job was already

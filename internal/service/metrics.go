@@ -84,10 +84,18 @@ type Metrics struct {
 	JobsFailed    atomic.Int64
 	JobsCancelled atomic.Int64
 	JobsRejected  atomic.Int64 // queue-full 429s
+	JobsRetried   atomic.Int64 // transient-failure retries (backoff re-runs)
+
+	// Resilience.
+	Panics            atomic.Int64 // recovered panics (workers + HTTP handlers)
+	AdmissionRejected atomic.Int64 // graph loads refused by the memory budget (413s)
+	EnginePressure    atomic.Int64 // engine builds refused because too many were in flight
 
 	// Gauges.
-	JobsQueued  atomic.Int64 // jobs waiting in the queue right now
-	JobsRunning atomic.Int64 // jobs executing right now
+	JobsQueued   atomic.Int64 // jobs waiting in the queue right now
+	JobsRunning  atomic.Int64 // jobs executing right now
+	WorkersAlive atomic.Int64 // live worker goroutines (drops only on drain/close)
+	GraphBytes   atomic.Int64 // estimated resident bytes of registered graphs
 
 	// Graph registry.
 	GraphsRegistered atomic.Int64 // gauge: graphs currently held
@@ -148,8 +156,14 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("cosparsed_jobs_failed_total", "Jobs finished with an error (including deadline-exceeded).", m.JobsFailed.Load())
 	counter("cosparsed_jobs_cancelled_total", "Jobs cancelled by the client.", m.JobsCancelled.Load())
 	counter("cosparsed_jobs_rejected_total", "Job submissions rejected because the queue was full.", m.JobsRejected.Load())
+	counter("cosparsed_job_retries_total", "Job re-runs after a transient failure (retry with backoff).", m.JobsRetried.Load())
+	counter("cosparsed_panics_total", "Panics recovered in workers and HTTP handlers.", m.Panics.Load())
+	counter("cosparsed_admission_rejected_total", "Graph registrations refused by the memory budget.", m.AdmissionRejected.Load())
+	counter("cosparsed_engine_pressure_total", "Engine builds refused because the build-concurrency limit was reached.", m.EnginePressure.Load())
 	gauge("cosparsed_queue_depth", "Jobs waiting in the queue.", m.JobsQueued.Load())
 	gauge("cosparsed_jobs_running", "Jobs currently executing.", m.JobsRunning.Load())
+	gauge("cosparsed_workers", "Live worker goroutines.", m.WorkersAlive.Load())
+	gauge("cosparsed_graph_bytes", "Estimated resident bytes of registered graphs.", m.GraphBytes.Load())
 	gauge("cosparsed_graphs_registered", "Graphs currently held in the registry.", m.GraphsRegistered.Load())
 	counter("cosparsed_graphs_created_total", "Graph registrations ever accepted.", m.GraphsCreated.Load())
 	counter("cosparsed_engine_cache_hits_total", "Prepared-engine cache hits.", m.EngineCacheHits.Load())

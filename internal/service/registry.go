@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"cosparse"
+	"cosparse/internal/fault"
 )
 
 // GraphSpec describes a graph to register: either generated on the
@@ -100,7 +101,35 @@ type GraphEntry struct {
 	Spec  GraphSpec
 	Graph *cosparse.Graph
 
-	refs int // running/queued jobs holding the graph
+	refs  int   // running/queued jobs holding the graph
+	bytes int64 // EstimateGraphBytes at registration, charged to the budget
+}
+
+// EstimateGraphBytes models the steady-state resident footprint of
+// serving one graph, from its CSR/CSC-level dimensions alone: the COO
+// copy (row + col + val, 12 B/edge), the out-degree array (4 B/vertex),
+// one prepared engine's CSC copy (row + val, 8 B/edge, plus a 4-byte
+// column pointer per vertex), and IP/OP partition metadata (~8 B/vertex).
+// Admission control compares this estimate — computable before any
+// allocation happens — against the configured budget.
+func EstimateGraphBytes(vertices, edges int) int64 {
+	v, e := int64(vertices), int64(edges)
+	return e*12 + v*4 + (e*8 + (v+1)*4) + v*8
+}
+
+// BudgetError is an admission-control rejection: registering the graph
+// would push the estimated resident bytes past the configured budget.
+// The HTTP layer maps it to 413 Payload Too Large.
+type BudgetError struct {
+	EstimateBytes int64
+	UsedBytes     int64
+	BudgetBytes   int64
+}
+
+// Error implements the error interface.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("graph admission refused: estimated %d bytes would exceed the memory budget (%d of %d bytes in use); delete a graph or raise -mem-budget",
+		e.EstimateBytes, e.UsedBytes, e.BudgetBytes)
 }
 
 // GraphInfo is the JSON view of a registry entry.
@@ -140,7 +169,20 @@ type Registry struct {
 	lru       *list.List // front = most recently used; values are *engineEntry
 	maxEngine int
 
+	// building counts engine preps in flight; beyond buildLimit,
+	// Engine fails with a transient cache-pressure error that the
+	// scheduler retries with backoff (prep walks every edge, so
+	// unbounded concurrent builds are a memory and CPU spike).
+	building   int
+	buildLimit int
+
+	// budgetBytes caps the estimated resident footprint of all
+	// registered graphs (0 = unlimited); usedBytes is the current sum.
+	budgetBytes int64
+	usedBytes   int64
+
 	maxVertices, maxEdges int
+	inject                *fault.Injector
 	m                     *Metrics
 }
 
@@ -168,15 +210,71 @@ func NewRegistry(maxGraphs, maxEngines, maxVertices, maxEdges int, m *Metrics) *
 		engines:     make(map[string]*engineEntry),
 		lru:         list.New(),
 		maxEngine:   maxEngines,
+		buildLimit:  maxEngines,
 		maxVertices: maxVertices,
 		maxEdges:    maxEdges,
 		m:           m,
 	}
 }
 
+// SetMemoryBudget caps the estimated resident bytes of registered
+// graphs; 0 disables admission control. Call before serving traffic.
+func (r *Registry) SetMemoryBudget(bytes int64) {
+	r.mu.Lock()
+	r.budgetBytes = bytes
+	r.mu.Unlock()
+}
+
+// SetBuildLimit bounds concurrent engine builds (floored to 1). Call
+// before serving traffic.
+func (r *Registry) SetBuildLimit(n int) {
+	if n <= 0 {
+		n = 1
+	}
+	r.mu.Lock()
+	r.buildLimit = n
+	r.mu.Unlock()
+}
+
+// SetFaults installs the fault injector (nil = disarmed). Call before
+// serving traffic.
+func (r *Registry) SetFaults(in *fault.Injector) { r.inject = in }
+
+// declaredSize returns the vertex/edge counts a spec promises before
+// any allocation, for kinds that state them up front.
+func (s GraphSpec) declaredSize() (vertices, edges int, ok bool) {
+	switch strings.ToLower(s.Kind) {
+	case "uniform", "powerlaw":
+		return s.Vertices, s.Edges, s.Vertices > 0 && s.Edges > 0
+	}
+	return 0, 0, false
+}
+
+// admitLocked checks est bytes against the budget (r.mu held).
+func (r *Registry) admitLocked(est int64) error {
+	if r.budgetBytes > 0 && r.usedBytes+est > r.budgetBytes {
+		r.m.AdmissionRejected.Add(1)
+		return &BudgetError{EstimateBytes: est, UsedBytes: r.usedBytes, BudgetBytes: r.budgetBytes}
+	}
+	return nil
+}
+
 // Register materializes spec and stores it under a fresh id ("g1",
-// "g2", ...).
+// "g2", ...). Admission control runs twice: against the declared
+// dimensions before building (so an over-budget generate request never
+// allocates), and against the materialized graph before storing.
 func (r *Registry) Register(spec GraphSpec) (*GraphEntry, error) {
+	if err := r.inject.Check(fault.GraphBuild); err != nil {
+		return nil, err
+	}
+	if v, e, ok := spec.declaredSize(); ok {
+		r.mu.Lock()
+		err := r.admitLocked(EstimateGraphBytes(v, e))
+		r.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
 	g, err := spec.Build(r.maxVertices, r.maxEdges)
 	if err != nil {
 		return nil, err
@@ -186,9 +284,15 @@ func (r *Registry) Register(spec GraphSpec) (*GraphEntry, error) {
 	if len(r.graphs) >= r.maxGraphs {
 		return nil, fmt.Errorf("registry full: %d graphs registered (limit %d); delete one first", len(r.graphs), r.maxGraphs)
 	}
+	est := EstimateGraphBytes(g.NumVertices(), g.NumEdges())
+	if err := r.admitLocked(est); err != nil {
+		return nil, err
+	}
 	r.nextID++
-	e := &GraphEntry{ID: fmt.Sprintf("g%d", r.nextID), Spec: spec, Graph: g}
+	e := &GraphEntry{ID: fmt.Sprintf("g%d", r.nextID), Spec: spec, Graph: g, bytes: est}
 	r.graphs[e.ID] = e
+	r.usedBytes += est
+	r.m.GraphBytes.Store(r.usedBytes)
 	r.m.GraphsRegistered.Store(int64(len(r.graphs)))
 	r.m.GraphsCreated.Add(1)
 	return e, nil
@@ -272,6 +376,8 @@ func (r *Registry) Delete(id string) error {
 		return fmt.Errorf("graph %q has %d active jobs", id, e.refs)
 	}
 	delete(r.graphs, id)
+	r.usedBytes -= e.bytes
+	r.m.GraphBytes.Store(r.usedBytes)
 	r.m.GraphsRegistered.Store(int64(len(r.graphs)))
 	prefix := id + "/"
 	for k, ee := range r.engines {
@@ -288,6 +394,11 @@ func (r *Registry) Delete(id string) error {
 // caching it on a miss and evicting the least-recently-used engine
 // beyond the cache bound. The returned entry's runMu must be held for
 // the duration of an algorithm run.
+//
+// Misses take a build slot first; when buildLimit slots are already in
+// flight the miss fails with a transient cache-pressure error instead
+// of piling another every-edge prep onto the heap — the scheduler
+// retries it with backoff.
 func (r *Registry) Engine(ge *GraphEntry, sys cosparse.System) (*engineEntry, error) {
 	key := ge.ID + "/" + sys.String()
 	r.mu.Lock()
@@ -297,13 +408,39 @@ func (r *Registry) Engine(ge *GraphEntry, sys cosparse.System) (*engineEntry, er
 		r.mu.Unlock()
 		return ee, nil
 	}
+	if r.building >= r.buildLimit {
+		building, limit := r.building, r.buildLimit
+		r.mu.Unlock()
+		r.m.EnginePressure.Add(1)
+		return nil, fault.MarkTransient(fmt.Errorf(
+			"service: engine cache pressure: %d builds in flight (limit %d)", building, limit))
+	}
+	r.building++
 	r.mu.Unlock()
+	release := func() {
+		r.mu.Lock()
+		r.building--
+		r.mu.Unlock()
+	}
 
 	// Build outside the registry lock: prep walks every edge and can
 	// dominate small-job latency; concurrent misses for the same key
 	// may race to build, and the loser's engine is simply dropped.
+	// The fault check sits inside the build slot so injected latency
+	// holds the slot and exercises the pressure path.
 	r.m.EngineCacheMisses.Add(1)
-	eng, err := cosparse.New(ge.Graph, sys)
+	if err := r.inject.Check(fault.EngineBuild); err != nil {
+		release()
+		return nil, err
+	}
+	var opts []cosparse.Option
+	if r.inject.Armed(fault.Iteration) {
+		opts = append(opts, cosparse.WithIterationHook(func(int) error {
+			return r.inject.Check(fault.Iteration)
+		}))
+	}
+	eng, err := cosparse.New(ge.Graph, sys, opts...)
+	release()
 	if err != nil {
 		return nil, err
 	}

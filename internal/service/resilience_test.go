@@ -1,0 +1,428 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"cosparse"
+	"cosparse/internal/fault"
+)
+
+// TestDrainGraceful drives the full drain contract through the
+// service's drain entry point (the same path cmd/cosparsed takes on
+// SIGTERM): /readyz flips to 503, new submissions bounce with 503,
+// queued jobs fail with a drain error, and the in-flight job runs to
+// completion so Drain returns nil.
+func TestDrainGraceful(t *testing.T) {
+	svc, ts := newTestService(t, Config{Workers: 1, QueueDepth: 4})
+	gid := registerGraph(t, ts.URL, 71)
+
+	entered := make(chan *Job, 1)
+	release := make(chan struct{})
+	svc.sched.beforeRun = func(j *Job) {
+		entered <- j
+		<-release
+	}
+
+	submit := func() JobStatus {
+		var st JobStatus
+		code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{GraphID: gid, Algo: "pr", Iterations: 2}, &st)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: status %d", code)
+		}
+		return st
+	}
+
+	if code := doJSON(t, http.MethodGet, ts.URL+"/readyz", nil, nil); code != http.StatusOK {
+		t.Fatalf("readyz before drain: %d, want 200", code)
+	}
+
+	running := submit()
+	<-entered // the single worker now holds the running job at the gate
+	queued1, queued2 := submit(), submit()
+
+	drained := make(chan error, 1)
+	go func() { drained <- svc.Drain(context.Background()) }()
+
+	// The readiness probe flips as soon as the drain starts.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if code := doJSON(t, http.MethodGet, ts.URL+"/readyz", nil, nil); code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never flipped to 503 during drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Queued jobs are failed without running.
+	for _, q := range []JobStatus{queued1, queued2} {
+		waitJob(t, svc, q.ID)
+		st := svc.sched.Get(q.ID).Status()
+		if st.State != JobFailed || !strings.Contains(st.Error, "draining") {
+			t.Fatalf("queued job %s: state %q err %q, want failed/draining", q.ID, st.State, st.Error)
+		}
+		if st.Started != nil {
+			t.Fatalf("queued job %s ran during drain (started %v)", q.ID, st.Started)
+		}
+	}
+
+	// New submissions bounce with 503.
+	var e errorBody
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{GraphID: gid, Algo: "pr"}, &e); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain: %d (%+v), want 503", code, e)
+	}
+	if !strings.Contains(e.Error, "draining") {
+		t.Fatalf("drain rejection error = %q", e.Error)
+	}
+
+	// The in-flight job finishes and the drain completes cleanly.
+	close(release)
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("drain returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain never completed")
+	}
+	if st := svc.sched.Get(running.ID).Status(); st.State != JobDone {
+		t.Fatalf("in-flight job %s: state %q err %q, want done", running.ID, st.State, st.Error)
+	}
+	if got := svc.m.WorkersAlive.Load(); got != 0 {
+		t.Fatalf("workers alive after drain = %d, want 0", got)
+	}
+}
+
+// TestDrainDeadline holds a job that never finishes on its own and
+// checks an expiring drain context cancels it rather than hanging
+// shutdown forever.
+func TestDrainDeadline(t *testing.T) {
+	svc, ts := newTestService(t, Config{Workers: 1, QueueDepth: 4})
+	gid := registerGraph(t, ts.URL, 73)
+
+	entered := make(chan *Job, 1)
+	svc.sched.beforeRun = func(j *Job) {
+		entered <- j
+		<-j.ctx.Done() // simulates a run that only stops when cancelled
+	}
+
+	var st JobStatus
+	doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{GraphID: gid, Algo: "pr", Iterations: 2}, &st)
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := svc.Drain(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain err = %v, want deadline exceeded", err)
+	}
+	waitJob(t, svc, st.ID)
+	got := svc.sched.Get(st.ID).Status()
+	if got.State != JobCancelled && got.State != JobFailed {
+		t.Fatalf("stuck job state after forced drain = %q", got.State)
+	}
+}
+
+// TestBodyLimit413 checks the request-body cap maps to 413, not 400.
+func TestBodyLimit413(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 1, QueueDepth: 4, MaxBodyBytes: 1024})
+
+	var e errorBody
+	big := GraphSpec{Kind: "edgelist", EdgeList: strings.Repeat("0 1\n", 2048)}
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", big, &e)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize body: status %d (%+v), want 413", code, e)
+	}
+	if !strings.Contains(e.Error, "1024") {
+		t.Fatalf("413 error should name the limit, got %q", e.Error)
+	}
+
+	// A small body on the same service still works.
+	code = doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", GraphSpec{Kind: "edgelist", EdgeList: "0 1\n"}, nil)
+	if code != http.StatusCreated {
+		t.Fatalf("small body after 413: status %d", code)
+	}
+}
+
+// TestMemoryBudget413 checks graph admission control: registrations
+// that would exceed the configured budget are refused with 413 before
+// any allocation, and deleting a graph refunds its estimate.
+func TestMemoryBudget413(t *testing.T) {
+	one := EstimateGraphBytes(300, 1500)
+	svc, ts := newTestService(t, Config{
+		Workers: 1, QueueDepth: 4,
+		MemoryBudgetBytes: one + one/2, // room for one graph, not two
+	})
+
+	gid := registerGraph(t, ts.URL, 81)
+
+	var e errorBody
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", GraphSpec{
+		Kind: "powerlaw", Vertices: 300, Edges: 1500, Seed: 82,
+	}, &e)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-budget register: status %d (%+v), want 413", code, e)
+	}
+	if !strings.Contains(e.Error, "memory budget") {
+		t.Fatalf("413 error = %q", e.Error)
+	}
+	if got := svc.m.AdmissionRejected.Load(); got != 1 {
+		t.Fatalf("admission rejections = %d, want 1", got)
+	}
+	if !strings.Contains(scrapeMetrics(t, ts.URL), "cosparsed_admission_rejected_total 1") {
+		t.Error("metrics missing admission counter")
+	}
+
+	// Deleting the resident graph frees budget; the retry fits.
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/graphs/"+gid, nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: %d", code)
+	}
+	code = doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", GraphSpec{
+		Kind: "powerlaw", Vertices: 300, Edges: 1500, Seed: 82,
+	}, nil)
+	if code != http.StatusCreated {
+		t.Fatalf("register after delete: status %d, want 201", code)
+	}
+}
+
+// TestHandlerPanicRecovery injects one panic at the HTTP-handler point
+// and checks it maps to a 500 — the server keeps serving afterwards.
+func TestHandlerPanicRecovery(t *testing.T) {
+	inject := fault.New(7)
+	inject.Arm(fault.HTTPHandler, fault.Rule{PanicRate: 1, MaxFaults: 1})
+	svc, ts := newTestService(t, Config{Workers: 1, QueueDepth: 4, Faults: inject})
+
+	var e errorBody
+	code := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, &e)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("panicking request: status %d, want 500", code)
+	}
+	if !strings.Contains(e.Error, "internal error") {
+		t.Fatalf("500 body = %q", e.Error)
+	}
+	if got := svc.m.Panics.Load(); got != 1 {
+		t.Fatalf("panics recovered = %d, want 1", got)
+	}
+
+	// The budget is spent; the next request succeeds on the same server.
+	if code := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, nil); code != http.StatusOK {
+		t.Fatalf("request after recovered panic: %d, want 200", code)
+	}
+}
+
+// TestWorkerPanicIsolation injects one panic into a job run and checks
+// the job fails with a recorded stack while the worker survives to run
+// the next job.
+func TestWorkerPanicIsolation(t *testing.T) {
+	inject := fault.New(11)
+	inject.Arm(fault.JobRun, fault.Rule{PanicRate: 1, MaxFaults: 1})
+	svc, ts := newTestService(t, Config{Workers: 1, QueueDepth: 4, Faults: inject})
+	gid := registerGraph(t, ts.URL, 91)
+
+	var st JobStatus
+	doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{GraphID: gid, Algo: "pr", Iterations: 2}, &st)
+	waitJob(t, svc, st.ID)
+	got := svc.sched.Get(st.ID).Status()
+	if got.State != JobFailed {
+		t.Fatalf("panicked job state = %q, want failed", got.State)
+	}
+	if !strings.Contains(got.Error, "panic:") || !strings.Contains(got.Error, "goroutine") {
+		t.Fatalf("panicked job error should carry the stack, got %q", got.Error)
+	}
+	if got.Retries != 0 {
+		t.Fatalf("panicked job was retried %d times; panics must not be retried", got.Retries)
+	}
+	if alive := svc.m.WorkersAlive.Load(); alive != 1 {
+		t.Fatalf("workers alive = %d, want 1 (worker died on panic)", alive)
+	}
+
+	// The surviving worker runs the next job to completion.
+	doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{GraphID: gid, Algo: "pr", Iterations: 2}, &st)
+	waitJob(t, svc, st.ID)
+	if got := svc.sched.Get(st.ID).Status(); got.State != JobDone {
+		t.Fatalf("job after panic: state %q err %q", got.State, got.Error)
+	}
+}
+
+// TestTransientRetrySuccess arms exactly two transient faults so the
+// first two attempts fail and the third succeeds — the job ends done
+// with two recorded retries.
+func TestTransientRetrySuccess(t *testing.T) {
+	inject := fault.New(13)
+	inject.Arm(fault.JobRun, fault.Rule{ErrRate: 1, Transient: true, MaxFaults: 2})
+	svc, ts := newTestService(t, Config{
+		Workers: 1, QueueDepth: 4, Faults: inject,
+		Retry: RetryPolicy{MaxRetries: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+	})
+	gid := registerGraph(t, ts.URL, 95)
+
+	var st JobStatus
+	doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{GraphID: gid, Algo: "pr", Iterations: 2}, &st)
+	waitJob(t, svc, st.ID)
+	got := svc.sched.Get(st.ID).Status()
+	if got.State != JobDone {
+		t.Fatalf("state = %q err %q, want done after retries", got.State, got.Error)
+	}
+	if got.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", got.Retries)
+	}
+	if n := svc.m.JobsRetried.Load(); n != 2 {
+		t.Fatalf("retry counter = %d, want 2", n)
+	}
+	if !strings.Contains(scrapeMetrics(t, ts.URL), "cosparsed_job_retries_total 2") {
+		t.Error("metrics missing retry counter")
+	}
+}
+
+// TestTransientRetryExhaustion keeps the error rate at 1 with no fault
+// budget, so the retry budget runs out and the job fails with a
+// giving-up error.
+func TestTransientRetryExhaustion(t *testing.T) {
+	inject := fault.New(17)
+	inject.Arm(fault.JobRun, fault.Rule{ErrRate: 1, Transient: true})
+	svc, ts := newTestService(t, Config{
+		Workers: 1, QueueDepth: 4, Faults: inject,
+		Retry: RetryPolicy{MaxRetries: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+	})
+	gid := registerGraph(t, ts.URL, 97)
+
+	var st JobStatus
+	doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{GraphID: gid, Algo: "pr", Iterations: 2}, &st)
+	waitJob(t, svc, st.ID)
+	got := svc.sched.Get(st.ID).Status()
+	if got.State != JobFailed {
+		t.Fatalf("state = %q, want failed", got.State)
+	}
+	if !strings.Contains(got.Error, "giving up after 3 attempts") {
+		t.Fatalf("error = %q, want giving-up message", got.Error)
+	}
+	if got.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", got.Retries)
+	}
+}
+
+// TestEnginePressureTransient checks the bounded-build backpressure
+// directly: while one build holds the only slot, a second miss fails
+// with a transient cache-pressure error the scheduler would retry.
+func TestEnginePressureTransient(t *testing.T) {
+	inject := fault.New(19)
+	inject.Arm(fault.EngineBuild, fault.Rule{LatencyRate: 1, Latency: 200 * time.Millisecond})
+	svc, _ := newTestService(t, Config{Workers: 1, QueueDepth: 4, Faults: inject})
+	svc.reg.SetBuildLimit(1)
+
+	g1, err := svc.reg.Register(GraphSpec{Kind: "powerlaw", Vertices: 200, Edges: 800, Seed: 1})
+	if err != nil {
+		t.Fatalf("register g1: %v", err)
+	}
+	g2, err := svc.reg.Register(GraphSpec{Kind: "powerlaw", Vertices: 200, Edges: 800, Seed: 2})
+	if err != nil {
+		t.Fatalf("register g2: %v", err)
+	}
+
+	sys := cosparse.System{Tiles: 4, PEsPerTile: 4}
+	built := make(chan error, 1)
+	go func() {
+		_, err := svc.reg.Engine(g1, sys)
+		built <- err
+	}()
+
+	// Wait until the goroutine owns the build slot (held open by the
+	// injected latency), then collide with it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		svc.reg.mu.Lock()
+		building := svc.reg.building
+		svc.reg.mu.Unlock()
+		if building == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first build never took the slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	_, err = svc.reg.Engine(g2, sys)
+	if err == nil {
+		t.Fatal("second concurrent build succeeded; want cache-pressure error")
+	}
+	if !fault.IsTransient(err) {
+		t.Fatalf("cache-pressure error is not transient: %v", err)
+	}
+	if !strings.Contains(err.Error(), "cache pressure") {
+		t.Fatalf("err = %v", err)
+	}
+	if svc.m.EnginePressure.Load() != 1 {
+		t.Fatalf("pressure counter = %d, want 1", svc.m.EnginePressure.Load())
+	}
+
+	if err := <-built; err != nil {
+		t.Fatalf("first build failed: %v", err)
+	}
+	// Slot free again: the retry succeeds.
+	if _, err := svc.reg.Engine(g2, sys); err != nil {
+		t.Fatalf("build after pressure cleared: %v", err)
+	}
+}
+
+// TestEnginePressureRetriedBySchedulerE2E runs the same collision
+// through the scheduler: two jobs on distinct graphs race for one build
+// slot; the loser's transient pressure error is retried with backoff
+// until the slot frees, and both jobs finish done.
+func TestEnginePressureRetriedBySchedulerE2E(t *testing.T) {
+	inject := fault.New(23)
+	inject.Arm(fault.EngineBuild, fault.Rule{LatencyRate: 1, Latency: 300 * time.Millisecond})
+	svc, ts := newTestService(t, Config{
+		Workers: 2, QueueDepth: 8, Faults: inject,
+		Retry: RetryPolicy{MaxRetries: 20, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+	})
+	svc.reg.SetBuildLimit(1)
+	g1 := registerGraph(t, ts.URL, 61)
+	g2 := registerGraph(t, ts.URL, 62)
+
+	var st1, st2 JobStatus
+	doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{GraphID: g1, Algo: "pr", Iterations: 2}, &st1)
+	doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{GraphID: g2, Algo: "pr", Iterations: 2}, &st2)
+	waitJob(t, svc, st1.ID)
+	waitJob(t, svc, st2.ID)
+
+	for _, id := range []string{st1.ID, st2.ID} {
+		if got := svc.sched.Get(id).Status(); got.State != JobDone {
+			t.Fatalf("job %s: state %q err %q", id, got.State, got.Error)
+		}
+	}
+	if svc.m.EnginePressure.Load() == 0 {
+		t.Error("no cache-pressure event recorded; builds did not collide")
+	}
+	if svc.m.JobsRetried.Load() == 0 {
+		t.Error("pressure was never retried")
+	}
+	if !strings.Contains(scrapeMetrics(t, ts.URL), "cosparsed_engine_pressure_total") {
+		t.Error("metrics missing pressure counter")
+	}
+}
+
+// TestReadyzHealthzIndependent: /healthz stays 200 during a drain (the
+// process is alive) while /readyz reports not-ready.
+func TestReadyzHealthzIndependent(t *testing.T) {
+	svc, ts := newTestService(t, Config{Workers: 1, QueueDepth: 2})
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatalf("drain idle service: %v", err)
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, nil); code != http.StatusOK {
+		t.Fatalf("healthz during drain: %d, want 200", code)
+	}
+	var body map[string]string
+	if code := doJSON(t, http.MethodGet, ts.URL+"/readyz", nil, &body); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: %d, want 503", code)
+	}
+	if body["status"] != "draining" {
+		t.Fatalf("readyz body = %v", body)
+	}
+}

@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
+
+	"cosparse/internal/fault"
 )
 
 // ErrQueueFull is returned by Submit when the bounded queue is
@@ -15,13 +18,80 @@ var ErrQueueFull = errors.New("service: job queue full")
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("service: scheduler closed")
 
+// ErrDraining is returned by Submit during a graceful drain; the HTTP
+// layer maps it to 503 Service Unavailable.
+var ErrDraining = errors.New("service: draining, not accepting jobs")
+
+// PanicError is the terminal error of a job whose run panicked. The
+// worker recovered, recorded the stack, and stayed alive; the job is
+// failed, never retried (a panic is a suspected logic bug, not a
+// transient fault).
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the panic value followed by the recorded stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// RetryPolicy governs automatic re-runs of jobs that fail with a
+// transient error (fault.IsTransient): capped exponential backoff with
+// deterministic per-job jitter.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-runs after the first attempt
+	// (default 3; negative disables retries).
+	MaxRetries int
+	// BaseDelay is the first backoff; attempt k waits up to
+	// BaseDelay·2^(k-1), capped at MaxDelay (defaults 50ms / 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 3
+	}
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// backoff returns the delay before re-run number attempt (1-based):
+// exponential growth capped at MaxDelay, jittered into [d/2, d) by a
+// deterministic function of the job id and attempt so a fixed workload
+// replays identically.
+func (p RetryPolicy) backoff(jobID string, attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	u := fault.Unit(fault.Mix64(fault.Hash64(jobID) ^ uint64(attempt)))
+	return d/2 + time.Duration(u*float64(d/2))
+}
+
 // Scheduler runs jobs from a bounded queue on a fixed worker pool.
 // Saturation is surfaced to the caller as ErrQueueFull rather than
-// queuing unboundedly — backpressure is the contract.
+// queuing unboundedly — backpressure is the contract. Workers are
+// panic-isolated (a panicking job fails with its stack recorded; the
+// worker survives) and re-run transiently failing jobs per the
+// RetryPolicy.
 type Scheduler struct {
 	queue   chan *Job
 	workers int
 	run     func(*Job) (*JobResult, error)
+	retry   RetryPolicy
 	m       *Metrics
 
 	// beforeRun, when set (tests), is called on the worker goroutine
@@ -29,11 +99,12 @@ type Scheduler struct {
 	// worker in a known state.
 	beforeRun func(*Job)
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // insertion order for listings
-	nextID int
-	closed bool
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // insertion order for listings
+	nextID   int
+	closed   bool
+	draining bool
 
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -55,6 +126,7 @@ func NewScheduler(workers, depth int, run func(*Job) (*JobResult, error), m *Met
 		queue:   make(chan *Job, depth),
 		workers: workers,
 		run:     run,
+		retry:   RetryPolicy{}.withDefaults(),
 		m:       m,
 		jobs:    make(map[string]*Job),
 		quit:    make(chan struct{}),
@@ -71,7 +143,11 @@ func NewScheduler(workers, depth int, run func(*Job) (*JobResult, error), m *Met
 func (s *Scheduler) SubmitJob(j *Job, timeout time.Duration) error {
 	s.mu.Lock()
 	if s.closed {
+		draining := s.draining
 		s.mu.Unlock()
+		if draining {
+			return ErrDraining
+		}
 		return ErrClosed
 	}
 	j.id = fmt.Sprintf("j%d", s.nextID+1)
@@ -147,40 +223,158 @@ func (s *Scheduler) Cancel(id string) bool {
 
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
+	s.m.WorkersAlive.Add(1)
+	defer s.m.WorkersAlive.Add(-1)
 	for {
 		select {
 		case <-s.quit:
 			return
 		case j := <-s.queue:
-			s.m.JobsQueued.Add(-1)
-			if s.beforeRun != nil {
-				s.beforeRun(j)
-			}
-			if !j.start() {
-				// Terminal already (cancelled while queued): the
-				// canceller settled it.
-				j.cancel()
-				continue
-			}
-			s.m.JobsRunning.Add(1)
-			res, err := s.run(j)
-			s.m.JobsRunning.Add(-1)
-			switch {
-			case err == nil:
-				if j.finish(JobDone, res, "") {
-					s.m.JobsDone.Add(1)
-				}
-			case errors.Is(err, context.Canceled):
-				if j.finish(JobCancelled, nil, err.Error()) {
-					s.m.JobsCancelled.Add(1)
-				}
-			default:
-				if j.finish(JobFailed, nil, err.Error()) {
-					s.m.JobsFailed.Add(1)
-				}
-			}
-			j.cancel() // release the deadline timer
+			s.process(j)
 		}
+	}
+}
+
+// process drives one dequeued job to a terminal state. Every path
+// settles the job; no error or panic can kill the worker.
+func (s *Scheduler) process(j *Job) {
+	s.m.JobsQueued.Add(-1)
+	if s.beforeRun != nil {
+		s.beforeRun(j)
+	}
+	if err := j.ctx.Err(); err != nil {
+		// Expired while queued: never start the run. A cancelled job
+		// was settled by its canceller; a deadlined one settles here.
+		j.cancel()
+		if errors.Is(err, context.Canceled) {
+			if j.finish(JobCancelled, nil, err.Error()) {
+				s.m.JobsCancelled.Add(1)
+			}
+		} else if j.finish(JobFailed, nil, "job deadline expired while queued: "+err.Error()) {
+			s.m.JobsFailed.Add(1)
+		}
+		return
+	}
+	if !j.start() {
+		// Terminal already (cancelled while queued): the canceller
+		// settled it.
+		j.cancel()
+		return
+	}
+	s.m.JobsRunning.Add(1)
+	res, err := s.execute(j)
+	s.m.JobsRunning.Add(-1)
+	switch {
+	case err == nil:
+		if j.finish(JobDone, res, "") {
+			s.m.JobsDone.Add(1)
+		}
+	case errors.Is(err, context.Canceled):
+		if j.finish(JobCancelled, nil, err.Error()) {
+			s.m.JobsCancelled.Add(1)
+		}
+	default:
+		if j.finish(JobFailed, nil, err.Error()) {
+			s.m.JobsFailed.Add(1)
+		}
+	}
+	j.cancel() // release the deadline timer
+}
+
+// execute runs the job, re-running it with capped exponential backoff
+// while it fails transiently (fault.IsTransient) and the deadline,
+// retry budget, and scheduler lifetime allow.
+func (s *Scheduler) execute(j *Job) (*JobResult, error) {
+	for attempt := 1; ; attempt++ {
+		res, err := s.runSafe(j)
+		if err == nil || !fault.IsTransient(err) || j.ctx.Err() != nil {
+			return res, err
+		}
+		if attempt > s.retry.MaxRetries {
+			return nil, fmt.Errorf("giving up after %d attempts: %w", attempt, err)
+		}
+		s.m.JobsRetried.Add(1)
+		j.noteRetry()
+		timer := time.NewTimer(s.retry.backoff(j.id, attempt))
+		select {
+		case <-timer.C:
+		case <-j.ctx.Done():
+			timer.Stop()
+			return nil, fmt.Errorf("retry %d abandoned: %w (last error: %v)", attempt, j.ctx.Err(), err)
+		case <-s.quit:
+			timer.Stop()
+			return nil, fmt.Errorf("retry %d abandoned: scheduler shutting down (last error: %w)", attempt, err)
+		}
+	}
+}
+
+// runSafe invokes the job executor with panic isolation: a panic is
+// recovered into a *PanicError carrying the stack, counted, and the
+// worker goroutine survives.
+func (s *Scheduler) runSafe(j *Job) (res *JobResult, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.m.Panics.Add(1)
+			res, err = nil, &PanicError{Value: rec, Stack: debug.Stack()}
+		}
+	}()
+	return s.run(j)
+}
+
+// Drain is the graceful counterpart of Close: it stops intake (Submit
+// returns ErrDraining), fails every still-queued job with a drain
+// error, and lets in-flight jobs run to completion. If ctx expires
+// first, the remaining jobs are cancelled and Drain waits for the
+// workers to observe the cancellation before returning ctx's error; a
+// clean drain returns nil. Idempotent with Close — whichever runs
+// first wins.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed, s.draining = true, true
+	s.mu.Unlock()
+
+	// Fail everything still queued. Workers may race us for individual
+	// jobs; those run to completion, which only improves on the
+	// contract.
+drainQueue:
+	for {
+		select {
+		case j := <-s.queue:
+			s.m.JobsQueued.Add(-1)
+			j.cancel()
+			if j.finish(JobFailed, nil, "server draining: queued job abandoned before running") {
+				s.m.JobsFailed.Add(1)
+			}
+		default:
+			break drainQueue
+		}
+	}
+
+	close(s.quit) // workers exit once their current job settles
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		jobs := make([]*Job, 0, len(s.jobs))
+		for _, j := range s.jobs {
+			jobs = append(jobs, j)
+		}
+		s.mu.Unlock()
+		for _, j := range jobs {
+			j.cancel()
+		}
+		<-done
+		return ctx.Err()
 	}
 }
 

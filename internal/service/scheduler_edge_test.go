@@ -1,0 +1,165 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSubmitAtExactQueueCapacity fills the queue to exactly its bound:
+// depth submissions are accepted while a worker is busy, and only the
+// depth+1-th bounces with 429.
+func TestSubmitAtExactQueueCapacity(t *testing.T) {
+	const depth = 3
+	svc, ts := newTestService(t, Config{Workers: 1, QueueDepth: depth})
+	gid := registerGraph(t, ts.URL, 101)
+
+	entered := make(chan *Job, 1)
+	release := make(chan struct{})
+	svc.sched.beforeRun = func(j *Job) {
+		select {
+		case entered <- j:
+			<-release // only the first job is held at the gate
+		default:
+		}
+	}
+
+	submit := func() (int, JobStatus) {
+		var st JobStatus
+		code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{GraphID: gid, Algo: "pr", Iterations: 1}, &st)
+		return code, st
+	}
+
+	// One job occupies the worker; its queue slot is free again.
+	code, running := submit()
+	if code != http.StatusAccepted {
+		t.Fatalf("running job: status %d", code)
+	}
+	<-entered
+
+	// Exactly depth more fit in the queue.
+	ids := []string{running.ID}
+	for i := 0; i < depth; i++ {
+		code, st := submit()
+		if code != http.StatusAccepted {
+			t.Fatalf("queued job %d: status %d, want 202 (queue should hold exactly %d)", i+1, code, depth)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	// The next submission is the first rejection.
+	if code, _ := submit(); code != http.StatusTooManyRequests {
+		t.Fatalf("job beyond capacity: status %d, want 429", code)
+	}
+	if got := svc.m.JobsRejected.Load(); got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+
+	// Rejected submissions must not leak ids: the accepted jobs keep a
+	// dense j1..jN sequence after the 429.
+	code, extra := submit()
+	if code != http.StatusTooManyRequests && code != http.StatusAccepted {
+		t.Fatalf("follow-up submit: status %d", code)
+	}
+	if code == http.StatusAccepted {
+		ids = append(ids, extra.ID)
+	}
+
+	close(release)
+	for _, id := range ids {
+		waitJob(t, svc, id)
+		if st := svc.sched.Get(id).Status(); st.State != JobDone {
+			t.Fatalf("job %s: state %q err %q", id, st.State, st.Error)
+		}
+	}
+}
+
+// TestDeadlineExpiresWhileQueued lets a queued job's deadline lapse
+// before any worker picks it up: it must fail without ever starting
+// (Started stays unset) and the failure must say it expired in queue.
+func TestDeadlineExpiresWhileQueued(t *testing.T) {
+	svc, ts := newTestService(t, Config{Workers: 1, QueueDepth: 4})
+	gid := registerGraph(t, ts.URL, 103)
+
+	entered := make(chan *Job, 1)
+	release := make(chan struct{})
+	svc.sched.beforeRun = func(j *Job) {
+		select {
+		case entered <- j:
+			<-release // only the first job is held at the gate
+		default:
+		}
+	}
+
+	var blocker, victim JobStatus
+	doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{GraphID: gid, Algo: "pr", Iterations: 1}, &blocker)
+	<-entered
+	doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{GraphID: gid, Algo: "pr", Iterations: 1, TimeoutMs: 1}, &victim)
+
+	// Wait until the queued job's deadline has definitely lapsed, then
+	// free the worker so it dequeues the corpse.
+	vj := svc.sched.Get(victim.ID)
+	select {
+	case <-vj.ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("victim deadline never fired")
+	}
+	close(release)
+
+	waitJob(t, svc, victim.ID)
+	st := vj.Status()
+	if st.State != JobFailed {
+		t.Fatalf("state = %q, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "expired while queued") {
+		t.Fatalf("error = %q, want queued-expiry message", st.Error)
+	}
+	if st.Started != nil {
+		t.Fatalf("job started at %v despite expiring in queue", st.Started)
+	}
+	waitJob(t, svc, blocker.ID)
+}
+
+// TestDoubleCancel cancels the same queued job twice: both calls are
+// acknowledged, the job settles exactly once, and the cancelled counter
+// doesn't double-count.
+func TestDoubleCancel(t *testing.T) {
+	svc, ts := newTestService(t, Config{Workers: 1, QueueDepth: 4})
+	gid := registerGraph(t, ts.URL, 107)
+
+	entered := make(chan *Job, 1)
+	release := make(chan struct{})
+	svc.sched.beforeRun = func(j *Job) {
+		select {
+		case entered <- j:
+			<-release
+		default:
+		}
+	}
+
+	var blocker, target JobStatus
+	doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{GraphID: gid, Algo: "pr", Iterations: 1}, &blocker)
+	<-entered
+	doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{GraphID: gid, Algo: "pr", Iterations: 1}, &target)
+
+	for i := 0; i < 2; i++ {
+		var st JobStatus
+		if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+target.ID, nil, &st); code != http.StatusOK {
+			t.Fatalf("cancel #%d: status %d", i+1, code)
+		}
+		if st.State != JobCancelled {
+			t.Fatalf("cancel #%d: state %q", i+1, st.State)
+		}
+	}
+	waitJob(t, svc, target.ID)
+	if got := svc.m.JobsCancelled.Load(); got != 1 {
+		t.Fatalf("cancelled counter = %d, want 1 (double-counted)", got)
+	}
+
+	close(release)
+	waitJob(t, svc, blocker.ID)
+	if st := svc.sched.Get(blocker.ID).Status(); st.State != JobDone {
+		t.Fatalf("blocker: state %q err %q", st.State, st.Error)
+	}
+}

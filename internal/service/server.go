@@ -1,16 +1,19 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"log/slog"
 	"math"
 	"net/http"
+	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"cosparse"
+	"cosparse/internal/fault"
 )
 
 // Config tunes a Service. Zero fields take the documented defaults.
@@ -38,6 +41,17 @@ type Config struct {
 	// (defaults 30s / 5m).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// MaxBodyBytes caps request bodies via http.MaxBytesReader;
+	// overflow returns 413 (default 64 MiB).
+	MaxBodyBytes int64
+	// MemoryBudgetBytes caps the estimated resident footprint of all
+	// registered graphs (EstimateGraphBytes); loads beyond it get 413.
+	// 0 disables admission control.
+	MemoryBudgetBytes int64
+	// Retry governs automatic re-runs of transiently failing jobs.
+	Retry RetryPolicy
+	// Faults is the fault injector (nil = disarmed; see internal/fault).
+	Faults *fault.Injector
 	// Logger receives structured request and job logs (default: slog
 	// text to stderr via slog.Default).
 	Logger *slog.Logger
@@ -77,6 +91,10 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 5 * time.Minute
 	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	c.Retry = c.Retry.withDefaults()
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -86,12 +104,13 @@ func (c Config) withDefaults() Config {
 // Service is the cosparsed daemon: registry + scheduler + metrics
 // behind an HTTP/JSON API.
 type Service struct {
-	cfg   Config
-	m     *Metrics
-	reg   *Registry
-	sched *Scheduler
-	log   *slog.Logger
-	start time.Time
+	cfg      Config
+	m        *Metrics
+	reg      *Registry
+	sched    *Scheduler
+	log      *slog.Logger
+	start    time.Time
+	draining atomic.Bool
 }
 
 // New assembles a Service (call Close when done).
@@ -105,12 +124,31 @@ func New(cfg Config) *Service {
 		log:   cfg.Logger,
 		start: time.Now(),
 	}
+	s.reg.SetMemoryBudget(cfg.MemoryBudgetBytes)
+	s.reg.SetFaults(cfg.Faults)
 	s.sched = NewScheduler(cfg.Workers, cfg.QueueDepth, s.runJob, m)
+	s.sched.retry = cfg.Retry
 	return s
 }
 
 // Close drains the worker pool, cancelling live jobs.
 func (s *Service) Close() { s.sched.Close() }
+
+// Drain stops the service gracefully: /readyz flips to 503, new
+// submissions are refused with ErrDraining, queued jobs are failed,
+// and in-flight jobs get until ctx's deadline to finish before being
+// cancelled. Safe to call alongside (or instead of) Close.
+func (s *Service) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.log.Info("drain started")
+	err := s.sched.Drain(ctx)
+	if err != nil {
+		s.log.Warn("drain deadline hit; in-flight jobs cancelled", slog.String("err", err.Error()))
+	} else {
+		s.log.Info("drain complete")
+	}
+	return err
+}
 
 // Metrics exposes the service's counters (for the daemon's own use).
 func (s *Service) Metrics() *Metrics { return s.m }
@@ -127,8 +165,47 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s.logging(mux)
+	return s.logging(s.recovery(s.limitBody(mux)))
+}
+
+// recovery converts handler panics (a bug, or injected via
+// fault.HTTPHandler) into 500s instead of killing the connection, and
+// counts them. The server process never dies from a request.
+func (s *Service) recovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.m.Panics.Add(1)
+				s.log.Error("handler panic",
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.Any("panic", v),
+					slog.String("stack", string(debug.Stack())),
+				)
+				if sw, ok := w.(*statusWriter); !ok || sw.status == 0 {
+					writeError(w, http.StatusInternalServerError, "internal error: %v", v)
+				}
+			}
+		}()
+		if err := s.cfg.Faults.Check(fault.HTTPHandler); err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// limitBody caps request bodies; overlong ones surface as
+// *http.MaxBytesError from decodeBody and map to 413.
+func (s *Service) limitBody(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // statusWriter captures the response code for the request log.
@@ -191,12 +268,22 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 func (s *Service) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 	var spec GraphSpec
 	if err := decodeBody(r, &spec); err != nil {
-		writeError(w, http.StatusBadRequest, "bad graph spec: %v", err)
+		writeDecodeError(w, "bad graph spec", err)
 		return
 	}
 	e, err := s.reg.Register(spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		var be *BudgetError
+		switch {
+		case errors.As(err, &be):
+			// admitLocked already counted the rejection.
+			writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+		case fault.IsTransient(err):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
 		return
 	}
 	info, _ := s.reg.Info(e.ID)
@@ -237,7 +324,7 @@ func (s *Service) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad job request: %v", err)
+		writeDecodeError(w, "bad job request", err)
 		return
 	}
 	j, err := s.buildJob(req)
@@ -259,10 +346,13 @@ func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.sched.SubmitJob(j, timeout); err != nil {
 		j.release() // the job never entered the queue; unpin here
-		if errors.Is(err, ErrQueueFull) {
+		switch {
+		case errors.Is(err, ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "%v", err)
-		} else {
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
 		}
 		return
@@ -330,6 +420,9 @@ func (s *Service) buildJob(req JobRequest) (*Job, error) {
 // runJob executes one job on a worker goroutine; the scheduler maps
 // its error into the job's terminal state.
 func (s *Service) runJob(j *Job) (*JobResult, error) {
+	if err := s.cfg.Faults.Check(fault.JobRun); err != nil {
+		return nil, err
+	}
 	ee, err := s.reg.Engine(j.graph, j.sys)
 	if err != nil {
 		return nil, err
@@ -452,17 +545,40 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReady is the readiness probe: 200 while serving, 503 once a
+// drain has started so load balancers stop routing new work here.
+func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.m.WritePrometheus(w)
 }
 
 // decodeBody strictly decodes one JSON object from the request body.
+// The body is already wrapped by limitBody's MaxBytesReader, so an
+// oversize payload surfaces as *http.MaxBytesError.
 func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return err
 	}
 	return nil
+}
+
+// writeDecodeError maps a decodeBody failure: oversize bodies get 413,
+// everything else 400.
+func writeDecodeError(w http.ResponseWriter, what string, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge, "%s: body exceeds %d bytes", what, mbe.Limit)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "%s: %v", what, err)
 }

@@ -1,0 +1,36 @@
+package cosparse_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cosparse"
+)
+
+// TestWithIterationHook checks the public option stops a run at the
+// iteration boundary the hook fires on and surfaces the partial report.
+func TestWithIterationHook(t *testing.T) {
+	g, err := cosparse.GeneratePowerLaw(500, 2500, cosparse.Unweighted, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("probe failed")
+	eng, err := cosparse.New(g, cosparse.System{Tiles: 2, PEsPerTile: 4},
+		cosparse.WithIterationHook(func(iter int) error {
+			if iter == 3 {
+				return boom
+			}
+			return nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := eng.PageRankContext(context.Background(), 20, 0.15)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped hook error", err)
+	}
+	if rep == nil || len(rep.Iterations) != 3 {
+		t.Fatalf("partial report has %d iterations, want 3", len(rep.Iterations))
+	}
+}
