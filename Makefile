@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos fuzz check bench clean
+.PHONY: all build vet lint test race regress chaos fuzz check bench clean
 
 all: check
 
@@ -10,11 +10,23 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint is vet plus a failing gofmt check (gofmt -l output means a file
+# is unformatted; fail loudly instead of silently listing it).
+lint: vet
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
-race: chaos fuzz
+race: regress chaos fuzz
 	$(GO) test -race -short ./...
+
+# regress pins the stats-accounting fixes under the race detector: the
+# stream-buffer retirement bound (and its unchanged timings) and the
+# lock-free metrics histograms.
+regress:
+	$(GO) test -race -count=1 -run 'TestLoadStreamRetirementBoundsReadyMap|TestLoadStreamTimingsUnchangedByRetirementFix|TestHBMWriteAccounting|TestDirtyEvictionsReportWriteLines' ./internal/sim
+	$(GO) test -race -count=1 -run 'TestObserveJobConcurrentExact|TestWritePrometheusDuringObservations|TestTraceEndpointMatchesReport|TestHTTPLatencyHistograms' ./internal/service
 
 # chaos runs the fault-injection suite under the race detector: hundreds
 # of jobs against an armed injector (panics, transient errors, latency)
@@ -29,7 +41,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseMatrixMarket -fuzztime=10s ./internal/gen
 
 # check is the tier-1 gate: everything must pass before a commit.
-check: vet build race
+check: lint build race
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -36,7 +36,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "generator seed")
 	sw := flag.String("sw", "auto", "software configuration: auto, ip, op")
 	hw := flag.String("hw", "auto", "hardware configuration: auto, sc, scs, pc, ps")
-	trace := flag.Bool("trace", true, "print the per-iteration reconfiguration trace")
+	printTrace := flag.Bool("print-trace", true, "print the per-iteration reconfiguration trace")
+	traceOut := flag.String("trace", "", "write the per-iteration trace as JSON to this file")
 	jsonOut := flag.String("json", "", "write the report as JSON to this file")
 	csvOut := flag.String("csv", "", "write the per-iteration trace as CSV to this file")
 	flag.Parse()
@@ -151,8 +152,13 @@ func main() {
 	}
 
 	fmt.Println(rep.Summary())
-	if *trace {
+	if *printTrace {
 		fmt.Print(rep.Trace())
+	}
+	if *traceOut != "" {
+		if err := writeTo(*traceOut, rep.WriteTraceJSON); err != nil {
+			fail(err)
+		}
 	}
 	if *jsonOut != "" {
 		if err := writeTo(*jsonOut, rep.WriteJSON); err != nil {

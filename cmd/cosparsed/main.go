@@ -13,11 +13,13 @@
 //	GET    /v1/graphs      list graphs
 //	GET    /v1/graphs/{id} one graph
 //	DELETE /v1/graphs/{id} unregister (refused while jobs run)
-//	POST   /v1/jobs        submit a job (202; 429 when saturated)
-//	GET    /v1/jobs/{id}   job status / result
-//	DELETE /v1/jobs/{id}   cancel a job
-//	GET    /healthz        liveness
-//	GET    /metrics        Prometheus text metrics
+//	POST   /v1/jobs              submit a job (202; 429 when saturated)
+//	GET    /v1/jobs/{id}         job status / result
+//	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /v1/jobs/{id}/trace   per-iteration decision trace
+//	GET    /healthz              liveness
+//	GET    /metrics              Prometheus text metrics
+//	GET    /debug/pprof/         profiling (only with -pprof)
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
@@ -56,6 +59,10 @@ func main() {
 	faultSpec := flag.String("fault-spec", "", "arm deterministic fault injection, e.g. 'scheduler.job_run:err=0.1,transient=true' (testing only)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for -fault-spec decisions")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+	pprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (unauthenticated; bind accordingly)")
+	slowJob := flag.Duration("slow-job", 0, "log a warning with the decision trace for jobs slower than this (0 = off)")
+	traceFile := flag.String("trace", "", "append every finished job's per-iteration trace as a JSON line to this file")
+	traceCap := flag.Int("trace-cap", 0, "per-job iteration-trace ring size (0 = default 4096, negative = unbounded)")
 	flag.Parse()
 
 	if *workers <= 0 || *queue <= 0 || *cache <= 0 {
@@ -90,6 +97,16 @@ func main() {
 	}
 	logger := slog.New(handler)
 
+	var traceSink io.Writer
+	if *traceFile != "" {
+		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(fmt.Errorf("-trace: %w", err))
+		}
+		defer f.Close()
+		traceSink = f
+	}
+
 	svc := service.New(service.Config{
 		Workers:           *workers,
 		QueueDepth:        *queue,
@@ -105,6 +122,10 @@ func main() {
 		Retry:             service.RetryPolicy{MaxRetries: *retries},
 		Faults:            inject,
 		Logger:            logger,
+		EnablePprof:       *pprof,
+		SlowJob:           *slowJob,
+		TraceCap:          *traceCap,
+		TraceSink:         traceSink,
 	})
 	defer svc.Close()
 

@@ -107,8 +107,10 @@ func main() {
 	fmt.Printf("energy: %.4g J  avg power: %.4g W\n", res.EnergyJ, sim.Power(cfg, res.Stats))
 	s := res.Stats
 	fmt.Printf("events: alu=%d loads=%d (stream %d) stores=%d\n", s.ALUOps, s.Loads, s.StreamLoads, s.Stores)
-	fmt.Printf("  L1 %d hits / %d misses, L2 %d hits / %d misses, HBM %d lines (%d queued cycles)\n",
-		s.L1Hits, s.L1Misses, s.L2Hits, s.L2Misses, s.HBMLines, s.HBMQueued)
+	fmt.Printf("  L1 %d hits / %d misses, L2 %d hits / %d misses\n",
+		s.L1Hits, s.L1Misses, s.L2Hits, s.L2Misses)
+	fmt.Printf("  HBM %d read lines (%d queued cycles), %d write lines (%d queued cycles)\n",
+		s.HBMLines, s.HBMQueued, s.HBMWriteLines, s.HBMWriteQueued)
 	fmt.Printf("  SPM %d reads / %d writes, xbar %d hops, %d prefetches, %d writebacks\n",
 		s.SPMReads, s.SPMWrites, s.XbarHops, s.Prefetches, s.Writebacks)
 	fmt.Printf("  stall cycles (all PEs): %d\n", s.StallCycles)

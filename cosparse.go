@@ -228,6 +228,14 @@ func WithMaxIterations(n int) Option {
 	return func(o *runtime.Options) { o.MaxIters = n }
 }
 
+// WithTraceCap bounds the per-iteration trace kept on reports: runs
+// longer than n iterations retain only the most recent n entries
+// (Report.TraceDropped counts the rest; cycle and energy totals stay
+// exact). 0 keeps the default bound, negative keeps every iteration.
+func WithTraceCap(n int) Option {
+	return func(o *runtime.Options) { o.TraceCap = n }
+}
+
 // WithIterationHook installs fn at every iteration boundary, right
 // after the context check and before the SpMV is issued. A non-nil
 // return stops the run like a cancelled context: the Context entry
@@ -313,9 +321,48 @@ type IterationStat struct {
 	Reconfigured bool
 	Cycles       int64
 	EnergyJ      float64
+
+	// Phase breakdown of Cycles: the SpMV kernel itself, the merge of
+	// its contributions into the value vector, and the sparse↔dense
+	// frontier format conversion charged when the software
+	// configuration flips (§III-D2).
+	KernelCycles int64 `json:",omitempty"`
+	MergeCycles  int64 `json:",omitempty"`
+	ConvCycles   int64 `json:",omitempty"`
+	// Memory-system signals for this iteration: cycles PEs spent
+	// stalled on memory and HBM lines read.
+	StallCycles int64 `json:",omitempty"`
+	HBMLines    int64 `json:",omitempty"`
+}
+
+// MemoryStats is the run-level memory-system breakdown: cache hit
+// rates, HBM traffic split by direction, queueing delay, and stall
+// totals, rolled up from the simulator's per-PE counters.
+type MemoryStats struct {
+	L1HitRate            float64
+	L2HitRate            float64
+	HBMReadLines         int64
+	HBMWriteLines        int64
+	HBMReadQueuedCycles  int64
+	HBMWriteQueuedCycles int64
+	AvgReadQueueCycles   float64
+	AvgWriteQueueCycles  float64
+	Loads                int64
+	Stores               int64
+	StreamLoads          int64
+	Prefetches           int64
+	Writebacks           int64
+	StallCycles          int64
+	ReconfigCycles       int64
 }
 
 // Report summarizes an algorithm run on the simulated hardware.
+//
+// Iterations is bounded by the engine's trace cap (WithTraceCap): when
+// a run exceeds it, only the most recent entries are kept,
+// TotalIterations still counts every iteration executed, and
+// TraceDropped how many fell out of the window. TotalCycles, EnergyJ
+// and Memory are exact regardless of truncation.
 type Report struct {
 	Algorithm   string
 	System      System
@@ -324,13 +371,21 @@ type Report struct {
 	Seconds     float64
 	EnergyJ     float64
 	AvgPowerW   float64
+
+	TotalIterations int          `json:",omitempty"`
+	TraceDropped    int          `json:",omitempty"`
+	Memory          *MemoryStats `json:",omitempty"`
 }
 
 // Summary returns a one-paragraph human-readable digest.
 func (r *Report) Summary() string {
 	var sb strings.Builder
+	iters := len(r.Iterations)
+	if r.TotalIterations > iters {
+		iters = r.TotalIterations
+	}
 	fmt.Fprintf(&sb, "%s on %s: %d iterations, %d cycles (%.3g s @ 1 GHz), %.3g J, %.3g W avg",
-		r.Algorithm, r.System, len(r.Iterations), r.TotalCycles, r.Seconds, r.EnergyJ, r.AvgPowerW)
+		r.Algorithm, r.System, iters, r.TotalCycles, r.Seconds, r.EnergyJ, r.AvgPowerW)
 	reconfigs := 0
 	for _, it := range r.Iterations {
 		if it.Reconfigured {
@@ -357,6 +412,7 @@ func (r *Report) Trace() string {
 }
 
 func (e *Engine) report(rep *runtime.Report) *Report {
+	b := rep.Stats.MemoryBreakdown()
 	out := &Report{
 		Algorithm:   rep.Algorithm,
 		System:      e.sys,
@@ -364,6 +420,26 @@ func (e *Engine) report(rep *runtime.Report) *Report {
 		Seconds:     rep.Seconds(),
 		EnergyJ:     rep.EnergyJ,
 		AvgPowerW:   rep.AvgPowerW(),
+
+		TotalIterations: rep.TotalIters,
+		TraceDropped:    rep.DroppedIters,
+		Memory: &MemoryStats{
+			L1HitRate:            b.L1HitRate,
+			L2HitRate:            b.L2HitRate,
+			HBMReadLines:         b.HBMReadLines,
+			HBMWriteLines:        b.HBMWriteLines,
+			HBMReadQueuedCycles:  b.HBMReadQueued,
+			HBMWriteQueuedCycles: b.HBMWriteQueued,
+			AvgReadQueueCycles:   b.AvgReadQueueCycles,
+			AvgWriteQueueCycles:  b.AvgWriteQueueCycles,
+			Loads:                b.Loads,
+			Stores:               b.Stores,
+			StreamLoads:          b.StreamLoads,
+			Prefetches:           b.Prefetches,
+			Writebacks:           b.Writebacks,
+			StallCycles:          b.StallCycles,
+			ReconfigCycles:       b.ReconfigCycles,
+		},
 	}
 	for _, it := range rep.Iters {
 		sw := "OP"
@@ -379,6 +455,11 @@ func (e *Engine) report(rep *runtime.Report) *Report {
 			Reconfigured: it.Reconfig,
 			Cycles:       it.TotalCycles,
 			EnergyJ:      it.EnergyJ,
+			KernelCycles: it.KernelCycles,
+			MergeCycles:  it.MergeCycles,
+			ConvCycles:   it.ConvCycles,
+			StallCycles:  it.Stats.StallCycles,
+			HBMLines:     it.Stats.HBMLines,
 		})
 	}
 	return out

@@ -120,6 +120,11 @@ type Options struct {
 	HW        HWChoice
 	MaxIters  int // safety bound for traversal algorithms; 0 = 4·|V|
 
+	// TraceCap bounds Report.Iters: runs longer than the cap keep only
+	// the most recent entries (Report.DroppedIters counts the rest).
+	// 0 means DefaultTraceCap; negative means unbounded.
+	TraceCap int
+
 	// OnIteration, if set, observes each completed iteration: the
 	// iteration's stats and the frontier it produced (nil when the
 	// semiring keeps a dense frontier). The callback must not retain or
@@ -278,13 +283,23 @@ type IterStat struct {
 }
 
 // Report summarizes a full algorithm run.
+//
+// Iters is the per-iteration decision trace, bounded by
+// Options.TraceCap: when a run exceeds the cap, only the most recent
+// entries are retained. TotalIters is always the exact number of
+// iterations executed and DroppedIters how many fell out of the
+// bounded trace (0 for a complete trace), so cycle/energy totals —
+// which are exact regardless — can be trusted even when len(Iters) <
+// TotalIters.
 type Report struct {
-	Algorithm   string
-	Geometry    sim.Geometry
-	Iters       []IterStat
-	TotalCycles int64
-	EnergyJ     float64
-	Stats       sim.Stats
+	Algorithm    string
+	Geometry     sim.Geometry
+	Iters        []IterStat
+	TotalIters   int
+	DroppedIters int
+	TotalCycles  int64
+	EnergyJ      float64
+	Stats        sim.Stats
 }
 
 // Seconds converts the cycle total at the 1 GHz clock of Table II.
@@ -319,6 +334,14 @@ func (f *Framework) driver(ctx context.Context, name string, ring semiring.Semir
 	onIter func(IterStat, *matrix.SparseVec)) (matrix.Dense, *Report, error) {
 
 	rep := &Report{Algorithm: name, Geometry: f.opts.Geometry}
+	trace := newIterRing(f.opts.ringCap())
+	// Materialize the bounded trace on every return path — including
+	// the partial reports handed back on cancellation and hook errors.
+	defer func() {
+		rep.Iters = trace.slice()
+		rep.TotalIters = trace.total
+		rep.DroppedIters = trace.dropped
+	}()
 	op := kernels.Operand{Ring: ring, Ctx: sctx}
 	if ring.NeedsSrcDeg {
 		op.Deg = f.deg
@@ -331,11 +354,11 @@ func (f *Framework) driver(ctx context.Context, name string, ring semiring.Semir
 
 	for iter := 0; iter < maxIters; iter++ {
 		if err := ctx.Err(); err != nil {
-			return vals, rep, fmt.Errorf("runtime: %s stopped after %d iterations: %w", name, len(rep.Iters), err)
+			return vals, rep, fmt.Errorf("runtime: %s stopped after %d iterations: %w", name, trace.total, err)
 		}
 		if f.opts.IterHook != nil {
 			if err := f.opts.IterHook(iter); err != nil {
-				return vals, rep, fmt.Errorf("runtime: %s stopped after %d iterations: %w", name, len(rep.Iters), err)
+				return vals, rep, fmt.Errorf("runtime: %s stopped after %d iterations: %w", name, trace.total, err)
 			}
 		}
 		var nnzF int
@@ -412,7 +435,7 @@ func (f *Framework) driver(ctx context.Context, name string, ring semiring.Semir
 		}
 		prev = dec
 
-		rep.Iters = append(rep.Iters, st)
+		trace.push(st)
 		rep.TotalCycles += st.TotalCycles
 		rep.EnergyJ += st.EnergyJ
 		rep.Stats.Add(st.Stats)

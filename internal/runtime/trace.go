@@ -1,0 +1,76 @@
+package runtime
+
+// Bounded per-iteration tracing. Every run records its IterStats into a
+// ring buffer sized by Options.TraceCap, so long-running jobs (PR to
+// tolerance on a big graph, multi-source BC) keep the most recent
+// window of the Fig. 9 decision trace without letting Report.Iters grow
+// with the iteration count. The Report still carries exact totals
+// (TotalIters, DroppedIters), so consumers can tell a complete trace
+// from a truncated one.
+
+// DefaultTraceCap is the per-run iteration-trace bound used when
+// Options.TraceCap is zero. 4096 iterations × ~200 B/entry keeps the
+// worst case under a megabyte while covering every algorithm in the
+// suite end to end (the longest calibrated run is ~4·|V| BFS levels on
+// the small graphs, and PR(tol) converges in well under a thousand).
+const DefaultTraceCap = 4096
+
+// ringCap normalizes Options.TraceCap: 0 means DefaultTraceCap,
+// negative means unbounded.
+func (o Options) ringCap() int {
+	if o.TraceCap == 0 {
+		return DefaultTraceCap
+	}
+	if o.TraceCap < 0 {
+		return 0 // unbounded
+	}
+	return o.TraceCap
+}
+
+// iterRing collects IterStats with a bounded memory footprint, keeping
+// the most recent capN entries (capN <= 0 keeps everything).
+type iterRing struct {
+	capN    int
+	buf     []IterStat
+	start   int // index of the oldest entry when the ring has wrapped
+	total   int
+	dropped int
+}
+
+func newIterRing(capN int) *iterRing { return &iterRing{capN: capN} }
+
+func (r *iterRing) push(st IterStat) {
+	r.total++
+	if r.capN <= 0 || len(r.buf) < r.capN {
+		r.buf = append(r.buf, st)
+		return
+	}
+	r.buf[r.start] = st
+	r.start = (r.start + 1) % r.capN
+	r.dropped++
+}
+
+// slice returns the retained entries in iteration order. The returned
+// slice aliases the ring only when it never wrapped.
+func (r *iterRing) slice() []IterStat {
+	if r.start == 0 {
+		return r.buf
+	}
+	out := make([]IterStat, 0, len(r.buf))
+	out = append(out, r.buf[r.start:]...)
+	out = append(out, r.buf[:r.start]...)
+	return out
+}
+
+// boundIters applies the trace cap to a report assembled outside driver
+// (PageRankTolContext stitches one-iteration sub-reports together), so
+// a caller-composed report obeys the same bound as a driver-produced
+// one.
+func boundIters(rep *Report, capN int) {
+	if capN <= 0 || len(rep.Iters) <= capN {
+		return
+	}
+	drop := len(rep.Iters) - capN
+	rep.DroppedIters += drop
+	rep.Iters = append(rep.Iters[:0], rep.Iters[drop:]...)
+}

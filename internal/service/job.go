@@ -62,6 +62,26 @@ type JobResult struct {
 	Report *cosparse.Report `json:"report,omitempty"`
 }
 
+// JobTrace is the payload of GET /v1/jobs/{id}/trace: the job's
+// per-iteration decision trace (the Fig. 9 rows) with enough context to
+// interpret it standalone. For failed or cancelled jobs it covers the
+// iterations that completed before the stop — Partial is set so
+// clients can tell.
+type JobTrace struct {
+	JobID   string   `json:"job_id"`
+	GraphID string   `json:"graph_id"`
+	Algo    string   `json:"algo"`
+	System  string   `json:"system"`
+	State   JobState `json:"state"`
+	Partial bool     `json:"partial,omitempty"`
+	// TotalIterations counts every iteration executed; TraceDropped how
+	// many fell out of the bounded trace window (0 = complete trace).
+	TotalIterations int                      `json:"total_iterations"`
+	TraceDropped    int                      `json:"trace_dropped,omitempty"`
+	TotalCycles     int64                    `json:"total_cycles"`
+	Iterations      []cosparse.IterationStat `json:"iterations"`
+}
+
 // JobState is a job's lifecycle phase.
 type JobState string
 
@@ -118,6 +138,11 @@ type Job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	// trace is the run's per-iteration report, kept even when the
+	// client did not ask for include_trace and even for partial runs
+	// (deadline, cancellation, fault) — it feeds the trace endpoint and
+	// the slow-job logs. Bounded by the engine's trace cap.
+	trace *cosparse.Report
 }
 
 // ID returns the job id ("j1", ...).
@@ -157,6 +182,44 @@ func (j *Job) Status() JobStatus {
 		st.Finished = &t
 	}
 	return st
+}
+
+// setTrace stores the run's report for the trace endpoint. Retries
+// overwrite the previous attempt's partial trace.
+func (j *Job) setTrace(rep *cosparse.Report) {
+	if rep == nil {
+		return
+	}
+	j.mu.Lock()
+	j.trace = rep
+	j.mu.Unlock()
+}
+
+// Trace snapshots the per-iteration trace, or nil when no attempt has
+// produced one yet.
+func (j *Job) Trace() *JobTrace {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.trace == nil {
+		return nil
+	}
+	rep := j.trace
+	iters := rep.TotalIterations
+	if iters == 0 {
+		iters = len(rep.Iterations)
+	}
+	return &JobTrace{
+		JobID:           j.id,
+		GraphID:         j.req.GraphID,
+		Algo:            j.algo.String(),
+		System:          j.sys.String(),
+		State:           j.state,
+		Partial:         j.state == JobFailed || j.state == JobCancelled || j.state == JobRunning,
+		TotalIterations: iters,
+		TraceDropped:    rep.TraceDropped,
+		TotalCycles:     rep.TotalCycles,
+		Iterations:      rep.Iterations,
+	}
 }
 
 // Retries returns how many backoff re-runs the job has taken.

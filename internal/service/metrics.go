@@ -8,6 +8,7 @@ package service
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"sync"
@@ -21,62 +22,90 @@ var CycleBuckets = []float64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11}
 // SecondsBuckets are the histogram bounds for per-job wall time.
 var SecondsBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60}
 
-// Histogram is a fixed-bucket cumulative histogram, safe for
-// concurrent Observe.
+// HTTPBuckets are the histogram bounds for per-route request latency:
+// sub-millisecond for status/metrics probes up to tens of seconds for
+// synchronous runs on large graphs.
+var HTTPBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+
+// Histogram is a fixed-bucket cumulative histogram. Observe is
+// lock-free (atomic bucket counters; the float sum is a CAS loop over
+// its bit pattern), so concurrent observers never serialize against
+// each other or against a scrape in progress.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64
-	counts []int64 // counts[i] = observations <= bounds[i]; last = +Inf
-	sum    float64
-	total  int64
+	bounds  []float64 // immutable after NewHistogram
+	counts  []atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+	total   atomic.Int64
 }
 
 // NewHistogram builds a histogram over the given ascending bounds.
 func NewHistogram(bounds []float64) *Histogram {
-	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i]++
-	h.sum += v
-	h.total++
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.total.Add(1)
 }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.total
+	return h.total.Load()
 }
 
 // write renders the histogram in Prometheus text format under name
 // with one fixed label pair.
 func (h *Histogram) write(w io.Writer, name, labelKey, labelVal string) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.writeLabeled(w, name, fmt.Sprintf("%s=%q", labelKey, labelVal))
+}
+
+// writeLabeled renders the histogram with a pre-formatted label list
+// (`k1="v1",k2="v2"`). A scrape racing concurrent Observes sees each
+// counter atomically; buckets may trail the total by in-flight
+// observations, which Prometheus tolerates between scrapes.
+func (h *Histogram) writeLabeled(w io.Writer, name, labels string) {
 	cum := int64(0)
 	for i, b := range h.bounds {
-		cum += h.counts[i]
-		fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, labelKey, labelVal, formatBound(b), cum)
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, labels, formatBound(b), cum)
 	}
-	cum += h.counts[len(h.bounds)]
-	fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, labelKey, labelVal, cum)
-	fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, labelKey, labelVal, h.sum)
-	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, labelKey, labelVal, cum)
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum)
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, math.Float64frombits(h.sumBits.Load()))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, cum)
 }
 
 func formatBound(b float64) string {
 	return strconv.FormatFloat(b, 'g', -1, 64)
 }
 
+// jobHists pairs the two per-algorithm histograms so ObserveJob
+// resolves both with a single map lookup under a single (read) lock.
+type jobHists struct {
+	cycles  *Histogram
+	seconds *Histogram
+}
+
+// httpHist is one route+status latency series.
+type httpHist struct {
+	route   string
+	status  string
+	latency *Histogram
+}
+
 // Metrics is the daemon's observability surface: atomic counters and
-// gauges plus per-algorithm histograms, rendered in Prometheus text
-// format by WritePrometheus. The zero value is NOT ready; use
-// NewMetrics.
+// gauges plus per-algorithm and per-route histograms, rendered in
+// Prometheus text format by WritePrometheus. The zero value is NOT
+// ready; use NewMetrics.
 type Metrics struct {
 	// Job lifecycle counters (monotonic).
 	JobsSubmitted atomic.Int64
@@ -109,40 +138,90 @@ type Metrics struct {
 
 	// HTTP plane.
 	HTTPRequests atomic.Int64
+	HTTPInFlight atomic.Int64 // gauge: requests currently being served
 
-	mu      sync.Mutex
-	cycles  map[string]*Histogram // per-algorithm simulated cycles
-	seconds map[string]*Histogram // per-algorithm wall time
+	// Simulated memory-system totals accumulated over finished jobs,
+	// split by direction (reads are demand/stream fetches, writes are
+	// dirty-line writebacks — see internal/sim).
+	SimHBMReadLines     atomic.Int64
+	SimHBMWriteLines    atomic.Int64
+	SimHBMReadQueued    atomic.Int64 // cumulative channel queueing cycles, read side
+	SimHBMWriteQueued   atomic.Int64 // cumulative channel queueing cycles, write side
+	SimStallCycles      atomic.Int64
+	SimReconfigurations atomic.Int64
+
+	// Histogram families are read-mostly maps: the steady state takes
+	// one RLock per observation to resolve the series, then observes
+	// lock-free on the atomic histogram. The write lock is only taken
+	// to insert a new series (first job of an algorithm, first hit on a
+	// route+status pair).
+	mu      sync.RWMutex
+	jobs    map[string]*jobHists // per-algorithm cycles + wall time
+	httpSer map[string]*httpHist // route\x00status → latency series
 }
 
 // NewMetrics returns an initialized Metrics.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		cycles:  make(map[string]*Histogram),
-		seconds: make(map[string]*Histogram),
+		jobs:    make(map[string]*jobHists),
+		httpSer: make(map[string]*httpHist),
 	}
 }
 
 // ObserveJob records one finished job's simulated cycle count and
-// wall-clock duration under its algorithm name.
+// wall-clock duration under its algorithm name. One read-lock
+// acquisition resolves both histograms; the observations themselves are
+// lock-free.
 func (m *Metrics) ObserveJob(algo string, cycles int64, wallSeconds float64) {
-	m.histogram(m.cycles, algo, CycleBuckets).Observe(float64(cycles))
-	m.histogram(m.seconds, algo, SecondsBuckets).Observe(wallSeconds)
+	m.mu.RLock()
+	jh, ok := m.jobs[algo]
+	m.mu.RUnlock()
+	if !ok {
+		m.mu.Lock()
+		jh, ok = m.jobs[algo]
+		if !ok {
+			jh = &jobHists{cycles: NewHistogram(CycleBuckets), seconds: NewHistogram(SecondsBuckets)}
+			m.jobs[algo] = jh
+		}
+		m.mu.Unlock()
+	}
+	jh.cycles.Observe(float64(cycles))
+	jh.seconds.Observe(wallSeconds)
 }
 
-func (m *Metrics) histogram(set map[string]*Histogram, algo string, bounds []float64) *Histogram {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	h, ok := set[algo]
+// ObserveHTTP records one served request's latency under its route
+// pattern and status code.
+func (m *Metrics) ObserveHTTP(route string, status int, seconds float64) {
+	key := route + "\x00" + strconv.Itoa(status)
+	m.mu.RLock()
+	hh, ok := m.httpSer[key]
+	m.mu.RUnlock()
 	if !ok {
-		h = NewHistogram(bounds)
-		set[algo] = h
+		m.mu.Lock()
+		hh, ok = m.httpSer[key]
+		if !ok {
+			hh = &httpHist{route: route, status: strconv.Itoa(status), latency: NewHistogram(HTTPBuckets)}
+			m.httpSer[key] = hh
+		}
+		m.mu.Unlock()
 	}
-	return h
+	hh.latency.Observe(seconds)
+}
+
+// ObserveSim folds one finished job's simulated memory-system counters
+// into the daemon totals.
+func (m *Metrics) ObserveSim(readLines, writeLines, readQueued, writeQueued, stall, reconfig int64) {
+	m.SimHBMReadLines.Add(readLines)
+	m.SimHBMWriteLines.Add(writeLines)
+	m.SimHBMReadQueued.Add(readQueued)
+	m.SimHBMWriteQueued.Add(writeQueued)
+	m.SimStallCycles.Add(stall)
+	m.SimReconfigurations.Add(reconfig)
 }
 
 // WritePrometheus renders every metric in Prometheus text exposition
-// format, in deterministic order.
+// format, in deterministic order. The histogram maps are snapshotted
+// under one lock acquisition; rendering then reads only atomics.
 func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -171,31 +250,49 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("cosparsed_engine_cache_evictions_total", "Prepared engines evicted from the LRU cache.", m.EngineCacheEvictions.Load())
 	gauge("cosparsed_engine_cache_size", "Prepared engines currently cached.", m.EngineCacheSize.Load())
 	counter("cosparsed_http_requests_total", "HTTP requests served.", m.HTTPRequests.Load())
+	gauge("cosparsed_http_in_flight", "HTTP requests currently being served.", m.HTTPInFlight.Load())
+	counter("cosparsed_sim_hbm_read_lines_total", "Simulated HBM lines read (demand + stream fetches) across finished jobs.", m.SimHBMReadLines.Load())
+	counter("cosparsed_sim_hbm_write_lines_total", "Simulated HBM lines written (dirty-line writebacks) across finished jobs.", m.SimHBMWriteLines.Load())
+	counter("cosparsed_sim_hbm_read_queued_cycles_total", "Simulated HBM channel queueing cycles on the read side across finished jobs.", m.SimHBMReadQueued.Load())
+	counter("cosparsed_sim_hbm_write_queued_cycles_total", "Simulated HBM channel queueing cycles on the write side across finished jobs.", m.SimHBMWriteQueued.Load())
+	counter("cosparsed_sim_stall_cycles_total", "Simulated PE memory-stall cycles across finished jobs.", m.SimStallCycles.Load())
+	counter("cosparsed_sim_reconfigurations_total", "Hardware/software reconfigurations performed across finished jobs.", m.SimReconfigurations.Load())
 
-	m.mu.Lock()
-	cycleAlgos := sortedKeys(m.cycles)
-	secondAlgos := sortedKeys(m.seconds)
-	m.mu.Unlock()
+	// One lock acquisition snapshots every histogram family; the
+	// histograms themselves are rendered from atomics afterwards.
+	m.mu.RLock()
+	algos := make([]string, 0, len(m.jobs))
+	jobs := make(map[string]*jobHists, len(m.jobs))
+	for a, jh := range m.jobs {
+		algos = append(algos, a)
+		jobs[a] = jh
+	}
+	httpKeys := make([]string, 0, len(m.httpSer))
+	httpSer := make(map[string]*httpHist, len(m.httpSer))
+	for k, hh := range m.httpSer {
+		httpKeys = append(httpKeys, k)
+		httpSer[k] = hh
+	}
+	m.mu.RUnlock()
+	sort.Strings(algos)
+	sort.Strings(httpKeys)
 
-	if len(cycleAlgos) > 0 {
+	if len(algos) > 0 {
 		fmt.Fprintf(w, "# HELP cosparsed_job_cycles Simulated cycles per finished job.\n# TYPE cosparsed_job_cycles histogram\n")
-		for _, a := range cycleAlgos {
-			m.histogram(m.cycles, a, CycleBuckets).write(w, "cosparsed_job_cycles", "algo", a)
+		for _, a := range algos {
+			jobs[a].cycles.write(w, "cosparsed_job_cycles", "algo", a)
 		}
-	}
-	if len(secondAlgos) > 0 {
 		fmt.Fprintf(w, "# HELP cosparsed_job_seconds Wall-clock seconds per finished job.\n# TYPE cosparsed_job_seconds histogram\n")
-		for _, a := range secondAlgos {
-			m.histogram(m.seconds, a, SecondsBuckets).write(w, "cosparsed_job_seconds", "algo", a)
+		for _, a := range algos {
+			jobs[a].seconds.write(w, "cosparsed_job_seconds", "algo", a)
 		}
 	}
-}
-
-func sortedKeys(m map[string]*Histogram) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+	if len(httpKeys) > 0 {
+		fmt.Fprintf(w, "# HELP cosparsed_http_request_seconds HTTP request latency by route pattern and status code.\n# TYPE cosparsed_http_request_seconds histogram\n")
+		for _, k := range httpKeys {
+			hh := httpSer[k]
+			hh.latency.writeLabeled(w, "cosparsed_http_request_seconds",
+				fmt.Sprintf("route=%q,code=%q", hh.route, hh.status))
+		}
 	}
-	sort.Strings(keys)
-	return keys
 }

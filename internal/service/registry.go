@@ -183,7 +183,11 @@ type Registry struct {
 
 	maxVertices, maxEdges int
 	inject                *fault.Injector
-	m                     *Metrics
+	// traceCap is the per-run iteration-trace bound handed to every
+	// engine build (0 = library default, negative = unbounded). Set once
+	// before serving traffic, like inject.
+	traceCap int
+	m        *Metrics
 }
 
 // NewRegistry builds a registry bounded to maxGraphs registered graphs
@@ -239,6 +243,11 @@ func (r *Registry) SetBuildLimit(n int) {
 // SetFaults installs the fault injector (nil = disarmed). Call before
 // serving traffic.
 func (r *Registry) SetFaults(in *fault.Injector) { r.inject = in }
+
+// SetTraceCap sets the per-run iteration-trace bound passed to every
+// engine built from here on (see cosparse.WithTraceCap). Call before
+// serving traffic.
+func (r *Registry) SetTraceCap(n int) { r.traceCap = n }
 
 // declaredSize returns the vertex/edge counts a spec promises before
 // any allocation, for kinds that state them up front.
@@ -434,6 +443,9 @@ func (r *Registry) Engine(ge *GraphEntry, sys cosparse.System) (*engineEntry, er
 		return nil, err
 	}
 	var opts []cosparse.Option
+	if r.traceCap != 0 {
+		opts = append(opts, cosparse.WithTraceCap(r.traceCap))
+	}
 	if r.inject.Armed(fault.Iteration) {
 		opts = append(opts, cosparse.WithIterationHook(func(int) error {
 			return r.inject.Check(fault.Iteration)

@@ -5,10 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"math"
 	"net/http"
+	netpprof "net/http/pprof"
 	"runtime/debug"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -55,6 +59,20 @@ type Config struct {
 	// Logger receives structured request and job logs (default: slog
 	// text to stderr via slog.Default).
 	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
+	// default: the profile endpoints are unauthenticated and can stall
+	// the process for the duration of a profile).
+	EnablePprof bool
+	// SlowJob is the wall-clock threshold above which a finished job
+	// logs its full per-iteration decision trace (0 disables).
+	SlowJob time.Duration
+	// TraceCap bounds each job's retained iteration trace (see
+	// cosparse.WithTraceCap): 0 = library default, negative = unbounded.
+	TraceCap int
+	// TraceSink, when non-nil, receives one JSON line per finished job
+	// (including partial runs) with the job's iteration trace — the
+	// daemon-side form of the CLI's -trace flag. Writes are serialized.
+	TraceSink io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +129,9 @@ type Service struct {
 	log      *slog.Logger
 	start    time.Time
 	draining atomic.Bool
+	// traceMu serializes JSONL writes to cfg.TraceSink (jobs finish on
+	// concurrent workers).
+	traceMu sync.Mutex
 }
 
 // New assembles a Service (call Close when done).
@@ -126,6 +147,7 @@ func New(cfg Config) *Service {
 	}
 	s.reg.SetMemoryBudget(cfg.MemoryBudgetBytes)
 	s.reg.SetFaults(cfg.Faults)
+	s.reg.SetTraceCap(cfg.TraceCap)
 	s.sched = NewScheduler(cfg.Workers, cfg.QueueDepth, s.runJob, m)
 	s.sched.retry = cfg.Retry
 	return s
@@ -153,21 +175,61 @@ func (s *Service) Drain(ctx context.Context) error {
 // Metrics exposes the service's counters (for the daemon's own use).
 func (s *Service) Metrics() *Metrics { return s.m }
 
-// Handler returns the full HTTP API with request logging attached.
+// Handler returns the full HTTP API with request logging, per-route
+// latency instrumentation, and (optionally) pprof attached.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
-	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
-	mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
-	mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleDeleteGraph)
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
-	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /readyz", s.handleReady)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.route(mux, "POST /v1/graphs", s.handleRegisterGraph)
+	s.route(mux, "GET /v1/graphs", s.handleListGraphs)
+	s.route(mux, "GET /v1/graphs/{id}", s.handleGetGraph)
+	s.route(mux, "DELETE /v1/graphs/{id}", s.handleDeleteGraph)
+	s.route(mux, "POST /v1/jobs", s.handleSubmitJob)
+	s.route(mux, "GET /v1/jobs", s.handleListJobs)
+	s.route(mux, "GET /v1/jobs/{id}", s.handleGetJob)
+	s.route(mux, "GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	s.route(mux, "DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.route(mux, "GET /healthz", s.handleHealth)
+	s.route(mux, "GET /readyz", s.handleReady)
+	s.route(mux, "GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		// Mounted on the service mux (not http.DefaultServeMux, which
+		// importing net/http/pprof would populate globally) so the flag
+		// actually gates exposure. Left uninstrumented: profile pulls
+		// run for tens of seconds and would pollute the latency
+		// histograms.
+		mux.HandleFunc("GET /debug/pprof/", netpprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", netpprof.Trace)
+	}
 	return s.logging(s.recovery(s.limitBody(mux)))
+}
+
+// route registers h under pattern with per-route instrumentation: an
+// in-flight gauge and a latency histogram labeled by the route pattern
+// and final status code. The pattern is the label (known statically at
+// registration), so path parameters like job ids never explode metric
+// cardinality. A panicking handler is recorded as a 500 and re-panicked
+// for the recovery middleware to convert.
+func (s *Service) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.m.HTTPInFlight.Add(1)
+		t0 := time.Now()
+		defer func() {
+			s.m.HTTPInFlight.Add(-1)
+			status := http.StatusOK
+			if sw, ok := w.(*statusWriter); ok && sw.status != 0 {
+				status = sw.status
+			}
+			if v := recover(); v != nil {
+				s.m.ObserveHTTP(pattern, http.StatusInternalServerError, time.Since(t0).Seconds())
+				panic(v)
+			}
+			s.m.ObserveHTTP(pattern, status, time.Since(t0).Seconds())
+		}()
+		h(w, r)
+	})
 }
 
 // recovery converts handler panics (a bug, or injected via
@@ -486,6 +548,12 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 		err = fmt.Errorf("algorithm %q not runnable as a job", j.algo)
 	}
 	wall := time.Since(t0)
+	// Keep the trace even when the run stopped early: the Context entry
+	// points return a partial report covering the iterations that did
+	// complete, which is exactly what an operator debugging a timeout
+	// or fault wants to see.
+	j.setTrace(rep)
+	s.sinkTrace(j, err)
 	if err != nil {
 		s.log.Warn("job stopped",
 			slog.String("job", j.id),
@@ -496,7 +564,7 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 		return nil, err
 	}
 
-	res.Iterations = len(rep.Iterations)
+	res.Iterations = rep.TotalIterations
 	res.TotalCycles = rep.TotalCycles
 	res.SimSeconds = rep.Seconds
 	res.EnergyJ = rep.EnergyJ
@@ -505,6 +573,28 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 		res.Report = rep
 	}
 	s.m.ObserveJob(j.algo.String(), rep.TotalCycles, wall.Seconds())
+	if mem := rep.Memory; mem != nil {
+		reconfigs := int64(0)
+		for _, it := range rep.Iterations {
+			if it.Reconfigured {
+				reconfigs++
+			}
+		}
+		s.m.ObserveSim(mem.HBMReadLines, mem.HBMWriteLines,
+			mem.HBMReadQueuedCycles, mem.HBMWriteQueuedCycles,
+			mem.StallCycles, reconfigs)
+	}
+	if s.cfg.SlowJob > 0 && wall >= s.cfg.SlowJob {
+		s.log.Warn("slow job",
+			slog.String("job", j.id),
+			slog.String("algo", j.algo.String()),
+			slog.Duration("wall", wall),
+			slog.Duration("threshold", s.cfg.SlowJob),
+			slog.Int64("cycles", rep.TotalCycles),
+			slog.Int("iterations", rep.TotalIterations),
+			slog.String("decisions", decisionTrace(rep)),
+		)
+	}
 	s.log.Info("job done",
 		slog.String("job", j.id),
 		slog.String("algo", j.algo.String()),
@@ -512,6 +602,71 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 		slog.Duration("wall", wall),
 	)
 	return res, nil
+}
+
+// decisionTrace renders the report's per-iteration configuration
+// choices as a compact arrow chain ("OP/PC>IP/SCS>..."), collapsing
+// consecutive repeats into a count — the one-line form of Fig. 9 used
+// in slow-job logs.
+func decisionTrace(rep *cosparse.Report) string {
+	if len(rep.Iterations) == 0 {
+		return "(no iterations)"
+	}
+	var sb strings.Builder
+	if rep.TraceDropped > 0 {
+		fmt.Fprintf(&sb, "(%d earlier dropped)>", rep.TraceDropped)
+	}
+	run := 0
+	cur := ""
+	flush := func() {
+		if run == 0 {
+			return
+		}
+		if sb.Len() > 0 && !strings.HasSuffix(sb.String(), ">") {
+			sb.WriteString(">")
+		}
+		if run > 1 {
+			fmt.Fprintf(&sb, "%sx%d", cur, run)
+		} else {
+			sb.WriteString(cur)
+		}
+	}
+	for _, it := range rep.Iterations {
+		c := it.Software + "/" + it.Hardware
+		if c == cur {
+			run++
+			continue
+		}
+		flush()
+		cur, run = c, 1
+	}
+	flush()
+	return sb.String()
+}
+
+// sinkTrace appends the job's trace to the configured sink as one JSON
+// line (JSONL): the daemon-side equivalent of the CLI's -trace flag.
+// Called from the worker before the scheduler's terminal transition, so
+// the run's outcome is patched in from err.
+func (s *Service) sinkTrace(j *Job, err error) {
+	if s.cfg.TraceSink == nil {
+		return
+	}
+	tr := j.Trace()
+	if tr == nil {
+		return
+	}
+	if err != nil {
+		tr.State, tr.Partial = JobFailed, true
+	} else {
+		tr.State, tr.Partial = JobDone, false
+	}
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	enc := json.NewEncoder(s.cfg.TraceSink)
+	if err := enc.Encode(tr); err != nil {
+		s.log.Warn("trace sink write failed", slog.String("err", err.Error()))
+	}
 }
 
 func (s *Service) handleListJobs(w http.ResponseWriter, r *http.Request) {
@@ -525,6 +680,25 @@ func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleJobTrace serves the per-iteration decision trace of a job. The
+// trace exists once an attempt has run — including partial runs after
+// a deadline, cancellation, or fault — so a 409 means the job has not
+// started executing yet.
+func (s *Service) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.sched.Get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	tr := j.Trace()
+	if tr == nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "job %q has not produced a trace yet (state %s)", j.ID(), j.State())
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
 }
 
 func (s *Service) handleCancelJob(w http.ResponseWriter, r *http.Request) {

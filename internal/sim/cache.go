@@ -137,8 +137,10 @@ func (b *cacheBank) install(addr uint64, now int64) (victimDirty bool) {
 	return victimDirty
 }
 
-// markDirty flags the block containing addr dirty if present.
-func (b *cacheBank) markDirty(addr uint64) {
+// markDirty flags the block containing addr dirty if present and
+// reports whether it was; an absent block means the caller's writeback
+// must continue down the hierarchy.
+func (b *cacheBank) markDirty(addr uint64) bool {
 	block := addr >> b.shift
 	set := int(block % uint64(b.sets))
 	base := set * b.ways
@@ -146,9 +148,10 @@ func (b *cacheBank) markDirty(addr uint64) {
 		i := base + w
 		if b.valid[i] && b.tags[i] == block {
 			b.dirty[i] = true
-			return
+			return true
 		}
 	}
+	return false
 }
 
 // contains reports whether the block holding addr is resident (used by

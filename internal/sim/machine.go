@@ -67,8 +67,10 @@ type Stats struct {
 	L1Misses       int64
 	L2Hits         int64
 	L2Misses       int64
-	HBMLines       int64
-	HBMQueued      int64 // cumulative channel queueing delay
+	HBMLines       int64 // line fetches (reads) from HBM
+	HBMQueued      int64 // cumulative channel queueing delay of reads
+	HBMWriteLines  int64 // writeback line transfers to HBM
+	HBMWriteQueued int64 // cumulative channel queueing delay of writebacks
 	StreamLoads    int64 // loads served by the stream-buffer path
 	SPMReads       int64
 	SPMWrites      int64
@@ -117,6 +119,8 @@ func (s *Stats) Add(o Stats) {
 	s.L2Misses += o.L2Misses
 	s.HBMLines += o.HBMLines
 	s.HBMQueued += o.HBMQueued
+	s.HBMWriteLines += o.HBMWriteLines
+	s.HBMWriteQueued += o.HBMWriteQueued
 	s.StreamLoads += o.StreamLoads
 	s.SPMReads += o.SPMReads
 	s.SPMWrites += o.SPMWrites
@@ -425,13 +429,17 @@ func (m *Machine) l2Access(p *Proc, addr uint64, t int64) (int64, bool) {
 // l2BankFor maps an address to an L2 bank for this processor's tile in
 // private mode, or to the global pool in shared mode.
 func (m *Machine) l2BankFor(p *Proc, addr uint64) int {
+	return m.l2BankForTile(p.tile, addr)
+}
+
+func (m *Machine) l2BankForTile(tile int, addr uint64) int {
 	cfg := m.cfg
 	perTile := cfg.Geometry.PEsPerTile
 	block := addr / uint64(cfg.Params.BlockBytes)
 	if cfg.HW.L2Shared() {
 		return int(block % uint64(len(m.l2)))
 	}
-	return p.tile*perTile + int(block%uint64(perTile))
+	return tile*perTile + int(block%uint64(perTile))
 }
 
 // l1LocalAddr strips the bank-interleave bits from an address before it
@@ -473,12 +481,63 @@ func (m *Machine) installStream(p *Proc, addr uint64, ready int64) {
 }
 
 // writebackBelow books the writeback of an evicted dirty L1 line into
-// the L2 bank queue (the PE does not wait on it).
+// the L2 bank queue (the PE does not wait on it). With the
+// non-inclusive hierarchy the line may already have been evicted from
+// L2; the dirty data then goes straight to memory rather than
+// silently vanishing.
 func (m *Machine) writebackBelow(p *Proc, addr uint64, t int64) {
 	bank := m.l2BankFor(p, addr)
 	m.l2[bank].occupy(t, 1)
-	m.l2[bank].markDirty(m.l2LocalAddr(addr))
+	if !m.l2[bank].markDirty(m.l2LocalAddr(addr)) {
+		m.mem.writeLineBuffered(addr, t)
+	}
 	p.st.Writebacks++
+}
+
+// flushDirty drains every dirty line still resident in the hierarchy to
+// HBM when the program ends: a reconfiguration tears the caches down,
+// so modified data that never saw a capacity eviction must still reach
+// memory. The drain happens after the makespan — it books HBM write
+// traffic but extends no PE's critical path. Bank interleaving strips
+// low block bits from the stored tags, so global addresses are
+// reconstructed from (tag, bank) — exact for private banks, and
+// channel-accurate for pooled ones.
+func (m *Machine) flushDirty(t int64) {
+	bb := uint64(m.cfg.Params.BlockBytes)
+	// L1 dirty lines fold into L2 where resident; the rest of the way
+	// down they are memory's problem directly (non-inclusive hierarchy).
+	l1banks := uint64(m.cfg.L1CacheBanksPerTile())
+	for bi, b := range m.l1 {
+		for i := range b.dirty {
+			if !b.valid[i] || !b.dirty[i] {
+				continue
+			}
+			b.dirty[i] = false
+			addr := b.tags[i] << b.shift
+			if m.cfg.HW.L1Shared() && l1banks > 0 {
+				addr = (addr/bb*l1banks + uint64(bi)%l1banks) * bb
+			}
+			tile := bi / int(l1banks)
+			bank := m.l2BankForTile(tile, addr)
+			if !m.l2[bank].markDirty(m.l2LocalAddr(addr)) {
+				m.mem.writeLineBuffered(addr, t)
+			}
+		}
+	}
+	l2banks := uint64(m.cfg.Geometry.PEsPerTile)
+	if m.cfg.HW.L2Shared() {
+		l2banks = uint64(len(m.l2))
+	}
+	for bi, b := range m.l2 {
+		for i := range b.dirty {
+			if !b.valid[i] || !b.dirty[i] {
+				continue
+			}
+			b.dirty[i] = false
+			addr := (b.tags[i]<<b.shift)/bb*l2banks + uint64(bi)%l2banks
+			m.mem.writeLineBuffered(addr*bb, t)
+		}
+	}
 }
 
 // prefetch trains the per-processor stride detector with the missed
@@ -572,8 +631,12 @@ func (m *Machine) Run(prog Program) Result {
 		}
 	}
 
+	m.flushDirty(makespan)
+
 	m.stats.Cycles = makespan
-	m.stats.HBMQueued = m.mem.queued
+	m.stats.HBMQueued = m.mem.queuedRead
+	m.stats.HBMWriteLines = m.mem.writes
+	m.stats.HBMWriteQueued = m.mem.queuedWrite
 	res := Result{Cycles: makespan, Stats: m.stats}
 	res.EnergyJ = Energy(m.cfg, res.Stats)
 	if makespan > 0 {

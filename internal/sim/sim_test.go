@@ -236,8 +236,76 @@ func TestHBMChannelQueuing(t *testing.T) {
 	if a3 != a1 {
 		t.Fatalf("different channel delayed: %d vs %d", a3, a1)
 	}
-	if h.accesses != 3 {
-		t.Fatalf("access count %d", h.accesses)
+	if h.reads != 3 {
+		t.Fatalf("read count %d", h.reads)
+	}
+	// Only the second access waited, for exactly one line occupancy.
+	if h.queuedRead != p.HBMLineOccupied {
+		t.Fatalf("queued read cycles %d, want %d", h.queuedRead, p.HBMLineOccupied)
+	}
+}
+
+func TestHBMWriteAccounting(t *testing.T) {
+	p := DefaultParams()
+	h := newHBM(p)
+	// A read occupies the channel; a writeback issued at the same time
+	// must queue behind it, and the delay lands in queuedWrite.
+	h.access(0, 0)
+	h.writeLine(0, 0)
+	if h.reads != 1 || h.writes != 1 {
+		t.Fatalf("reads=%d writes=%d, want 1/1", h.reads, h.writes)
+	}
+	if h.queuedWrite != p.HBMLineOccupied {
+		t.Fatalf("queued write cycles %d, want %d", h.queuedWrite, p.HBMLineOccupied)
+	}
+	if h.queuedRead != 0 {
+		t.Fatalf("queued read cycles %d, want 0", h.queuedRead)
+	}
+	// The writeback extended channel occupancy: the next read queues
+	// behind both transfers.
+	a3 := h.access(0, 0)
+	if a3 != 2*p.HBMLineOccupied+p.HBMBaseLatency+p.HBMLineOccupied {
+		t.Fatalf("read after writeback completed at %d", a3)
+	}
+}
+
+func TestDirtyEvictionsReportWriteLines(t *testing.T) {
+	// Sweeping stores across a region far larger than the L2 must evict
+	// dirty lines, and every dirty victim is a real HBM write transfer —
+	// visible in the split write counters, distinct from the read side.
+	m := MustMachine(cfg2x4(PC))
+	arena := NewArena(m.Config().Params)
+	base := arena.Alloc(1 << 19)
+	res := m.Run(Program{PE: func(p *Proc) {
+		if p.GlobalPE() != 0 {
+			return
+		}
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < 1<<19; i += 64 {
+				p.Store(base + uint64(i))
+			}
+		}
+	}})
+	s := res.Stats
+	if s.HBMWriteLines == 0 {
+		t.Fatal("dirty L2 evictions produced no HBM write lines")
+	}
+	if s.HBMLines == 0 {
+		t.Fatal("no HBM read lines reported")
+	}
+	b := s.MemoryBreakdown()
+	if b.HBMReadLines != s.HBMLines || b.HBMWriteLines != s.HBMWriteLines {
+		t.Fatalf("breakdown lines %d/%d disagree with stats %d/%d",
+			b.HBMReadLines, b.HBMWriteLines, s.HBMLines, s.HBMWriteLines)
+	}
+	if b.HBMWriteQueued != s.HBMWriteQueued || b.HBMReadQueued != s.HBMQueued {
+		t.Fatal("breakdown queued cycles disagree with stats")
+	}
+	if s.HBMWriteLines > 0 && b.AvgWriteQueueCycles != float64(s.HBMWriteQueued)/float64(s.HBMWriteLines) {
+		t.Fatal("breakdown average write queue delay miscomputed")
+	}
+	if b.Writebacks != s.Writebacks || b.Stores != s.Stores {
+		t.Fatal("breakdown writeback/store counters disagree with stats")
 	}
 }
 

@@ -20,6 +20,7 @@ type streamBuf struct {
 	valid    bool
 	lastLine uint64
 	next     uint64           // next line index to fetch ahead
+	low      uint64           // lowest line index that may still be in ready
 	ready    map[uint64]int64 // outstanding/arrived line → ready time
 }
 
@@ -58,7 +59,7 @@ func (p *Proc) LoadStream(addr uint64) {
 		// Allocate (round-robin) and start a fresh window at this line.
 		s = &p.sbufs[p.sbufNext]
 		p.sbufNext = (p.sbufNext + 1) % numStreamBufs
-		*s = streamBuf{valid: true, lastLine: line, next: line, ready: make(map[uint64]int64)}
+		*s = streamBuf{valid: true, lastLine: line, next: line, low: line, ready: make(map[uint64]int64)}
 	}
 	s.lastLine = line
 
@@ -89,5 +90,16 @@ func (p *Proc) LoadStream(addr uint64) {
 	} else {
 		p.time++
 	}
-	delete(s.ready, line-2) // retire lines the consumer has passed
+	// Retire everything below the consumer's revisit window (streamNear
+	// accepts d >= -2, so line-2 and line-1 must stay resident). A plain
+	// delete(line-2) would strand entries whenever the consumer skips a
+	// line — a stride crossing, or a restart inside the match window —
+	// growing the map for the buffer's lifetime and leaving stale ready
+	// times behind for a later stream that revisits those line indices.
+	// s.low tracks the retirement frontier, so the sweep is O(1)
+	// amortized and the map stays bounded by the fetch window.
+	for s.low+2 < line {
+		delete(s.ready, s.low)
+		s.low++
+	}
 }

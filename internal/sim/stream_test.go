@@ -68,6 +68,107 @@ func TestTwoInterleavedStreams(t *testing.T) {
 	}
 }
 
+// maxReady returns the largest ready-map population across a PE's
+// stream buffers — the quantity the retirement sweep must bound.
+func maxReady(p *Proc, cur int) int {
+	for i := range p.sbufs {
+		if n := len(p.sbufs[i].ready); n > cur {
+			cur = n
+		}
+	}
+	return cur
+}
+
+func TestLoadStreamRetirementBoundsReadyMap(t *testing.T) {
+	// Regression test for the retirement bug: LoadStream used to delete
+	// only line-2 from streamBuf.ready, so a consumer that skips a line
+	// (stride crossing, restart inside the match window) stranded an
+	// entry per skip for the buffer's lifetime. The skipping pattern
+	// below — touching every other line — previously grew the map to
+	// 500+ entries; with frontier-based retirement it must stay bounded
+	// by the fetch window regardless of access pattern.
+	par := DefaultParams()
+	bound := int(par.MSHRs) + 4 // fetch window + the d>=-2 revisit margin
+
+	patterns := map[string]func(load func(uint64), base uint64){
+		"sequential": func(load func(uint64), base uint64) {
+			for i := 0; i < 4096; i++ {
+				load(base + uint64(i*4))
+			}
+		},
+		"skipping": func(load func(uint64), base uint64) {
+			// One word per line, every other line: each access advances
+			// lastLine by 2, so single-entry retirement leaks one entry
+			// per access.
+			for i := 0; i < 512; i++ {
+				load(base + uint64(i)*2*uint64(par.BlockBytes))
+			}
+		},
+	}
+	for name, walk := range patterns {
+		m := MustMachine(cfg2x4(PC))
+		arena := NewArena(m.Config().Params)
+		base := arena.Alloc(1 << 18)
+		peak := 0
+		m.Run(Program{PE: func(p *Proc) {
+			if p.GlobalPE() != 0 {
+				return
+			}
+			walk(func(addr uint64) {
+				p.LoadStream(addr)
+				peak = maxReady(p, peak)
+			}, base)
+		}})
+		if peak > bound {
+			t.Errorf("%s: ready map peaked at %d entries, want <= %d", name, peak, bound)
+		}
+	}
+}
+
+func TestLoadStreamTimingsUnchangedByRetirementFix(t *testing.T) {
+	// Cycle counts pinned from the pre-fix simulator: the retirement
+	// sweep must not perturb timing for any of these patterns — the bug
+	// was purely a bookkeeping leak.
+	run := func(walk func(p *Proc, base uint64)) int64 {
+		m := MustMachine(cfg2x4(PC))
+		arena := NewArena(m.Config().Params)
+		base := arena.Alloc(1 << 18)
+		return m.Run(Program{PE: func(p *Proc) {
+			if p.GlobalPE() != 0 {
+				return
+			}
+			walk(p, base)
+		}}).Cycles
+	}
+	par := DefaultParams()
+	sequential := run(func(p *Proc, base uint64) {
+		for i := 0; i < 4096; i++ {
+			p.LoadStream(base + uint64(i*4))
+		}
+	})
+	interleaved := run(func(p *Proc, base uint64) {
+		b2 := base + 1<<17
+		for i := 0; i < 2048; i++ {
+			p.LoadStream(base + uint64(i*4))
+			p.LoadStream(b2 + uint64(i*4))
+		}
+	})
+	skipping := run(func(p *Proc, base uint64) {
+		for i := 0; i < 512; i++ {
+			p.LoadStream(base + uint64(i)*2*uint64(par.BlockBytes))
+		}
+	})
+	if sequential != 4183 {
+		t.Errorf("sequential stream = %d cycles, want 4183 (pre-fix baseline)", sequential)
+	}
+	if interleaved != 4270 {
+		t.Errorf("interleaved streams = %d cycles, want 4270 (pre-fix baseline)", interleaved)
+	}
+	if skipping != 9065 {
+		t.Errorf("skipping stream = %d cycles, want 9065 (pre-fix baseline)", skipping)
+	}
+}
+
 func TestStreamInstallPollutesL1(t *testing.T) {
 	// A PE keeps a small hot set in its private L1 while a long stream
 	// passes through: the stream's installs must evict hot lines,

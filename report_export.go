@@ -15,6 +15,35 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
+// WriteTraceJSON serializes just the per-iteration decision trace plus
+// the fields needed to interpret it (algorithm, system, totals,
+// truncation counters) — the compact form the `-trace <file>` flags and
+// the service's trace endpoint emit for offline analysis.
+func (r *Report) WriteTraceJSON(w io.Writer) error {
+	iters := r.TotalIterations
+	if iters == 0 {
+		iters = len(r.Iterations)
+	}
+	t := struct {
+		Algorithm       string
+		System          string
+		TotalIterations int
+		TraceDropped    int `json:",omitempty"`
+		TotalCycles     int64
+		Iterations      []IterationStat
+	}{
+		Algorithm:       r.Algorithm,
+		System:          r.System.String(),
+		TotalIterations: iters,
+		TraceDropped:    r.TraceDropped,
+		TotalCycles:     r.TotalCycles,
+		Iterations:      r.Iterations,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
 // WriteCSV emits one row per iteration:
 // iter,frontier,density,software,hardware,reconfigured,cycles,energy_j.
 func (r *Report) WriteCSV(w io.Writer) error {
