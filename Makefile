@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race regress chaos fuzz check bench clean
+.PHONY: all build vet lint test race regress chaos fuzz check bench bench-backends clean
 
 all: check
 
@@ -18,15 +18,19 @@ lint: vet
 test:
 	$(GO) test ./...
 
-race: regress chaos fuzz
+race: regress chaos fuzz bench-backends
 	$(GO) test -race -short ./...
 
 # regress pins the stats-accounting fixes under the race detector: the
 # stream-buffer retirement bound (and its unchanged timings) and the
-# lock-free metrics histograms.
+# lock-free metrics histograms — plus the execution-backend seam: sim
+# timings byte-identical to pre-refactor, and the goroutine-parallel
+# native backend producing bit-identical results under -race.
 regress:
 	$(GO) test -race -count=1 -run 'TestLoadStreamRetirementBoundsReadyMap|TestLoadStreamTimingsUnchangedByRetirementFix|TestHBMWriteAccounting|TestDirtyEvictionsReportWriteLines' ./internal/sim
 	$(GO) test -race -count=1 -run 'TestObserveJobConcurrentExact|TestWritePrometheusDuringObservations|TestTraceEndpointMatchesReport|TestHTTPLatencyHistograms' ./internal/service
+	$(GO) test -race -count=1 -run 'TestSimBackendTimingsPinned' ./internal/runtime
+	$(GO) test -race -count=1 -run 'TestBackendEquivalence|TestBackendsMatchBaselineSpMV' .
 
 # chaos runs the fault-injection suite under the race detector: hundreds
 # of jobs against an armed injector (panics, transient errors, latency)
@@ -45,6 +49,12 @@ check: lint build race
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# bench-backends times the same PageRank run through the sim and native
+# execution backends on a scale-16 power-law graph and writes
+# BENCH_backends.json; it fails if native is not >= 10x faster.
+bench-backends:
+	BENCH_BACKENDS=1 $(GO) test -count=1 -run TestBenchBackends -v .
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,83 @@
+package cosparse
+
+// Backend wall-clock comparison (the `make bench-backends` target):
+// the same PageRank run on a scale-16 power-law graph through the
+// trace-driven sim backend and the goroutine-parallel native backend.
+// Gated behind BENCH_BACKENDS because the sim leg simulates every
+// memory event of a million-edge graph; results land in
+// BENCH_backends.json for trend tracking.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestBenchBackends(t *testing.T) {
+	if os.Getenv("BENCH_BACKENDS") == "" {
+		t.Skip("set BENCH_BACKENDS=1 to run the backend wall-clock comparison")
+	}
+	const (
+		scale = 16
+		n     = 1 << scale
+		edges = 16 * n
+		iters = 3
+		alpha = 0.15
+	)
+	g, err := GeneratePowerLaw(n, edges, Weighted, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := System{Tiles: 16, PEsPerTile: 16}
+
+	run := func(b Backend) time.Duration {
+		eng, err := New(g, sys, WithBackend(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t0 := time.Now()
+		if _, _, err := eng.PageRank(iters, alpha); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	simWall := run(SimBackend)
+	natWall := run(NativeBackend)
+	speedup := simWall.Seconds() / natWall.Seconds()
+
+	out := struct {
+		Graph      string  `json:"graph"`
+		Vertices   int     `json:"vertices"`
+		Edges      int     `json:"edges"`
+		Algo       string  `json:"algo"`
+		Iters      int     `json:"iters"`
+		SimWallS   float64 `json:"sim_wall_s"`
+		NativeWall float64 `json:"native_wall_s"`
+		Speedup    float64 `json:"speedup"`
+		GOMAXPROCS int     `json:"gomaxprocs"`
+	}{
+		Graph:      "powerlaw-scale16",
+		Vertices:   n,
+		Edges:      edges,
+		Algo:       "pr",
+		Iters:      iters,
+		SimWallS:   simWall.Seconds(),
+		NativeWall: natWall.Seconds(),
+		Speedup:    speedup,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_backends.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sim %v, native %v, speedup %.1fx on %d procs", simWall, natWall, speedup, out.GOMAXPROCS)
+
+	if speedup < 10 {
+		t.Errorf("native backend only %.1fx faster than sim (want >= 10x)", speedup)
+	}
+}

@@ -34,6 +34,7 @@ func main() {
 	beta := flag.Float64("beta", 0.05, "CF learning rate")
 	lambda := flag.Float64("lambda", 0.01, "CF regularization")
 	seed := flag.Uint64("seed", 42, "generator seed")
+	backend := flag.String("backend", "sim", "execution backend: sim (cycle-accurate timing model) or native (goroutine-parallel host run)")
 	sw := flag.String("sw", "auto", "software configuration: auto, ip, op")
 	hw := flag.String("hw", "auto", "hardware configuration: auto, sc, scs, pc, ps")
 	printTrace := flag.Bool("print-trace", true, "print the per-iteration reconfiguration trace")
@@ -65,7 +66,11 @@ func main() {
 	}
 	fmt.Printf("graph: %d vertices, %d edges, density %.2e\n", g.NumVertices(), g.NumEdges(), g.Density())
 
-	opts := []cosparse.Option{}
+	be, err := cosparse.ParseBackend(*backend)
+	if err != nil {
+		fail(err)
+	}
+	opts := []cosparse.Option{cosparse.WithBackend(be)}
 	switch strings.ToLower(*sw) {
 	case "auto":
 	case "ip":

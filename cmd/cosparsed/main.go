@@ -50,6 +50,7 @@ func main() {
 	maxEdges := flag.Int("max-edges", 1<<26, "per-graph edge ceiling")
 	tiles := flag.Int("tiles", 16, "default simulated tiles for jobs that name no geometry")
 	pes := flag.Int("pes", 16, "default simulated PEs per tile")
+	backend := flag.String("backend", "sim", "default execution backend for jobs that name none: sim or native")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-job deadline")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "ceiling on client-requested job deadlines")
 	memBudget := flag.Int64("mem-budget", 2<<30, "estimated-resident-bytes budget for registered graphs; loads beyond it get 413 (0 = unlimited)")
@@ -70,6 +71,9 @@ func main() {
 	}
 	if *tiles <= 0 || *pes <= 0 {
 		fail(fmt.Errorf("-tiles and -pes must be positive, got %d/%d", *tiles, *pes))
+	}
+	if _, err := cosparse.ParseBackend(*backend); err != nil {
+		fail(fmt.Errorf("-backend: %w", err))
 	}
 	if *timeout <= 0 || *maxTimeout < *timeout {
 		fail(fmt.Errorf("need 0 < -timeout <= -max-timeout, got %s/%s", *timeout, *maxTimeout))
@@ -115,6 +119,7 @@ func main() {
 		MaxVertices:       *maxVertices,
 		MaxEdges:          *maxEdges,
 		DefaultSystem:     cosparse.System{Tiles: *tiles, PEsPerTile: *pes},
+		DefaultBackend:    *backend,
 		DefaultTimeout:    *timeout,
 		MaxTimeout:        *maxTimeout,
 		MemoryBudgetBytes: *memBudget,

@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
+	"cosparse/internal/exec"
 	"cosparse/internal/gen"
 	"cosparse/internal/kernels"
 	"cosparse/internal/matrix"
@@ -29,6 +31,7 @@ func main() {
 	mkind := flag.String("matrix", "uniform", "matrix kind: uniform or powerlaw")
 	tiles := flag.Int("tiles", 4, "tiles")
 	pes := flag.Int("pes", 16, "PEs per tile")
+	backend := flag.String("backend", "sim", "execution backend: sim (trace-driven timing) or native (goroutine-parallel host run)")
 	sw := flag.String("sw", "ip", "software: ip or op")
 	hw := flag.String("hw", "", "hardware: sc, scs, pc, ps (default: sc for ip, pc for op)")
 	balance := flag.Bool("balance", true, "use nnz-balanced partitioning")
@@ -90,19 +93,30 @@ func main() {
 	cfg := sim.NewConfig(g, hwc)
 	op := kernels.Operand{Ring: semiring.SpMV()}
 
-	var res sim.Result
+	be, err := exec.ByName(*backend)
+	if err != nil {
+		fail(err)
+	}
+
+	var res exec.Result
 	if useIP {
 		vb := sim.NewConfig(g, sim.SCS).SPMWordsPerTile()
 		part := kernels.NewIPPartition(coo, g.TotalPEs(), vb, bal)
-		_, res = kernels.RunIP(cfg, part, f.ToDense(0), op)
+		_, res = be.IP(cfg, part, f.ToDense(0), op)
 	} else {
 		part := kernels.NewOPPartition(coo.ToCSC(), g.Tiles, bal)
-		_, res = kernels.RunOP(cfg, part, f, op)
+		_, res = be.OP(cfg, part, f, op)
 	}
 
 	fmt.Printf("matrix: %s n=%d nnz=%d (density %.2e); frontier density %g (%d active)\n",
 		*mkind, coo.R, coo.NNZ(), coo.Density(), *density, f.NNZ())
-	fmt.Printf("config: %s %s %s, %s\n", g, strings.ToUpper(*sw), hwc, bal)
+	fmt.Printf("config: %s %s %s, %s, %s backend\n", g, strings.ToUpper(*sw), hwc, bal, be.Name())
+	if !be.Simulated() {
+		// The native backend has no cycle model: the kernel ran for real
+		// on the host, so wall-clock is the whole story.
+		fmt.Printf("wall: %v on %d procs\n", res.Wall, runtime.GOMAXPROCS(0))
+		return
+	}
 	fmt.Printf("cycles: %d (%.3g ms @ 1 GHz)\n", res.Cycles, float64(res.Cycles)/1e6)
 	fmt.Printf("energy: %.4g J  avg power: %.4g W\n", res.EnergyJ, sim.Power(cfg, res.Stats))
 	s := res.Stats

@@ -25,7 +25,9 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
+	"cosparse/internal/exec"
 	"cosparse/internal/gen"
 	"cosparse/internal/kernels"
 	"cosparse/internal/matrix"
@@ -181,8 +183,55 @@ const (
 	ForcePS
 )
 
+// Backend selects the execution substrate for an Engine. Both backends
+// run the identical kernel pass bodies, so algorithm results are
+// bit-identical across them; only the cost accounting differs.
+type Backend int
+
+const (
+	// SimBackend runs the kernels on the trace-driven cycle simulator —
+	// the paper reproduction, with deterministic cycle counts and
+	// energy (the default).
+	SimBackend Backend = iota
+	// NativeBackend runs the same kernels goroutine-parallel across
+	// GOMAXPROCS host workers and reports wall-clock durations instead
+	// of cycles.
+	NativeBackend
+)
+
+// String returns the backend's flag/metric spelling.
+func (b Backend) String() string {
+	if b == NativeBackend {
+		return "native"
+	}
+	return "sim"
+}
+
+// ParseBackend parses a -backend flag or job-request value. The empty
+// string selects the sim default.
+func ParseBackend(s string) (Backend, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "sim":
+		return SimBackend, nil
+	case "native":
+		return NativeBackend, nil
+	}
+	return 0, fmt.Errorf("cosparse: unknown backend %q (want \"sim\" or \"native\")", s)
+}
+
 // Option customizes an Engine.
 type Option func(*runtime.Options)
+
+// WithBackend selects the execution backend (default SimBackend).
+func WithBackend(b Backend) Option {
+	return func(o *runtime.Options) {
+		if b == NativeBackend {
+			o.Backend = exec.Native()
+		} else {
+			o.Backend = exec.Sim()
+		}
+	}
+}
 
 // WithSoftware forces the software configuration.
 func WithSoftware(s Software) Option {
@@ -294,8 +343,9 @@ func WithThresholds(t Thresholds) Option {
 // Engine binds a Graph to a simulated machine and drives the
 // reconfigurable SpMV runtime.
 type Engine struct {
-	fw  *runtime.Framework
-	sys System
+	fw        *runtime.Framework
+	sys       System
+	simulated bool
 }
 
 // New builds an Engine for the graph on the given system geometry.
@@ -308,7 +358,8 @@ func New(g *Graph, sys System, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{fw: fw, sys: sys}, nil
+	simulated := o.Backend == nil || o.Backend.Simulated()
+	return &Engine{fw: fw, sys: sys, simulated: simulated}, nil
 }
 
 // IterationStat describes one algorithm iteration (one SpMV).
@@ -333,6 +384,14 @@ type IterationStat struct {
 	// stalled on memory and HBM lines read.
 	StallCycles int64 `json:",omitempty"`
 	HBMLines    int64 `json:",omitempty"`
+
+	// Wall-clock durations (nanoseconds in JSON), filled by the native
+	// backend instead of the cycle fields above; Wall is the iteration
+	// total, the phase fields mirror Kernel/Merge/ConvCycles.
+	Wall       time.Duration `json:",omitempty"`
+	KernelWall time.Duration `json:",omitempty"`
+	MergeWall  time.Duration `json:",omitempty"`
+	ConvWall   time.Duration `json:",omitempty"`
 }
 
 // MemoryStats is the run-level memory-system breakdown: cache hit
@@ -372,6 +431,13 @@ type Report struct {
 	EnergyJ     float64
 	AvgPowerW   float64
 
+	// Backend names the execution substrate ("sim" or "native"); empty
+	// on reports serialized before backends existed (≡ "sim"). Under
+	// the native backend TotalCycles/Seconds/EnergyJ are zero and
+	// WallSeconds carries measured host wall-clock kernel time.
+	Backend     string  `json:",omitempty"`
+	WallSeconds float64 `json:",omitempty"`
+
 	TotalIterations int          `json:",omitempty"`
 	TraceDropped    int          `json:",omitempty"`
 	Memory          *MemoryStats `json:",omitempty"`
@@ -384,8 +450,13 @@ func (r *Report) Summary() string {
 	if r.TotalIterations > iters {
 		iters = r.TotalIterations
 	}
-	fmt.Fprintf(&sb, "%s on %s: %d iterations, %d cycles (%.3g s @ 1 GHz), %.3g J, %.3g W avg",
-		r.Algorithm, r.System, iters, r.TotalCycles, r.Seconds, r.EnergyJ, r.AvgPowerW)
+	if r.Backend == "native" {
+		fmt.Fprintf(&sb, "%s on %s (native backend): %d iterations, %.3g s wall",
+			r.Algorithm, r.System, iters, r.WallSeconds)
+	} else {
+		fmt.Fprintf(&sb, "%s on %s: %d iterations, %d cycles (%.3g s @ 1 GHz), %.3g J, %.3g W avg",
+			r.Algorithm, r.System, iters, r.TotalCycles, r.Seconds, r.EnergyJ, r.AvgPowerW)
+	}
 	reconfigs := 0
 	for _, it := range r.Iterations {
 		if it.Reconfigured {
@@ -397,22 +468,32 @@ func (r *Report) Summary() string {
 }
 
 // Trace renders the per-iteration decision table (a Fig. 9-style view).
+// The cost column shows simulated cycles, or wall-clock time on the
+// native backend.
 func (r *Report) Trace() string {
+	native := r.Backend == "native"
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "iter  frontier  density   config  reconfig  cycles\n")
+	unit := "cycles"
+	if native {
+		unit = "wall"
+	}
+	fmt.Fprintf(&sb, "iter  frontier  density   config  reconfig  %s\n", unit)
 	for _, it := range r.Iterations {
 		mark := ""
 		if it.Reconfigured {
 			mark = "*"
 		}
-		fmt.Fprintf(&sb, "%4d  %8d  %7.3f%%  %-6s  %-8s  %d\n",
-			it.Iter, it.FrontierSize, 100*it.Density, it.Software+"/"+it.Hardware, mark, it.Cycles)
+		cost := fmt.Sprintf("%d", it.Cycles)
+		if native {
+			cost = it.Wall.String()
+		}
+		fmt.Fprintf(&sb, "%4d  %8d  %7.3f%%  %-6s  %-8s  %s\n",
+			it.Iter, it.FrontierSize, 100*it.Density, it.Software+"/"+it.Hardware, mark, cost)
 	}
 	return sb.String()
 }
 
 func (e *Engine) report(rep *runtime.Report) *Report {
-	b := rep.Stats.MemoryBreakdown()
 	out := &Report{
 		Algorithm:   rep.Algorithm,
 		System:      e.sys,
@@ -421,9 +502,17 @@ func (e *Engine) report(rep *runtime.Report) *Report {
 		EnergyJ:     rep.EnergyJ,
 		AvgPowerW:   rep.AvgPowerW(),
 
+		Backend:     rep.Backend,
+		WallSeconds: rep.TotalWall.Seconds(),
+
 		TotalIterations: rep.TotalIters,
 		TraceDropped:    rep.DroppedIters,
-		Memory: &MemoryStats{
+	}
+	if e.simulated {
+		// The native backend runs no memory model; only simulated runs
+		// carry a meaningful breakdown.
+		b := rep.Stats.MemoryBreakdown()
+		out.Memory = &MemoryStats{
 			L1HitRate:            b.L1HitRate,
 			L2HitRate:            b.L2HitRate,
 			HBMReadLines:         b.HBMReadLines,
@@ -439,7 +528,7 @@ func (e *Engine) report(rep *runtime.Report) *Report {
 			Writebacks:           b.Writebacks,
 			StallCycles:          b.StallCycles,
 			ReconfigCycles:       b.ReconfigCycles,
-		},
+		}
 	}
 	for _, it := range rep.Iters {
 		sw := "OP"
@@ -460,6 +549,10 @@ func (e *Engine) report(rep *runtime.Report) *Report {
 			ConvCycles:   it.ConvCycles,
 			StallCycles:  it.Stats.StallCycles,
 			HBMLines:     it.Stats.HBMLines,
+			Wall:         it.TotalWall,
+			KernelWall:   it.KernelWall,
+			MergeWall:    it.MergeWall,
+			ConvWall:     it.ConvWall,
 		})
 	}
 	return out

@@ -1,0 +1,51 @@
+package exec
+
+import (
+	"cosparse/internal/kernels"
+	"cosparse/internal/matrix"
+	"cosparse/internal/sim"
+)
+
+// simBackend is the paper-reproduction backend: every pass runs on a
+// fresh trace-driven machine (kernels.Run*) and reports simulated
+// cycles, energy and microarchitectural stats. It is a pass-through to
+// the pre-split kernel entry points, so all seed timings are preserved
+// bit-for-bit (pinned by TestSimBackendTimingsPinned).
+type simBackend struct{}
+
+// Sim returns the trace-driven simulator backend (the default).
+func Sim() Backend { return simBackend{} }
+
+func (simBackend) Name() string    { return "sim" }
+func (simBackend) Simulated() bool { return true }
+
+func fromSim(r sim.Result) Result {
+	return Result{Cycles: r.Cycles, EnergyJ: r.EnergyJ, Stats: r.Stats, Balance: r.Balance}
+}
+
+func (simBackend) IP(cfg sim.Config, part *kernels.IPPartition, x matrix.Dense, op kernels.Operand) (matrix.Dense, Result) {
+	out, res := kernels.RunIP(cfg, part, x, op)
+	return out, fromSim(res)
+}
+
+func (simBackend) OP(cfg sim.Config, part *kernels.OPPartition, f *matrix.SparseVec, op kernels.Operand) (*matrix.SparseVec, Result) {
+	out, res := kernels.RunOP(cfg, part, f, op)
+	return out, fromSim(res)
+}
+
+func (simBackend) MergeDense(cfg sim.Config, contrib, vals matrix.Dense, op kernels.Operand) (matrix.Dense, *matrix.SparseVec, Result) {
+	vals, next, res := kernels.RunMergeDense(cfg, contrib, vals, op)
+	return vals, next, fromSim(res)
+}
+
+func (simBackend) ScatterMerge(cfg sim.Config, contrib *matrix.SparseVec, vals matrix.Dense, op kernels.Operand) (matrix.Dense, *matrix.SparseVec, Result) {
+	vals, next, res := kernels.RunScatterMerge(cfg, contrib, vals, op)
+	return vals, next, fromSim(res)
+}
+
+func (simBackend) FrontierDense(cfg sim.Config, buf matrix.Dense, clear, set *matrix.SparseVec, op kernels.Operand) (matrix.Dense, Result) {
+	buf, res := kernels.RunFrontierDense(cfg, buf, clear, set, op)
+	return buf, fromSim(res)
+}
+
+func (simBackend) ReconfigCycles(par sim.Params) int64 { return par.ReconfigCycles }

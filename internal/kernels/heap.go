@@ -1,7 +1,5 @@
 package kernels
 
-import "cosparse/internal/sim"
-
 // heapEntry is one element of the OP kernel's sorted list (paper
 // Fig. 3, bottom): the current head row of a matrix column stream plus
 // the stream's cursor state — four words in memory (row, cursor,
@@ -17,21 +15,22 @@ type heapEntry struct {
 
 const heapEntryWords = 4
 
-// simHeap is a binary min-heap over column head rows whose storage is
-// charged to the simulated memory system: the first spmEntries entries
-// live in the PE's private scratchpad (PS mode), the rest — and all of
-// it in PC mode — in cacheable memory backing `base`. This implements
-// the paper's observation that the heap's tree shape keeps most
-// comparisons and swaps inside the SPM even when the list spills.
-type simHeap struct {
-	p          *sim.Proc
+// opHeap is a binary min-heap over column head rows whose storage is
+// charged to the probe: the first spmEntries entries live in the PE's
+// private scratchpad (PS mode), the rest — and all of it in PC mode —
+// in cacheable memory backing `base`. This implements the paper's
+// observation that the heap's tree shape keeps most comparisons and
+// swaps inside the SPM even when the list spills. Under NopProbe the
+// charges vanish and only the functional merge order remains.
+type opHeap[P Probe] struct {
+	p          P
 	entries    []heapEntry
 	spmEntries int
 	base       uint64 // cacheable backing store
 }
 
 // touch charges one entry read or write at index i.
-func (h *simHeap) touch(i int, write bool) {
+func (h *opHeap[P]) touch(i int, write bool) {
 	if i < h.spmEntries {
 		for w := 0; w < heapEntryWords; w++ {
 			if write {
@@ -52,11 +51,11 @@ func (h *simHeap) touch(i int, write bool) {
 	}
 }
 
-func (h *simHeap) len() int { return len(h.entries) }
+func (h *opHeap[P]) len() int { return len(h.entries) }
 
 // push inserts an entry and sifts it up, charging the comparisons and
 // the entry movements along the path.
-func (h *simHeap) push(e heapEntry) {
+func (h *opHeap[P]) push(e heapEntry) {
 	h.entries = append(h.entries, e)
 	i := len(h.entries) - 1
 	h.touch(i, true)
@@ -76,7 +75,7 @@ func (h *simHeap) push(e heapEntry) {
 
 // popMin removes and returns the minimum entry, charging the root read,
 // the tail move and the sift-down path.
-func (h *simHeap) popMin() heapEntry {
+func (h *opHeap[P]) popMin() heapEntry {
 	h.touch(0, false)
 	min := h.entries[0]
 	last := len(h.entries) - 1
@@ -90,7 +89,7 @@ func (h *simHeap) popMin() heapEntry {
 	return min
 }
 
-func (h *simHeap) siftDown(i int) {
+func (h *opHeap[P]) siftDown(i int) {
 	n := len(h.entries)
 	for {
 		l, r := 2*i+1, 2*i+2

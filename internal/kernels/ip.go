@@ -2,39 +2,112 @@ package kernels
 
 import (
 	"cosparse/internal/matrix"
-	"cosparse/internal/semiring"
 	"cosparse/internal/sim"
 )
 
-// Operand bundles the inputs shared by both kernels: the semiring, its
-// hyperparameter context, the source out-degrees (PR) and the previous
-// iteration's destination values (SSSP, CF).
-type Operand struct {
-	Ring semiring.Semiring
-	Ctx  semiring.Ctx
-	Deg  []int32      // out-degree per source vertex; may be nil if !NeedsSrcDeg
-	Prev matrix.Dense // previous values; may be nil if !NeedsDstVal
+// ipAddrs is the simulated address map of the IP pass operands. The
+// native backend passes the zero value — NopProbe never dereferences an
+// address.
+type ipAddrs struct {
+	mat, vec, out, deg, prev uint64
 }
 
-func (op Operand) ctxFor(dst, src int32) semiring.Ctx {
-	c := op.Ctx
-	c.Src = src
-	if op.Ring.NeedsDstVal {
-		c.DstVal = op.Prev[dst]
+// ipPEPass runs one PE's share of the inner-product pass: stream the
+// COO row partition vblock by vblock, read the dense frontier either
+// from cacheable memory (SC) or from the shared scratchpad after a
+// cooperative fill (SCS), accumulate per-row in a register and
+// read-modify-write the output vector on row changes (paper Fig. 3,
+// top). All timing-relevant events go through the probe; the pass body
+// is shared verbatim by the sim and native backends.
+func ipPEPass[P Probe](p P, part *IPPartition, pe int, x, out matrix.Dense, op Operand, spm bool, peInTile, pesPerTile int, a ipAddrs) {
+	// Frontier-masked algorithms skip inactive sources; dense-frontier
+	// rings (PR, CF) treat every vertex as active, and their operators
+	// may produce nonzero contributions even from zero-valued sources.
+	skipInactive := !op.Ring.DenseFrontier
+
+	curRow := int32(-1)
+	var acc float32
+	flush := func() {
+		if curRow < 0 {
+			return
+		}
+		// Read-modify-write of the output element.
+		addr := a.out + uint64(curRow)*4
+		p.Load(addr)
+		p.Compute(op.Ring.ReduceCost)
+		out[curRow] = op.Ring.Reduce(out[curRow], acc)
+		p.Store(addr)
+		curRow = -1
 	}
-	if op.Ring.NeedsSrcDeg {
-		c.SrcDeg = op.Deg[src]
+
+	for _, seg := range part.Segs[pe] {
+		vbStart := int(seg.VB) * part.VBlockWords
+		if spm {
+			// Cooperative SPM fill: the tile's PEs stream disjoint
+			// chunks of this vblock's frontier segment into the
+			// shared scratchpad.
+			width := part.VBlockWords
+			if vbStart+width > part.C {
+				width = part.C - vbStart
+			}
+			share := (width + pesPerTile - 1) / pesPerTile
+			lo := peInTile * share
+			hi := lo + share
+			if hi > width {
+				hi = width
+			}
+			for i := lo; i < hi; i++ {
+				p.LoadStream(a.vec + uint64(vbStart+i)*4)
+				p.SPMStore(i)
+			}
+		}
+		for k := seg.Lo; k < seg.Hi; k++ {
+			row, col, val := part.Row[k], part.Col[k], part.Val[k]
+			// Stream the COO triple (12 bytes, sequential). The
+			// stream is prefetched ahead (bandwidth-bound) but its
+			// lines still land in the L1 cache, competing with the
+			// frontier vector for capacity — exactly the contention
+			// SCS relieves by pinning the vector in the SPM
+			// (paper §III-C2).
+			for w := 0; w < 3; w++ {
+				p.LoadStream(a.mat + uint64(k)*12 + uint64(w)*4)
+			}
+			// Frontier element: scratchpad in SCS, cache in SC.
+			if spm {
+				p.SPMLoad(int(col) - vbStart)
+			} else {
+				p.Load(a.vec + uint64(col)*4)
+			}
+			// Inactive source (identity value): skip the compute and
+			// the output access entirely (§IV-C1 — "skips computation
+			// and accesses to the output vector if the vector element
+			// is zero"). Compare cost is folded into the load-use slot.
+			if skipInactive && x[col] == op.Ring.Identity {
+				continue
+			}
+			if op.Ring.NeedsSrcDeg {
+				p.Load(a.deg + uint64(col)*4)
+			}
+			if row != curRow {
+				flush()
+				curRow = row
+				if op.Ring.NeedsDstVal {
+					p.Load(a.prev + uint64(row)*4)
+				}
+				p.Compute(op.Ring.MatOpCost)
+				acc = op.Ring.MatOp(val, x[col], op.ctxFor(row, col))
+				continue
+			}
+			p.Compute(op.Ring.MatOpCost + op.Ring.ReduceCost)
+			acc = op.Ring.Reduce(acc, op.Ring.MatOp(val, x[col], op.ctxFor(row, col)))
+		}
+		flush()
 	}
-	return c
 }
 
 // RunIP executes one inner-product SpMV on a fresh machine with the
-// given configuration (SC or SCS): every PE streams its COO row
-// partition vblock by vblock, reading the dense frontier either from
-// the shared L1 cache (SC) or from the shared scratchpad after a
-// cooperative fill (SCS), accumulating per-row in a register and
-// read-modify-writing the output vector on row changes (paper Fig. 3,
-// top).
+// given configuration (SC or SCS), instantiating the shared pass body
+// with a *sim.Proc probe per PE.
 //
 // The returned vector holds Ring.Identity in untouched rows; the caller
 // merges it with the previous values (see RunMergeDense).
@@ -45,15 +118,16 @@ func RunIP(cfg sim.Config, part *IPPartition, x matrix.Dense, op Operand) (matri
 	m := sim.MustMachine(cfg)
 	par := cfg.Params
 	arena := sim.NewArena(par)
-	matBase := arena.Alloc(3 * len(part.Val)) // (row, col, val) triples
-	vecBase := arena.Alloc(part.C)
-	outBase := arena.Alloc(part.R)
-	var degBase, prevBase uint64
+	addrs := ipAddrs{
+		mat: arena.Alloc(3 * len(part.Val)), // (row, col, val) triples
+		vec: arena.Alloc(part.C),
+		out: arena.Alloc(part.R),
+	}
 	if op.Ring.NeedsSrcDeg {
-		degBase = arena.Alloc(part.C)
+		addrs.deg = arena.Alloc(part.C)
 	}
 	if op.Ring.NeedsDstVal {
-		prevBase = arena.Alloc(part.R)
+		addrs.prev = arena.Alloc(part.R)
 	}
 
 	out := make(matrix.Dense, part.R)
@@ -61,98 +135,13 @@ func RunIP(cfg sim.Config, part *IPPartition, x matrix.Dense, op Operand) (matri
 		out[i] = op.Ring.Identity
 	}
 
-	// Frontier-masked algorithms skip inactive sources; dense-frontier
-	// rings (PR, CF) treat every vertex as active, and their operators
-	// may produce nonzero contributions even from zero-valued sources.
-	skipInactive := !op.Ring.DenseFrontier
-
 	prog := sim.Program{PE: func(p *sim.Proc) {
 		pe := p.GlobalPE()
 		if pe >= part.NumPEs {
 			return
 		}
 		spm := cfg.HW == sim.SCS && part.VBlockWords > 0
-		peInTile := p.PE()
-		pesPerTile := cfg.Geometry.PEsPerTile
-
-		curRow := int32(-1)
-		var acc float32
-		flush := func() {
-			if curRow < 0 {
-				return
-			}
-			// Read-modify-write of the output element.
-			addr := outBase + uint64(curRow)*4
-			p.Load(addr)
-			p.Compute(op.Ring.ReduceCost)
-			out[curRow] = op.Ring.Reduce(out[curRow], acc)
-			p.Store(addr)
-			curRow = -1
-		}
-
-		for _, seg := range part.Segs[pe] {
-			vbStart := int(seg.VB) * part.VBlockWords
-			if spm {
-				// Cooperative SPM fill: the tile's PEs stream disjoint
-				// chunks of this vblock's frontier segment into the
-				// shared scratchpad.
-				width := part.VBlockWords
-				if vbStart+width > part.C {
-					width = part.C - vbStart
-				}
-				share := (width + pesPerTile - 1) / pesPerTile
-				lo := peInTile * share
-				hi := lo + share
-				if hi > width {
-					hi = width
-				}
-				for i := lo; i < hi; i++ {
-					p.LoadStream(vecBase + uint64(vbStart+i)*4)
-					p.SPMStore(i)
-				}
-			}
-			for k := seg.Lo; k < seg.Hi; k++ {
-				row, col, val := part.Row[k], part.Col[k], part.Val[k]
-				// Stream the COO triple (12 bytes, sequential). The
-				// stream is prefetched ahead (bandwidth-bound) but its
-				// lines still land in the L1 cache, competing with the
-				// frontier vector for capacity — exactly the contention
-				// SCS relieves by pinning the vector in the SPM
-				// (paper §III-C2).
-				for w := 0; w < 3; w++ {
-					p.LoadStream(matBase + uint64(k)*12 + uint64(w)*4)
-				}
-				// Frontier element: scratchpad in SCS, cache in SC.
-				if spm {
-					p.SPMLoad(int(col) - vbStart)
-				} else {
-					p.Load(vecBase + uint64(col)*4)
-				}
-				// Inactive source (identity value): skip the compute and
-				// the output access entirely (§IV-C1 — "skips computation
-				// and accesses to the output vector if the vector element
-				// is zero"). Compare cost is folded into the load-use slot.
-				if skipInactive && x[col] == op.Ring.Identity {
-					continue
-				}
-				if op.Ring.NeedsSrcDeg {
-					p.Load(degBase + uint64(col)*4)
-				}
-				if row != curRow {
-					flush()
-					curRow = row
-					if op.Ring.NeedsDstVal {
-						p.Load(prevBase + uint64(row)*4)
-					}
-					p.Compute(op.Ring.MatOpCost)
-					acc = op.Ring.MatOp(val, x[col], op.ctxFor(row, col))
-					continue
-				}
-				p.Compute(op.Ring.MatOpCost + op.Ring.ReduceCost)
-				acc = op.Ring.Reduce(acc, op.Ring.MatOp(val, x[col], op.ctxFor(row, col)))
-			}
-			flush()
-		}
+		ipPEPass(p, part, pe, x, out, op, spm, p.PE(), cfg.Geometry.PEsPerTile, addrs)
 	}}
 
 	res := m.Run(prog)

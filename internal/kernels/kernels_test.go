@@ -394,7 +394,7 @@ func TestSimHeapSortsUnderBothModes(t *testing.T) {
 		var got []int32
 		m.Run(sim.Program{PE: func(p *sim.Proc) {
 			spm := c.SPMWordsPerPE() / heapEntryWords
-			h := &simHeap{p: p, spmEntries: spm, base: base}
+			h := &opHeap[*sim.Proc]{p: p, spmEntries: spm, base: base}
 			seq := []int32{5, 3, 9, 1, 7, 3, 8, 0, 2, 6}
 			for _, v := range seq {
 				h.push(heapEntry{row: v, cur: v})
@@ -424,7 +424,7 @@ func TestSimHeapSpillStillSorts(t *testing.T) {
 	n := c.SPMWordsPerPE() // 1024 words -> 512 entries; push 1024
 	var got []int32
 	m.Run(sim.Program{PE: func(p *sim.Proc) {
-		h := &simHeap{p: p, spmEntries: c.SPMWordsPerPE() / heapEntryWords, base: base}
+		h := &opHeap[*sim.Proc]{p: p, spmEntries: c.SPMWordsPerPE() / heapEntryWords, base: base}
 		x := uint64(12345)
 		for i := 0; i < n; i++ {
 			x = x*6364136223846793005 + 1442695040888963407

@@ -1,0 +1,171 @@
+package kernels
+
+import (
+	"runtime"
+	"sync"
+
+	"cosparse/internal/matrix"
+)
+
+// This file is the native execution backend's functional layer: the
+// same generic pass bodies the simulator walks (ip.go, op.go,
+// passes.go), instantiated with NopProbe and driven goroutine-parallel
+// across GOMAXPROCS workers — the chunking pattern of
+// baseline.RunCSRSpMV. Parallel units are always disjoint in their
+// writes (PE row partitions for IP, tiles for OP, contiguous element
+// ranges for the merges), so no locks are needed, and every unit runs
+// in the same internal order as under the simulator, so results are
+// bit-identical across backends — including order-sensitive float32
+// reductions (PR, CF).
+
+// parallelChunks splits [0, n) into at most GOMAXPROCS contiguous
+// chunks, runs fn(chunk, lo, hi) on each from its own goroutine, and
+// returns the chunk count (so callers can pre-size per-chunk result
+// slots).
+func parallelChunks(n int, fn func(c int, lo, hi int32)) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	b := splitEven(n, w)
+	if w == 1 {
+		fn(0, b[0], b[1])
+		return 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for c := 0; c < w; c++ {
+		go func(c int) {
+			defer wg.Done()
+			fn(c, b[c], b[c+1])
+		}(c)
+	}
+	wg.Wait()
+	return w
+}
+
+// NativeIP runs the inner-product pass on the host, parallel over PE
+// row partitions (disjoint output rows → race-free). The SPM path is
+// disabled: the native frontier always reads straight from the slice,
+// which is the same functional value the cooperative fill would stage.
+func NativeIP(part *IPPartition, x matrix.Dense, op Operand) matrix.Dense {
+	if len(x) != part.C {
+		panic("kernels: NativeIP frontier length mismatch")
+	}
+	out := make(matrix.Dense, part.R)
+	for i := range out {
+		out[i] = op.Ring.Identity
+	}
+	parallelChunks(part.NumPEs, func(_ int, lo, hi int32) {
+		for pe := int(lo); pe < int(hi); pe++ {
+			ipPEPass(NopProbe{}, part, pe, x, out, op, false, 0, 1, ipAddrs{})
+		}
+	})
+	return out
+}
+
+// NativeOP runs the outer-product pass on the host, parallel over tiles
+// (disjoint output row ranges). Within a tile the PE column passes and
+// the LCP merge run sequentially, preserving the simulator's reduce
+// order; pesPerTile must match the sim geometry so the frontier split
+// (and hence the merge order) is identical across backends.
+func NativeOP(part *OPPartition, f *matrix.SparseVec, op Operand, pesPerTile int) *matrix.SparseVec {
+	if f.N != part.C {
+		panic("kernels: NativeOP frontier length mismatch")
+	}
+	if pesPerTile < 1 {
+		pesPerTile = 1
+	}
+	peCols := splitEven(f.NNZ(), pesPerTile)
+	tileOut := make([][]opPair, part.Tiles)
+	parallelChunks(part.Tiles, func(_ int, tlo, thi int32) {
+		stagingAddr := make([]uint64, pesPerTile)
+		for t := int(tlo); t < int(thi); t++ {
+			staged := make([][]opPair, pesPerTile)
+			for pe := 0; pe < pesPerTile; pe++ {
+				lo, hi := peCols[pe], peCols[pe+1]
+				if lo >= hi {
+					continue
+				}
+				staged[pe] = opPEPass(NopProbe{}, part, t, f, op, lo, hi, 0, opPEAddrs{})
+			}
+			tileOut[t] = opLCPPass(NopProbe{}, staged, op, stagingAddr, 0)
+		}
+	})
+	out := &matrix.SparseVec{N: part.R}
+	for t := 0; t < part.Tiles; t++ {
+		for _, e := range tileOut[t] {
+			out.Idx = append(out.Idx, e.row)
+			out.Val = append(out.Val, e.val)
+		}
+	}
+	return out
+}
+
+// NativeMergeDense is the host post-IP merge, parallel over contiguous
+// element ranges. Semantics match RunMergeDense: vals is updated in
+// place and returned with the extracted frontier (nil for
+// dense-frontier rings).
+func NativeMergeDense(contrib, vals matrix.Dense, op Operand) (matrix.Dense, *matrix.SparseVec) {
+	n := len(vals)
+	cost := mergeCost(op)
+	extract := !op.Ring.DenseFrontier
+	merged := make(matrix.Dense, n)
+	perChunk := make([][]int32, runtime.GOMAXPROCS(0)+1)
+	used := parallelChunks(n, func(c int, lo, hi int32) {
+		perChunk[c] = mergeDenseRange(NopProbe{}, lo, hi, contrib, vals, merged, op, cost, extract, mergeAddrs{})
+	})
+	copy(vals, merged)
+	var frontier *matrix.SparseVec
+	if extract {
+		frontier = assembleFrontier(n, perChunk[:used], vals)
+	}
+	return vals, frontier
+}
+
+// NativeScatterMerge is the host post-OP merge, parallel over
+// contiguous ranges of the sparse contribution (contrib.Idx is sorted
+// and unique, so ranges write disjoint destinations).
+func NativeScatterMerge(contrib *matrix.SparseVec, vals matrix.Dense, op Operand) (matrix.Dense, *matrix.SparseVec) {
+	cost := mergeCost(op)
+	extract := !op.Ring.DenseFrontier
+	newVals := make([]float32, contrib.NNZ())
+	perChunk := make([][]int32, runtime.GOMAXPROCS(0)+1)
+	used := parallelChunks(contrib.NNZ(), func(c int, lo, hi int32) {
+		perChunk[c] = scatterMergeRange(NopProbe{}, lo, hi, contrib, vals, newVals, op, cost, extract, scatterAddrs{})
+	})
+	for k, i := range contrib.Idx {
+		vals[i] = newVals[k]
+	}
+	var frontier *matrix.SparseVec
+	if extract {
+		frontier = assembleScatterFrontier(contrib, perChunk[:used], vals)
+	}
+	return vals, frontier
+}
+
+// NativeFrontierDense is the host dense-frontier conversion. Unlike the
+// simulator — where clear and set ranges from different PEs interleave
+// in simulated time — the native pass clears everything before setting
+// anything, which is the order that preserves every current-frontier
+// value when an index appears in both lists.
+func NativeFrontierDense(buf matrix.Dense, clear, set *matrix.SparseVec, op Operand) matrix.Dense {
+	if clear != nil {
+		parallelChunks(clear.NNZ(), func(_ int, lo, hi int32) {
+			for k := lo; k < hi; k++ {
+				buf[clear.Idx[k]] = op.Ring.Identity
+			}
+		})
+	}
+	if set != nil {
+		parallelChunks(set.NNZ(), func(_ int, lo, hi int32) {
+			for k := lo; k < hi; k++ {
+				buf[set.Idx[k]] = set.Val[k]
+			}
+		})
+	}
+	return buf
+}

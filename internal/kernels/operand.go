@@ -1,0 +1,28 @@
+package kernels
+
+import (
+	"cosparse/internal/matrix"
+	"cosparse/internal/semiring"
+)
+
+// Operand bundles the inputs shared by both kernels: the semiring, its
+// hyperparameter context, the source out-degrees (PR) and the previous
+// iteration's destination values (SSSP, CF).
+type Operand struct {
+	Ring semiring.Semiring
+	Ctx  semiring.Ctx
+	Deg  []int32      // out-degree per source vertex; may be nil if !NeedsSrcDeg
+	Prev matrix.Dense // previous values; may be nil if !NeedsDstVal
+}
+
+func (op Operand) ctxFor(dst, src int32) semiring.Ctx {
+	c := op.Ctx
+	c.Src = src
+	if op.Ring.NeedsDstVal {
+		c.DstVal = op.Prev[dst]
+	}
+	if op.Ring.NeedsSrcDeg {
+		c.SrcDeg = op.Deg[src]
+	}
+	return c
+}

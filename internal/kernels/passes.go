@@ -38,6 +38,93 @@ func mergeCost(op Operand) int {
 	return c
 }
 
+// mergeAddrs is the simulated address map of the dense merge pass.
+type mergeAddrs struct {
+	contrib, vals, frontIdx, frontVal uint64
+}
+
+// mergeDenseRange merges contrib[lo:hi] into vals, staging new values
+// in merged (applied by the caller after every range finishes) and
+// returning the indices whose merge improved the old value — the range
+// slice of the next sparse frontier. Shared by both backends.
+func mergeDenseRange[P Probe](p P, lo, hi int32, contrib, vals, merged matrix.Dense, op Operand, cost int, extract bool, a mergeAddrs) []int32 {
+	var changed []int32
+	for i := lo; i < hi; i++ {
+		p.LoadStream(a.contrib + uint64(i)*4)
+		p.LoadStream(a.vals + uint64(i)*4)
+		p.Compute(cost)
+		nv := mergeValue(op, contrib[i], vals[i])
+		merged[i] = nv
+		if nv != vals[i] {
+			p.Store(a.vals + uint64(i)*4)
+		}
+		if extract && op.Ring.Improving(nv, vals[i]) {
+			p.Store(a.frontIdx + uint64(i)*4)
+			p.Store(a.frontVal + uint64(i)*4)
+			changed = append(changed, i)
+		}
+	}
+	return changed
+}
+
+// scatterAddrs is the simulated address map of the sparse scatter-merge
+// pass.
+type scatterAddrs struct {
+	idx, cval, vals, frontIdx, frontVal uint64
+}
+
+// scatterMergeRange merges the sparse contributions contrib[lo:hi] into
+// vals, staging new values in newVals (applied by the caller) and
+// returning the contribution positions whose merge improved the old
+// value. contrib.Idx is sorted and unique, so ranges touch disjoint
+// destinations. Shared by both backends.
+func scatterMergeRange[P Probe](p P, lo, hi int32, contrib *matrix.SparseVec, vals matrix.Dense, newVals []float32, op Operand, cost int, extract bool, a scatterAddrs) []int32 {
+	var changed []int32
+	for k := lo; k < hi; k++ {
+		p.LoadStream(a.idx + uint64(k)*4)
+		p.LoadStream(a.cval + uint64(k)*4)
+		i := contrib.Idx[k]
+		p.Load(a.vals + uint64(i)*4) // random gather of the old value
+		p.Compute(cost)
+		nv := mergeValue(op, contrib.Val[k], vals[i])
+		newVals[k] = nv
+		if nv != vals[i] {
+			p.Store(a.vals + uint64(i)*4)
+		}
+		if extract && op.Ring.Improving(nv, vals[i]) {
+			p.Store(a.frontIdx + uint64(k)*4)
+			p.Store(a.frontVal + uint64(k)*4)
+			changed = append(changed, k)
+		}
+	}
+	return changed
+}
+
+// frontierAddrs is the simulated address map of the dense-frontier
+// conversion pass.
+type frontierAddrs struct {
+	buf, clrIdx, setIdx, setVal uint64
+}
+
+// frontierClearRange resets buf at clear.Idx[lo:hi] to the identity.
+func frontierClearRange[P Probe](p P, lo, hi int32, buf matrix.Dense, clear *matrix.SparseVec, op Operand, a frontierAddrs) {
+	for k := lo; k < hi; k++ {
+		p.LoadStream(a.clrIdx + uint64(k)*4)
+		p.Store(a.buf + uint64(clear.Idx[k])*4)
+		buf[clear.Idx[k]] = op.Ring.Identity
+	}
+}
+
+// frontierSetRange scatters set[lo:hi] into buf.
+func frontierSetRange[P Probe](p P, lo, hi int32, buf matrix.Dense, set *matrix.SparseVec, a frontierAddrs) {
+	for k := lo; k < hi; k++ {
+		p.LoadStream(a.setIdx + uint64(k)*4)
+		p.LoadStream(a.setVal + uint64(k)*4)
+		p.Store(a.buf + uint64(set.Idx[k])*4)
+		buf[set.Idx[k]] = set.Val[k]
+	}
+}
+
 // RunMergeDense is the post-IP pass: it streams the kernel output and
 // the previous values, merges them, writes back changed values, and
 // compacts the changed indices into the next sparse frontier (the
@@ -50,10 +137,12 @@ func RunMergeDense(cfg sim.Config, contrib, vals matrix.Dense, op Operand) (matr
 	n := len(vals)
 	m := sim.MustMachine(cfg)
 	arena := sim.NewArena(cfg.Params)
-	contribBase := arena.Alloc(n)
-	valsBase := arena.Alloc(n)
-	frontIdxBase := arena.Alloc(n + 1)
-	frontValBase := arena.Alloc(n + 1)
+	addrs := mergeAddrs{
+		contrib:  arena.Alloc(n),
+		vals:     arena.Alloc(n),
+		frontIdx: arena.Alloc(n + 1),
+		frontVal: arena.Alloc(n + 1),
+	}
 
 	totalPEs := cfg.Geometry.TotalPEs()
 	bounds := splitEven(n, totalPEs)
@@ -64,37 +153,30 @@ func RunMergeDense(cfg sim.Config, contrib, vals matrix.Dense, op Operand) (matr
 	merged := make(matrix.Dense, n)
 	prog := sim.Program{PE: func(p *sim.Proc) {
 		g := p.GlobalPE()
-		lo, hi := bounds[g], bounds[g+1]
-		for i := lo; i < hi; i++ {
-			p.LoadStream(contribBase + uint64(i)*4)
-			p.LoadStream(valsBase + uint64(i)*4)
-			p.Compute(cost)
-			nv := mergeValue(op, contrib[i], vals[i])
-			merged[i] = nv
-			if nv != vals[i] {
-				p.Store(valsBase + uint64(i)*4)
-			}
-			if extract && op.Ring.Improving(nv, vals[i]) {
-				p.Store(frontIdxBase + uint64(i)*4)
-				p.Store(frontValBase + uint64(i)*4)
-				perPE[g] = append(perPE[g], int32(i))
-			}
-		}
+		perPE[g] = mergeDenseRange(p, bounds[g], bounds[g+1], contrib, vals, merged, op, cost, extract, addrs)
 	}}
 	res := m.Run(prog)
 
 	copy(vals, merged)
 	var frontier *matrix.SparseVec
 	if extract {
-		frontier = &matrix.SparseVec{N: n}
-		for _, list := range perPE { // PE ranges are ascending and disjoint
-			for _, i := range list {
-				frontier.Idx = append(frontier.Idx, i)
-				frontier.Val = append(frontier.Val, vals[i])
-			}
-		}
+		frontier = assembleFrontier(n, perPE, vals)
 	}
 	return vals, frontier, res
+}
+
+// assembleFrontier concatenates per-range changed-index lists (ranges
+// are ascending and disjoint) into the next sorted sparse frontier,
+// reading values from the already-updated vals.
+func assembleFrontier(n int, perRange [][]int32, vals matrix.Dense) *matrix.SparseVec {
+	frontier := &matrix.SparseVec{N: n}
+	for _, list := range perRange {
+		for _, i := range list {
+			frontier.Idx = append(frontier.Idx, i)
+			frontier.Val = append(frontier.Val, vals[i])
+		}
+	}
+	return frontier
 }
 
 // RunScatterMerge is the post-OP pass: the sparse kernel output is
@@ -104,11 +186,13 @@ func RunMergeDense(cfg sim.Config, contrib, vals matrix.Dense, op Operand) (matr
 func RunScatterMerge(cfg sim.Config, contrib *matrix.SparseVec, vals matrix.Dense, op Operand) (matrix.Dense, *matrix.SparseVec, sim.Result) {
 	m := sim.MustMachine(cfg)
 	arena := sim.NewArena(cfg.Params)
-	idxBase := arena.Alloc(contrib.NNZ() + 1)
-	cvalBase := arena.Alloc(contrib.NNZ() + 1)
-	valsBase := arena.Alloc(len(vals))
-	frontIdxBase := arena.Alloc(contrib.NNZ() + 1)
-	frontValBase := arena.Alloc(contrib.NNZ() + 1)
+	addrs := scatterAddrs{
+		idx:      arena.Alloc(contrib.NNZ() + 1),
+		cval:     arena.Alloc(contrib.NNZ() + 1),
+		vals:     arena.Alloc(len(vals)),
+		frontIdx: arena.Alloc(contrib.NNZ() + 1),
+		frontVal: arena.Alloc(contrib.NNZ() + 1),
+	}
 
 	totalPEs := cfg.Geometry.TotalPEs()
 	bounds := splitEven(contrib.NNZ(), totalPEs)
@@ -119,24 +203,7 @@ func RunScatterMerge(cfg sim.Config, contrib *matrix.SparseVec, vals matrix.Dens
 	newVals := make([]float32, contrib.NNZ())
 	prog := sim.Program{PE: func(p *sim.Proc) {
 		g := p.GlobalPE()
-		lo, hi := bounds[g], bounds[g+1]
-		for k := lo; k < hi; k++ {
-			p.LoadStream(idxBase + uint64(k)*4)
-			p.LoadStream(cvalBase + uint64(k)*4)
-			i := contrib.Idx[k]
-			p.Load(valsBase + uint64(i)*4) // random gather of the old value
-			p.Compute(cost)
-			nv := mergeValue(op, contrib.Val[k], vals[i])
-			newVals[k] = nv
-			if nv != vals[i] {
-				p.Store(valsBase + uint64(i)*4)
-			}
-			if extract && op.Ring.Improving(nv, vals[i]) {
-				p.Store(frontIdxBase + uint64(k)*4)
-				p.Store(frontValBase + uint64(k)*4)
-				perPE[g] = append(perPE[g], k)
-			}
-		}
+		perPE[g] = scatterMergeRange(p, bounds[g], bounds[g+1], contrib, vals, newVals, op, cost, extract, addrs)
 	}}
 	res := m.Run(prog)
 
@@ -145,15 +212,22 @@ func RunScatterMerge(cfg sim.Config, contrib *matrix.SparseVec, vals matrix.Dens
 	}
 	var frontier *matrix.SparseVec
 	if extract {
-		frontier = &matrix.SparseVec{N: len(vals)}
-		for _, list := range perPE { // contrib.Idx is sorted, chunks are disjoint
-			for _, k := range list {
-				frontier.Idx = append(frontier.Idx, contrib.Idx[k])
-				frontier.Val = append(frontier.Val, vals[contrib.Idx[k]])
-			}
-		}
+		frontier = assembleScatterFrontier(contrib, perPE, vals)
 	}
 	return vals, frontier, res
+}
+
+// assembleScatterFrontier maps changed contribution positions back to
+// destination indices (contrib.Idx is sorted, ranges are disjoint).
+func assembleScatterFrontier(contrib *matrix.SparseVec, perRange [][]int32, vals matrix.Dense) *matrix.SparseVec {
+	frontier := &matrix.SparseVec{N: len(vals)}
+	for _, list := range perRange {
+		for _, k := range list {
+			frontier.Idx = append(frontier.Idx, contrib.Idx[k])
+			frontier.Val = append(frontier.Val, vals[contrib.Idx[k]])
+		}
+	}
+	return frontier
 }
 
 // RunFrontierDense maintains the persistent dense frontier buffer used
@@ -166,7 +240,7 @@ func RunScatterMerge(cfg sim.Config, contrib *matrix.SparseVec, vals matrix.Dens
 func RunFrontierDense(cfg sim.Config, buf matrix.Dense, clear, set *matrix.SparseVec, op Operand) (matrix.Dense, sim.Result) {
 	m := sim.MustMachine(cfg)
 	arena := sim.NewArena(cfg.Params)
-	bufBase := arena.Alloc(len(buf))
+	addrs := frontierAddrs{buf: arena.Alloc(len(buf))}
 	nClear, nSet := 0, 0
 	if clear != nil {
 		nClear = clear.NNZ()
@@ -174,9 +248,9 @@ func RunFrontierDense(cfg sim.Config, buf matrix.Dense, clear, set *matrix.Spars
 	if set != nil {
 		nSet = set.NNZ()
 	}
-	clrIdxBase := arena.Alloc(nClear + 1)
-	setIdxBase := arena.Alloc(nSet + 1)
-	setValBase := arena.Alloc(nSet + 1)
+	addrs.clrIdx = arena.Alloc(nClear + 1)
+	addrs.setIdx = arena.Alloc(nSet + 1)
+	addrs.setVal = arena.Alloc(nSet + 1)
 
 	totalPEs := cfg.Geometry.TotalPEs()
 	cb := splitEven(nClear, totalPEs)
@@ -184,17 +258,8 @@ func RunFrontierDense(cfg sim.Config, buf matrix.Dense, clear, set *matrix.Spars
 
 	prog := sim.Program{PE: func(p *sim.Proc) {
 		g := p.GlobalPE()
-		for k := cb[g]; k < cb[g+1]; k++ {
-			p.LoadStream(clrIdxBase + uint64(k)*4)
-			p.Store(bufBase + uint64(clear.Idx[k])*4)
-			buf[clear.Idx[k]] = op.Ring.Identity
-		}
-		for k := sb[g]; k < sb[g+1]; k++ {
-			p.LoadStream(setIdxBase + uint64(k)*4)
-			p.LoadStream(setValBase + uint64(k)*4)
-			p.Store(bufBase + uint64(set.Idx[k])*4)
-			buf[set.Idx[k]] = set.Val[k]
-		}
+		frontierClearRange(p, cb[g], cb[g+1], buf, clear, op, addrs)
+		frontierSetRange(p, sb[g], sb[g+1], buf, set, addrs)
 	}}
 	res := m.Run(prog)
 	return buf, res

@@ -229,6 +229,9 @@ func (f *Framework) PageRankTolContext(ctx context.Context, tol float32, maxIter
 	}
 
 	total := &Report{Algorithm: "PR(tol)", Geometry: f.opts.Geometry}
+	if f.opts.Backend != nil {
+		total.Backend = f.opts.Backend.Name()
+	}
 	prev := vals.Clone()
 	iters := 0
 	for iters < maxIters {
@@ -246,6 +249,7 @@ func (f *Framework) PageRankTolContext(ctx context.Context, tol float32, maxIter
 			total.DroppedIters += rep.DroppedIters
 			boundIters(total, f.opts.ringCap())
 			total.TotalCycles += rep.TotalCycles
+			total.TotalWall += rep.TotalWall
 			total.EnergyJ += rep.EnergyJ
 			total.Stats.Add(rep.Stats)
 		}

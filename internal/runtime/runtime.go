@@ -11,7 +11,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
+	"cosparse/internal/exec"
 	"cosparse/internal/kernels"
 	"cosparse/internal/matrix"
 	"cosparse/internal/semiring"
@@ -84,6 +86,20 @@ type Policy struct {
 	// the OP sorted list fits in a PC-mode cache bank (Fig. 6): PS is
 	// chosen when listBytes > PSListFactor × L1BankBytes.
 	PSListFactor float64
+
+	// NativeCrossover is the frontier density at which the native
+	// backend switches from OP to IP. The CVD thresholds above were
+	// calibrated on the simulated memory system; on the host the same
+	// IP-scans-everything/OP-touches-active-columns tradeoff exists but
+	// crosses over where the full matrix stream stops being amortized
+	// by the active fraction, which lands near 1% on cache-based CPUs.
+	NativeCrossover float64
+
+	// NativeHeapBytes bounds the OP sorted-run working set per host
+	// worker: past it the per-column merge heap spills the private
+	// cache levels and IP's sequential stream wins even at low density
+	// — the host analogue of the PS-vs-PC list check.
+	NativeHeapBytes float64
 }
 
 // DefaultPolicy returns thresholds calibrated on this simulator from
@@ -91,12 +107,14 @@ type Policy struct {
 // the paper's takeaway exactly: 2% at 8 PEs/tile, 1% at 16, 0.5% at 32.
 func DefaultPolicy() Policy {
 	return Policy{
-		CVDCoeff:      0.16,
-		CVDMin:        0.003,
-		CVDMax:        0.02,
-		SCSReuseFloor: 1.5,
-		SCSMinDensity: 0.02,
-		PSListFactor:  0.5,
+		CVDCoeff:        0.16,
+		CVDMin:          0.003,
+		CVDMax:          0.02,
+		SCSReuseFloor:   1.5,
+		SCSMinDensity:   0.02,
+		PSListFactor:    0.5,
+		NativeCrossover: 0.01,
+		NativeHeapBytes: 256 << 10,
 	}
 }
 
@@ -119,6 +137,12 @@ type Options struct {
 	SW        SWChoice
 	HW        HWChoice
 	MaxIters  int // safety bound for traversal algorithms; 0 = 4·|V|
+
+	// Backend selects the execution substrate: nil or exec.Sim() runs
+	// the kernels on the trace-driven timing simulator (cycle-accurate,
+	// the paper reproduction); exec.Native() runs the same kernels
+	// goroutine-parallel on the host and reports wall-clock durations.
+	Backend exec.Backend
 
 	// TraceCap bounds Report.Iters: runs longer than the cap keep only
 	// the most recent entries (Report.DroppedIters counts the rest).
@@ -171,6 +195,9 @@ func New(m *matrix.COO, opts Options) (*Framework, error) {
 	if opts.MaxIters == 0 {
 		opts.MaxIters = 4*m.R + 8
 	}
+	if opts.Backend == nil {
+		opts.Backend = exec.Sim()
+	}
 	cfg := sim.Config{Geometry: opts.Geometry, HW: sim.SC, Params: opts.Params}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -209,8 +236,13 @@ func (d Decision) String() string {
 }
 
 // Decide runs the decision tree of Fig. 2 for a frontier with nnzF
-// active vertices.
+// active vertices. On a native backend the SW split keeps the same
+// shape (dense frontier → IP, sparse → OP) but swaps the
+// simulator-calibrated CVD for host thresholds; see decideNative.
 func (f *Framework) Decide(nnzF int) Decision {
+	if f.opts.Backend != nil && !f.opts.Backend.Simulated() {
+		return f.decideNative(nnzF)
+	}
 	g := f.opts.Geometry
 	pol := f.opts.Policy
 	par := f.opts.Params
@@ -266,6 +298,41 @@ func (f *Framework) Decide(nnzF int) Decision {
 	return Decision{UseIP: useIP, HW: hw}
 }
 
+// decideNative is the host-backend decision: IP when the frontier is
+// dense enough that streaming the whole matrix amortizes
+// (NativeCrossover), or when OP's per-worker sorted-run working set
+// would spill the host caches (NativeHeapBytes) — the same
+// density + working-set structure as the simulated tree, with
+// host-calibrated constants. The HW half of the decision is a nominal
+// label (SC for IP, PC for OP): the host has no scratchpad to
+// reconfigure, but reports and traces keep the same vocabulary.
+func (f *Framework) decideNative(nnzF int) Decision {
+	g := f.opts.Geometry
+	pol := f.opts.Policy
+	density := float64(nnzF) / float64(f.coo.C)
+
+	useIP := density >= pol.NativeCrossover
+	if !useIP && pol.NativeHeapBytes > 0 {
+		perWorker := (nnzF + g.PEsPerTile - 1) / g.PEsPerTile
+		if float64(perWorker*16) > pol.NativeHeapBytes { // four words per sorted-list entry
+			useIP = true
+		}
+	}
+	switch f.opts.SW {
+	case ForceIP:
+		useIP = true
+	case ForceOP:
+		useIP = false
+	}
+	if f.opts.HW != AutoHW {
+		return Decision{UseIP: useIP, HW: f.opts.HW.hw()}
+	}
+	if useIP {
+		return Decision{UseIP: true, HW: sim.SC}
+	}
+	return Decision{UseIP: false, HW: sim.PC}
+}
+
 // IterStat records one iteration for reporting (the rows of Fig. 9).
 type IterStat struct {
 	Iter        int
@@ -280,6 +347,13 @@ type IterStat struct {
 	TotalCycles  int64
 	EnergyJ      float64
 	Stats        sim.Stats
+
+	// Wall-clock phase durations, filled by non-simulated backends
+	// (zero under the simulator, whose cost unit is cycles).
+	KernelWall time.Duration
+	MergeWall  time.Duration
+	ConvWall   time.Duration
+	TotalWall  time.Duration
 }
 
 // Report summarizes a full algorithm run.
@@ -294,10 +368,12 @@ type IterStat struct {
 type Report struct {
 	Algorithm    string
 	Geometry     sim.Geometry
+	Backend      string // executing backend's Name(); "" ≡ "sim" on pre-split reports
 	Iters        []IterStat
 	TotalIters   int
 	DroppedIters int
 	TotalCycles  int64
+	TotalWall    time.Duration // wall-clock kernel time; zero under the simulator
 	EnergyJ      float64
 	Stats        sim.Stats
 }
@@ -333,7 +409,11 @@ func (f *Framework) driver(ctx context.Context, name string, ring semiring.Semir
 	vals matrix.Dense, frontier *matrix.SparseVec, maxIters int,
 	onIter func(IterStat, *matrix.SparseVec)) (matrix.Dense, *Report, error) {
 
-	rep := &Report{Algorithm: name, Geometry: f.opts.Geometry}
+	be := f.opts.Backend
+	if be == nil {
+		be = exec.Sim()
+	}
+	rep := &Report{Algorithm: name, Geometry: f.opts.Geometry, Backend: be.Name()}
 	trace := newIterRing(f.opts.ringCap())
 	// Materialize the bounded trace on every return path — including
 	// the partial reports handed back on cancellation and hook errors.
@@ -396,47 +476,54 @@ func (f *Framework) driver(ctx context.Context, name string, ring semiring.Semir
 						fDense[i] = ring.Identity
 					}
 				}
-				var convRes sim.Result
-				fDense, convRes = kernels.RunFrontierDense(cfg, fDense, lastSet, frontier, op)
+				var convRes exec.Result
+				fDense, convRes = be.FrontierDense(cfg, fDense, lastSet, frontier, op)
 				lastSet = frontier
 				st.ConvCycles = convRes.Cycles
+				st.ConvWall = convRes.Wall
 				st.EnergyJ += convRes.EnergyJ
 				st.Stats.Add(convRes.Stats)
 				x = fDense
 			}
-			var kres sim.Result
-			contribDense, kres = kernels.RunIP(cfg, f.ipPart, x, op)
+			var kres exec.Result
+			contribDense, kres = be.IP(cfg, f.ipPart, x, op)
 			st.KernelCycles = kres.Cycles
+			st.KernelWall = kres.Wall
 			st.EnergyJ += kres.EnergyJ
 			st.Stats.Add(kres.Stats)
 		} else {
-			var kres sim.Result
-			contribSparse, kres = kernels.RunOP(cfg, f.opPart, frontier, op)
+			var kres exec.Result
+			contribSparse, kres = be.OP(cfg, f.opPart, frontier, op)
 			st.KernelCycles = kres.Cycles
+			st.KernelWall = kres.Wall
 			st.EnergyJ += kres.EnergyJ
 			st.Stats.Add(kres.Stats)
 		}
 
-		var mres sim.Result
+		var mres exec.Result
 		var next *matrix.SparseVec
 		if dec.UseIP {
-			vals, next, mres = kernels.RunMergeDense(cfg, contribDense, vals, op)
+			vals, next, mres = be.MergeDense(cfg, contribDense, vals, op)
 		} else {
-			vals, next, mres = kernels.RunScatterMerge(cfg, contribSparse, vals, op)
+			vals, next, mres = be.ScatterMerge(cfg, contribSparse, vals, op)
 		}
 		st.MergeCycles = mres.Cycles
+		st.MergeWall = mres.Wall
 		st.EnergyJ += mres.EnergyJ
 		st.Stats.Add(mres.Stats)
 
 		st.TotalCycles = st.ConvCycles + st.KernelCycles + st.MergeCycles
+		st.TotalWall = st.ConvWall + st.KernelWall + st.MergeWall
 		if st.Reconfig {
-			st.TotalCycles += f.opts.Params.ReconfigCycles
-			st.Stats.ReconfigCycles += f.opts.Params.ReconfigCycles
+			rc := be.ReconfigCycles(f.opts.Params)
+			st.TotalCycles += rc
+			st.Stats.ReconfigCycles += rc
 		}
 		prev = dec
 
 		trace.push(st)
 		rep.TotalCycles += st.TotalCycles
+		rep.TotalWall += st.TotalWall
 		rep.EnergyJ += st.EnergyJ
 		rep.Stats.Add(st.Stats)
 		if f.opts.OnIteration != nil {

@@ -29,6 +29,10 @@ type JobRequest struct {
 	// config). Each distinct geometry is a separate cached engine.
 	Tiles int `json:"tiles,omitempty"`
 	PEs   int `json:"pes,omitempty"`
+	// Backend selects the execution backend: "sim" (cycle-accurate
+	// timing model, the default) or "native" (goroutine-parallel host
+	// execution, wall-clock timing only). Defaults from server config.
+	Backend string `json:"backend,omitempty"`
 	// TimeoutMs caps the job's run time (default and ceiling from
 	// server config). The deadline is enforced between SpMV
 	// iterations.
@@ -41,6 +45,7 @@ type JobRequest struct {
 // JobResult is the payload of a successfully finished job.
 type JobResult struct {
 	Algo    string `json:"algo"`
+	Backend string `json:"backend,omitempty"`
 	Summary string `json:"summary"`
 
 	// Algorithm-specific headline numbers.
@@ -115,11 +120,12 @@ type JobStatus struct {
 
 // Job is one scheduled algorithm run.
 type Job struct {
-	id    string
-	req   JobRequest
-	algo  cosparse.Algo
-	sys   cosparse.System
-	graph *GraphEntry
+	id      string
+	req     JobRequest
+	algo    cosparse.Algo
+	sys     cosparse.System
+	backend cosparse.Backend
+	graph   *GraphEntry
 
 	ctx    context.Context
 	cancel context.CancelFunc

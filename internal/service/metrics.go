@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -169,19 +170,24 @@ func NewMetrics() *Metrics {
 }
 
 // ObserveJob records one finished job's simulated cycle count and
-// wall-clock duration under its algorithm name. One read-lock
-// acquisition resolves both histograms; the observations themselves are
-// lock-free.
-func (m *Metrics) ObserveJob(algo string, cycles int64, wallSeconds float64) {
+// wall-clock duration under its algorithm name and execution backend
+// (native jobs report zero cycles but real wall time, so the series
+// must not blend). One read-lock acquisition resolves both histograms;
+// the observations themselves are lock-free.
+func (m *Metrics) ObserveJob(algo, backend string, cycles int64, wallSeconds float64) {
+	if backend == "" {
+		backend = "sim"
+	}
+	key := algo + "\x00" + backend
 	m.mu.RLock()
-	jh, ok := m.jobs[algo]
+	jh, ok := m.jobs[key]
 	m.mu.RUnlock()
 	if !ok {
 		m.mu.Lock()
-		jh, ok = m.jobs[algo]
+		jh, ok = m.jobs[key]
 		if !ok {
 			jh = &jobHists{cycles: NewHistogram(CycleBuckets), seconds: NewHistogram(SecondsBuckets)}
-			m.jobs[algo] = jh
+			m.jobs[key] = jh
 		}
 		m.mu.Unlock()
 	}
@@ -261,11 +267,11 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	// One lock acquisition snapshots every histogram family; the
 	// histograms themselves are rendered from atomics afterwards.
 	m.mu.RLock()
-	algos := make([]string, 0, len(m.jobs))
+	jobKeys := make([]string, 0, len(m.jobs))
 	jobs := make(map[string]*jobHists, len(m.jobs))
-	for a, jh := range m.jobs {
-		algos = append(algos, a)
-		jobs[a] = jh
+	for k, jh := range m.jobs {
+		jobKeys = append(jobKeys, k)
+		jobs[k] = jh
 	}
 	httpKeys := make([]string, 0, len(m.httpSer))
 	httpSer := make(map[string]*httpHist, len(m.httpSer))
@@ -274,17 +280,22 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		httpSer[k] = hh
 	}
 	m.mu.RUnlock()
-	sort.Strings(algos)
+	sort.Strings(jobKeys)
 	sort.Strings(httpKeys)
 
-	if len(algos) > 0 {
+	// Job-series map keys are algo\x00backend; render both as labels.
+	jobLabels := func(key string) string {
+		algo, backend, _ := strings.Cut(key, "\x00")
+		return fmt.Sprintf("algo=%q,backend=%q", algo, backend)
+	}
+	if len(jobKeys) > 0 {
 		fmt.Fprintf(w, "# HELP cosparsed_job_cycles Simulated cycles per finished job.\n# TYPE cosparsed_job_cycles histogram\n")
-		for _, a := range algos {
-			jobs[a].cycles.write(w, "cosparsed_job_cycles", "algo", a)
+		for _, k := range jobKeys {
+			jobs[k].cycles.writeLabeled(w, "cosparsed_job_cycles", jobLabels(k))
 		}
 		fmt.Fprintf(w, "# HELP cosparsed_job_seconds Wall-clock seconds per finished job.\n# TYPE cosparsed_job_seconds histogram\n")
-		for _, a := range algos {
-			jobs[a].seconds.write(w, "cosparsed_job_seconds", "algo", a)
+		for _, k := range jobKeys {
+			jobs[k].seconds.writeLabeled(w, "cosparsed_job_seconds", jobLabels(k))
 		}
 	}
 	if len(httpKeys) > 0 {

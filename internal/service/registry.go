@@ -399,17 +399,29 @@ func (r *Registry) Delete(id string) error {
 	return nil
 }
 
-// Engine returns a prepared engine for (graph, system), building and
-// caching it on a miss and evicting the least-recently-used engine
-// beyond the cache bound. The returned entry's runMu must be held for
-// the duration of an algorithm run.
+// engineKey identifies one prepared engine. Beyond (graph, system) it
+// folds in every run-shaping option the build bakes into the engine —
+// execution backend, trace cap, and whether the iteration fault hook
+// was armed — so a config change (e.g. arming fault injection, or a
+// job asking for the native backend) can never be satisfied by a stale
+// cached engine built under different options. Delete relies on the
+// `id + "/"` prefix.
+func engineKey(id string, sys cosparse.System, backend cosparse.Backend, traceCap int, hooked bool) string {
+	return fmt.Sprintf("%s/%s/%s/cap=%d/hook=%t", id, sys.String(), backend.String(), traceCap, hooked)
+}
+
+// Engine returns a prepared engine for (graph, system, backend),
+// building and caching it on a miss and evicting the
+// least-recently-used engine beyond the cache bound. The returned
+// entry's runMu must be held for the duration of an algorithm run.
 //
 // Misses take a build slot first; when buildLimit slots are already in
 // flight the miss fails with a transient cache-pressure error instead
 // of piling another every-edge prep onto the heap — the scheduler
 // retries it with backoff.
-func (r *Registry) Engine(ge *GraphEntry, sys cosparse.System) (*engineEntry, error) {
-	key := ge.ID + "/" + sys.String()
+func (r *Registry) Engine(ge *GraphEntry, sys cosparse.System, backend cosparse.Backend) (*engineEntry, error) {
+	hooked := r.inject.Armed(fault.Iteration)
+	key := engineKey(ge.ID, sys, backend, r.traceCap, hooked)
 	r.mu.Lock()
 	if ee, ok := r.engines[key]; ok {
 		r.lru.MoveToFront(ee.elem)
@@ -442,11 +454,11 @@ func (r *Registry) Engine(ge *GraphEntry, sys cosparse.System) (*engineEntry, er
 		release()
 		return nil, err
 	}
-	var opts []cosparse.Option
+	opts := []cosparse.Option{cosparse.WithBackend(backend)}
 	if r.traceCap != 0 {
 		opts = append(opts, cosparse.WithTraceCap(r.traceCap))
 	}
-	if r.inject.Armed(fault.Iteration) {
+	if hooked {
 		opts = append(opts, cosparse.WithIterationHook(func(int) error {
 			return r.inject.Check(fault.Iteration)
 		}))

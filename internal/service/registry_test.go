@@ -97,16 +97,16 @@ func TestEngineCacheLRU(t *testing.T) {
 	}
 	sys := cosparse.System{Tiles: 2, PEsPerTile: 2}
 
-	e0a, err := r.Engine(entries[0], sys)
+	e0a, err := r.Engine(entries[0], sys, cosparse.SimBackend)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e0b, _ := r.Engine(entries[0], sys) // hit
+	e0b, _ := r.Engine(entries[0], sys, cosparse.SimBackend) // hit
 	if e0a != e0b {
 		t.Fatal("hit returned a different engine entry")
 	}
-	r.Engine(entries[1], sys) // miss, cache = {g1, g2}
-	r.Engine(entries[2], sys) // miss, evicts g1 (LRU)
+	r.Engine(entries[1], sys, cosparse.SimBackend) // miss, cache = {g1, g2}
+	r.Engine(entries[2], sys, cosparse.SimBackend) // miss, evicts g1 (LRU)
 
 	if hits := m.EngineCacheHits.Load(); hits != 1 {
 		t.Fatalf("hits = %d", hits)
@@ -119,7 +119,7 @@ func TestEngineCacheLRU(t *testing.T) {
 	}
 
 	// g1's engine was evicted: touching it again is a rebuild miss.
-	e0c, _ := r.Engine(entries[0], sys)
+	e0c, _ := r.Engine(entries[0], sys, cosparse.SimBackend)
 	if e0c == e0a {
 		t.Fatal("evicted entry came back identical (not rebuilt)")
 	}
@@ -128,7 +128,7 @@ func TestEngineCacheLRU(t *testing.T) {
 	}
 
 	// Distinct geometries cache separately.
-	r.Engine(entries[0], cosparse.System{Tiles: 4, PEsPerTile: 4})
+	r.Engine(entries[0], cosparse.System{Tiles: 4, PEsPerTile: 4}, cosparse.SimBackend)
 	if misses := m.EngineCacheMisses.Load(); misses != 5 {
 		t.Fatalf("geometry should miss separately, misses = %d", misses)
 	}

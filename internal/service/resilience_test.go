@@ -328,7 +328,7 @@ func TestEnginePressureTransient(t *testing.T) {
 	sys := cosparse.System{Tiles: 4, PEsPerTile: 4}
 	built := make(chan error, 1)
 	go func() {
-		_, err := svc.reg.Engine(g1, sys)
+		_, err := svc.reg.Engine(g1, sys, cosparse.SimBackend)
 		built <- err
 	}()
 
@@ -348,7 +348,7 @@ func TestEnginePressureTransient(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	_, err = svc.reg.Engine(g2, sys)
+	_, err = svc.reg.Engine(g2, sys, cosparse.SimBackend)
 	if err == nil {
 		t.Fatal("second concurrent build succeeded; want cache-pressure error")
 	}
@@ -366,7 +366,7 @@ func TestEnginePressureTransient(t *testing.T) {
 		t.Fatalf("first build failed: %v", err)
 	}
 	// Slot free again: the retry succeeds.
-	if _, err := svc.reg.Engine(g2, sys); err != nil {
+	if _, err := svc.reg.Engine(g2, sys, cosparse.SimBackend); err != nil {
 		t.Fatalf("build after pressure cleared: %v", err)
 	}
 }

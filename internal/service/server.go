@@ -41,6 +41,9 @@ type Config struct {
 	DefaultSystem cosparse.System
 	MaxTiles      int
 	MaxPEs        int
+	// DefaultBackend is the execution backend used when a job names
+	// none: "sim" (the default) or "native".
+	DefaultBackend string
 	// DefaultTimeout / MaxTimeout bound per-job deadlines
 	// (defaults 30s / 5m).
 	DefaultTimeout time.Duration
@@ -466,6 +469,14 @@ func (s *Service) buildJob(req JobRequest) (*Job, error) {
 	if req.Lambda == 0 {
 		req.Lambda = 0.01
 	}
+	bs := req.Backend
+	if bs == "" {
+		bs = s.cfg.DefaultBackend
+	}
+	backend, err := cosparse.ParseBackend(bs)
+	if err != nil {
+		return nil, err
+	}
 	ge, err := s.reg.Acquire(req.GraphID)
 	if err != nil {
 		return nil, &notFoundError{msg: err.Error()}
@@ -474,7 +485,7 @@ func (s *Service) buildJob(req JobRequest) (*Job, error) {
 		s.reg.Release(ge)
 		return nil, fmt.Errorf("source %d out of range [0,%d)", req.Source, ge.Graph.NumVertices())
 	}
-	j := &Job{req: req, algo: algo, sys: sys, graph: ge}
+	j := &Job{req: req, algo: algo, sys: sys, backend: backend, graph: ge}
 	j.release = func() { s.reg.Release(ge) }
 	return j, nil
 }
@@ -485,7 +496,7 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 	if err := s.cfg.Faults.Check(fault.JobRun); err != nil {
 		return nil, err
 	}
-	ee, err := s.reg.Engine(j.graph, j.sys)
+	ee, err := s.reg.Engine(j.graph, j.sys, j.backend)
 	if err != nil {
 		return nil, err
 	}
@@ -498,7 +509,7 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 	}
 
 	t0 := time.Now()
-	res := &JobResult{Algo: j.algo.String()}
+	res := &JobResult{Algo: j.algo.String(), Backend: j.backend.String()}
 	var rep *cosparse.Report
 	switch j.algo {
 	case cosparse.AlgoBFS:
@@ -572,7 +583,7 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 	if j.req.IncludeTrace {
 		res.Report = rep
 	}
-	s.m.ObserveJob(j.algo.String(), rep.TotalCycles, wall.Seconds())
+	s.m.ObserveJob(j.algo.String(), j.backend.String(), rep.TotalCycles, wall.Seconds())
 	if mem := rep.Memory; mem != nil {
 		reconfigs := int64(0)
 		for _, it := range rep.Iterations {

@@ -27,6 +27,7 @@ func (r *Report) WriteTraceJSON(w io.Writer) error {
 	t := struct {
 		Algorithm       string
 		System          string
+		Backend         string `json:",omitempty"`
 		TotalIterations int
 		TraceDropped    int `json:",omitempty"`
 		TotalCycles     int64
@@ -34,6 +35,7 @@ func (r *Report) WriteTraceJSON(w io.Writer) error {
 	}{
 		Algorithm:       r.Algorithm,
 		System:          r.System.String(),
+		Backend:         r.Backend,
 		TotalIterations: iters,
 		TraceDropped:    r.TraceDropped,
 		TotalCycles:     r.TotalCycles,
