@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race regress chaos fuzz check bench bench-backends clean
+.PHONY: all build vet lint test race regress chaos chaos-restart fuzz check bench bench-backends bench-checkpoint clean
 
 all: check
 
@@ -18,7 +18,7 @@ lint: vet
 test:
 	$(GO) test ./...
 
-race: regress chaos fuzz bench-backends
+race: regress chaos chaos-restart fuzz bench-backends
 	$(GO) test -race -short ./...
 
 # regress pins the stats-accounting fixes under the race detector: the
@@ -38,11 +38,21 @@ regress:
 chaos:
 	$(GO) test -race -run 'TestChaos|TestDrain' -count=1 ./internal/service
 
+# chaos-restart is the durability end-to-end: a real cosparsed child is
+# SIGKILLed mid-PageRank and restarted on the same data dir; the
+# resumed job must finish bit-identical to an uninterrupted run on both
+# backends. The child binary is built with -race to match the test.
+chaos-restart:
+	$(GO) test -race -run 'TestChaosRestart' -count=1 -timeout 300s ./cmd/cosparsed
+
 # fuzz gives each parser fuzz target a short budget; crashes land in
 # internal/gen/testdata/fuzz for triage.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseSNAP -fuzztime=10s ./internal/gen
 	$(GO) test -run='^$$' -fuzz=FuzzParseMatrixMarket -fuzztime=10s ./internal/gen
+	$(GO) test -run='^$$' -fuzz=FuzzScanSegment -fuzztime=10s ./internal/store
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeCheckpoint -fuzztime=10s ./internal/runtime
+	$(GO) test -run='^$$' -fuzz=FuzzJobSubmitBody -fuzztime=10s ./internal/service
 
 # check is the tier-1 gate: everything must pass before a commit.
 check: lint build race
@@ -55,6 +65,13 @@ bench:
 # BENCH_backends.json; it fails if native is not >= 10x faster.
 bench-backends:
 	BENCH_BACKENDS=1 $(GO) test -count=1 -run TestBenchBackends -v .
+
+# bench-checkpoint measures the wall-clock cost of checkpointing native
+# PageRank at the service's default interval (snapshots through the
+# real fsync'd store) and writes internal/runtime/BENCH_checkpoint.json;
+# it fails if the overhead exceeds the 5% durability budget.
+bench-checkpoint:
+	BENCH_CHECKPOINT=1 $(GO) test -count=1 -run TestBenchCheckpointOverhead -v ./internal/runtime
 
 clean:
 	$(GO) clean ./...

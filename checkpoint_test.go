@@ -1,0 +1,88 @@
+package cosparse
+
+import (
+	"context"
+	"testing"
+)
+
+// TestCheckpointFacadeRoundTrip exercises the public checkpoint API:
+// a checkpointed PageRank run, snapshots round-tripped through the
+// binary wire form, and a resume that reproduces the uninterrupted
+// run bit-for-bit — the same contract the service relies on, through
+// the facade types.
+func TestCheckpointFacadeRoundTrip(t *testing.T) {
+	g, err := GeneratePowerLaw(300, 1500, Unweighted, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newEngine := func() *Engine {
+		eng, err := New(g, System{Tiles: 2, PEsPerTile: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+
+	ref, refRep, err := newEngine().PageRankContext(context.Background(), 10, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var frames [][]byte
+	ctx := ContextWithCheckpoint(context.Background(), &CheckpointConfig{
+		Every: 3,
+		Sink: func(cp *Checkpoint) error {
+			if cp.Algorithm() != "PR" {
+				t.Errorf("snapshot algorithm = %q, want PR", cp.Algorithm())
+			}
+			if cp.Vertices() != 300 {
+				t.Errorf("snapshot vertices = %d, want 300", cp.Vertices())
+			}
+			frames = append(frames, cp.Encode())
+			return nil
+		},
+	})
+	ck, ckRep, err := newEngine().PageRankContext(ctx, 10, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) == 0 {
+		t.Fatal("no snapshots taken")
+	}
+	if ckRep.TotalCycles != refRep.TotalCycles {
+		t.Fatalf("checkpointing changed timings: %d vs %d", ckRep.TotalCycles, refRep.TotalCycles)
+	}
+	for i := range ref {
+		if ck[i] != ref[i] {
+			t.Fatalf("checkpointing changed values at %d: %v vs %v", i, ck[i], ref[i])
+		}
+	}
+
+	cp, err := DecodeCheckpoint(frames[len(frames)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rctx := ContextWithCheckpoint(context.Background(),
+		&CheckpointConfig{Resume: cp})
+	res, resRep, err := newEngine().PageRankContext(rctx, 10, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resRep.Resumed || resRep.ResumedIteration != cp.Iteration() {
+		t.Fatalf("resumed report: Resumed=%v ResumedIteration=%d, want true/%d",
+			resRep.Resumed, resRep.ResumedIteration, cp.Iteration())
+	}
+	if resRep.TotalCycles != refRep.TotalCycles || resRep.EnergyJ != refRep.EnergyJ {
+		t.Fatalf("resumed totals diverge: cycles %d vs %d, energy %v vs %v",
+			resRep.TotalCycles, refRep.TotalCycles, resRep.EnergyJ, refRep.EnergyJ)
+	}
+	for i := range ref {
+		if res[i] != ref[i] {
+			t.Fatalf("resumed value[%d] = %v, want %v (bit-identical)", i, res[i], ref[i])
+		}
+	}
+
+	if _, err := DecodeCheckpoint([]byte("garbage")); err == nil {
+		t.Error("DecodeCheckpoint accepted garbage")
+	}
+}

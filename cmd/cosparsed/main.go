@@ -64,6 +64,9 @@ func main() {
 	slowJob := flag.Duration("slow-job", 0, "log a warning with the decision trace for jobs slower than this (0 = off)")
 	traceFile := flag.String("trace", "", "append every finished job's per-iteration trace as a JSON line to this file")
 	traceCap := flag.Int("trace-cap", 0, "per-job iteration-trace ring size (0 = default 4096, negative = unbounded)")
+	dataDir := flag.String("data-dir", "", "durability directory: journal job/graph transitions and checkpoint running jobs there, and recover from it on startup (empty = in-memory only)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "iterations between checkpoint snapshots of running jobs with -data-dir (0 = default 16, negative = journal only)")
+	noSync := flag.Bool("store-no-sync", false, "skip fsync in the durability store (testing only; voids crash consistency)")
 	flag.Parse()
 
 	if *workers <= 0 || *queue <= 0 || *cache <= 0 {
@@ -111,7 +114,7 @@ func main() {
 		traceSink = f
 	}
 
-	svc := service.New(service.Config{
+	svc, err := service.Open(service.Config{
 		Workers:           *workers,
 		QueueDepth:        *queue,
 		EngineCacheSize:   *cache,
@@ -131,8 +134,25 @@ func main() {
 		SlowJob:           *slowJob,
 		TraceCap:          *traceCap,
 		TraceSink:         traceSink,
+		DataDir:           *dataDir,
+		CheckpointEvery:   *ckptEvery,
+		StoreNoSync:       *noSync,
 	})
+	if err != nil {
+		fail(fmt.Errorf("open service: %w", err))
+	}
 	defer svc.Close()
+	if *dataDir != "" {
+		rec := svc.Recovered()
+		logger.Info("durability enabled",
+			slog.String("data_dir", *dataDir),
+			slog.Int("journal_records", rec.Records),
+			slog.Int("graphs_restored", rec.GraphsRestored),
+			slog.Int("jobs_resumed", rec.JobsResumed),
+			slog.Int("jobs_restarted", rec.JobsRestarted),
+			slog.Int("jobs_unrecoverable", rec.JobsFailed),
+		)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

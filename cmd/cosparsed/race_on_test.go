@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled mirrors the test binary's -race state so the chaos test
+// builds the child daemon with the same instrumentation.
+const raceEnabled = true

@@ -1,0 +1,301 @@
+package main
+
+// Kill-and-restart chaos test: a real cosparsed process is SIGKILLed
+// mid-PageRank and restarted on the same data directory. The resumed
+// job must finish with a result bit-identical to an uninterrupted run
+// of the same job — on both execution backends. This is the end-to-end
+// proof of the durability layer: journal replay, checkpoint resume,
+// and the runtime's bit-identity contract, all through the real binary
+// and real process death (no cooperative shutdown).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+var (
+	buildOnce sync.Once
+	buildBin  string
+	buildErr  error
+)
+
+// daemonBinary builds cosparsed once per test process, with -race when
+// the test binary itself is race-instrumented.
+func daemonBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "cosparsed-bin-*")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildBin = filepath.Join(dir, "cosparsed")
+		args := []string{"build"}
+		if raceEnabled {
+			args = append(args, "-race")
+		}
+		args = append(args, "-o", buildBin, ".")
+		cmd := exec.Command("go", args...)
+		var out bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &out, &out
+		if err := cmd.Run(); err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out.String())
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return buildBin
+}
+
+// daemon is one running cosparsed child process.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string
+	logs *bytes.Buffer
+}
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port
+}
+
+// startDaemon launches cosparsed against dataDir and waits for
+// /healthz. Iterations are slowed by injected latency so the killer
+// has a wide window between checkpoints.
+func startDaemon(t *testing.T, bin, dataDir string, port int) *daemon {
+	t.Helper()
+	d := &daemon{
+		base: fmt.Sprintf("http://127.0.0.1:%d", port),
+		logs: &bytes.Buffer{},
+	}
+	d.cmd = exec.Command(bin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-workers", "1",
+		"-data-dir", dataDir,
+		"-checkpoint-every", "2",
+		"-store-no-sync",
+		"-fault-spec", "runtime.iteration:lat=1,latency=5ms",
+		"-fault-seed", "7",
+	)
+	d.cmd.Stdout, d.cmd.Stderr = d.logs, d.logs
+	if err := d.cmd.Start(); err != nil {
+		t.Fatalf("start cosparsed: %v", err)
+	}
+	t.Cleanup(func() {
+		if d.cmd.Process != nil {
+			d.cmd.Process.Kill()
+			d.cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(d.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return d
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("cosparsed never became healthy; logs:\n%s", d.logs.String())
+	return nil
+}
+
+// sigkill terminates the daemon abruptly — no drain, no journal
+// cleanup, exactly like a crash or OOM kill.
+func (d *daemon) sigkill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	d.cmd.Wait()
+}
+
+func (d *daemon) postJSON(t *testing.T, path string, body, out any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(d.base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("POST %s: decode %q: %v", path, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func (d *daemon) getJSON(t *testing.T, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(d.base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("GET %s: decode %q: %v", path, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// jobView is the slice of the job-status JSON the test compares.
+type jobView struct {
+	ID             string  `json:"id"`
+	State          string  `json:"state"`
+	Resumed        bool    `json:"resumed"`
+	CheckpointIter int     `json:"checkpoint_iter"`
+	Error          string  `json:"error"`
+	Result         *result `json:"result"`
+}
+
+type result struct {
+	Summary     string  `json:"summary"`
+	TopVertex   int32   `json:"top_vertex"`
+	TopScore    float64 `json:"top_score"`
+	Iterations  int     `json:"iterations"`
+	TotalCycles int64   `json:"total_cycles"`
+	EnergyJ     float64 `json:"energy_j"`
+}
+
+func (d *daemon) registerGraph(t *testing.T) {
+	t.Helper()
+	var info struct {
+		ID string `json:"id"`
+	}
+	if code := d.postJSON(t, "/v1/graphs", map[string]any{
+		"kind": "powerlaw", "vertices": 800, "edges": 6000, "seed": 7,
+	}, &info); code != http.StatusCreated {
+		t.Fatalf("register graph: %d; logs:\n%s", code, d.logs.String())
+	}
+	if info.ID != "g1" {
+		t.Fatalf("graph id = %q", info.ID)
+	}
+}
+
+func (d *daemon) submitPR(t *testing.T, backend string) string {
+	t.Helper()
+	var st jobView
+	if code := d.postJSON(t, "/v1/jobs", map[string]any{
+		"graph_id": "g1", "algo": "pr", "iterations": 150,
+		"backend": backend, "timeout_ms": 120000,
+	}, &st); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	return st.ID
+}
+
+// waitDone polls until the job settles and returns its final view.
+func (d *daemon) waitDone(t *testing.T, id string) jobView {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		var st jobView
+		if code := d.getJSON(t, "/v1/jobs/"+id, &st); code == http.StatusOK {
+			switch st.State {
+			case "done", "failed", "cancelled":
+				return st
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("job %s never settled; logs:\n%s", id, d.logs.String())
+	return jobView{}
+}
+
+// waitCheckpointed polls until the running job has persisted at least
+// minIter checkpoints' worth of progress — the kill window.
+func (d *daemon) waitCheckpointed(t *testing.T, id string, minIter int) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var st jobView
+		if code := d.getJSON(t, "/v1/jobs/"+id, &st); code == http.StatusOK {
+			if st.CheckpointIter >= minIter && st.State == "running" {
+				return
+			}
+			if st.State == "done" || st.State == "failed" {
+				t.Fatalf("job %s settled (%s) before the kill window", id, st.State)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never checkpointed; logs:\n%s", id, d.logs.String())
+}
+
+// TestChaosRestart: SIGKILL cosparsed mid-PageRank, restart it on the
+// same data dir, and demand a resumed result bit-identical to an
+// uninterrupted run — per backend.
+func TestChaosRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemons; skipped in -short")
+	}
+	bin := daemonBinary(t)
+
+	for _, backend := range []string{"sim", "native"} {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			t.Parallel()
+			// Uninterrupted reference run.
+			ref := startDaemon(t, bin, t.TempDir(), freePort(t))
+			ref.registerGraph(t)
+			refID := ref.submitPR(t, backend)
+			refView := ref.waitDone(t, refID)
+			if refView.State != "done" || refView.Result == nil {
+				t.Fatalf("reference job: %+v; logs:\n%s", refView, ref.logs.String())
+			}
+			ref.sigkill(t) // done with it; teardown can be abrupt
+
+			// Chaos run: kill mid-flight after a checkpoint landed.
+			dataDir := t.TempDir()
+			victim := startDaemon(t, bin, dataDir, freePort(t))
+			victim.registerGraph(t)
+			id := victim.submitPR(t, backend)
+			victim.waitCheckpointed(t, id, 2)
+			victim.sigkill(t)
+
+			// Restart on the same directory: the job must come back by
+			// itself, resume from its checkpoint, and finish identically.
+			revived := startDaemon(t, bin, dataDir, freePort(t))
+			got := revived.waitDone(t, id)
+			if got.State != "done" || got.Result == nil {
+				t.Fatalf("resumed job: %+v; logs:\n%s", got, revived.logs.String())
+			}
+			if !got.Resumed {
+				t.Error("resumed job does not report resumed=true")
+			}
+			r, w := got.Result, refView.Result
+			if r.Summary != w.Summary || r.TopVertex != w.TopVertex || r.TopScore != w.TopScore ||
+				r.Iterations != w.Iterations || r.TotalCycles != w.TotalCycles || r.EnergyJ != w.EnergyJ {
+				t.Errorf("resumed result diverges from uninterrupted run:\n  ref %+v\n  got %+v", w, r)
+			}
+		})
+	}
+}

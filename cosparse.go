@@ -441,6 +441,12 @@ type Report struct {
 	TotalIterations int          `json:",omitempty"`
 	TraceDropped    int          `json:",omitempty"`
 	Memory          *MemoryStats `json:",omitempty"`
+
+	// Resumed is set when the run restarted from a checkpoint (see
+	// ContextWithCheckpoint); ResumedIteration is the iteration it
+	// picked up at. Totals and the trace cover the whole logical run.
+	Resumed          bool `json:",omitempty"`
+	ResumedIteration int  `json:",omitempty"`
 }
 
 // Summary returns a one-paragraph human-readable digest.
@@ -507,6 +513,9 @@ func (e *Engine) report(rep *runtime.Report) *Report {
 
 		TotalIterations: rep.TotalIters,
 		TraceDropped:    rep.DroppedIters,
+
+		Resumed:          rep.Resumed,
+		ResumedIteration: rep.ResumedIter,
 	}
 	if e.simulated {
 		// The native backend runs no memory model; only simulated runs

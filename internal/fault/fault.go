@@ -51,12 +51,24 @@ const (
 	Iteration Point = "runtime.iteration"
 	// HTTPHandler covers the HTTP middleware, before routing.
 	HTTPHandler Point = "http.handler"
+	// JournalAppend covers every journal record write in internal/store,
+	// before the frame reaches the segment file.
+	JournalAppend Point = "store.journal_append"
+	// StoreSync covers the fsync that commits a journal append or
+	// snapshot rename — the narrowest window for torn-write chaos.
+	StoreSync Point = "store.fsync"
+	// SnapshotWrite covers checkpoint snapshot persistence (tmp write +
+	// atomic rename).
+	SnapshotWrite Point = "store.snapshot_write"
+	// RecoverReplay covers startup journal replay, per record.
+	RecoverReplay Point = "store.recover_replay"
 )
 
 // Points lists every injection point the service wires up, in a fixed
 // order (used by spec validation and diagnostics).
 func Points() []Point {
-	return []Point{GraphBuild, EngineBuild, JobRun, Iteration, HTTPHandler}
+	return []Point{GraphBuild, EngineBuild, JobRun, Iteration, HTTPHandler,
+		JournalAppend, StoreSync, SnapshotWrite, RecoverReplay}
 }
 
 // Rule arms one point. Rates are probabilities in [0, 1] evaluated

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"cosparse/internal/matrix"
 	"cosparse/internal/semiring"
@@ -49,6 +50,14 @@ func (f *Framework) BFSContext(ctx context.Context, src int32) (*BFSResult, *Rep
 	res.Parent[src] = src
 	res.Level[src] = 0
 
+	// The level array is incremental state the driver cannot see (it
+	// lives outside vals), so it rides in each checkpoint's AuxInt and
+	// is restored before the resumed loop observes new frontiers.
+	if cc := CheckpointFromContext(ctx); cc != nil && cc.Resume != nil &&
+		cc.Resume.Algo == "BFS" && len(cc.Resume.AuxInt) == n {
+		copy(res.Level, cc.Resume.AuxInt)
+	}
+
 	// Levels fall out of the iteration at which each vertex first joins
 	// the frontier, observed through the driver's iteration hook.
 	onIter := func(st IterStat, next *matrix.SparseVec) {
@@ -60,7 +69,10 @@ func (f *Framework) BFSContext(ctx context.Context, src int32) (*BFSResult, *Rep
 			}
 		}
 	}
-	vals, rep, err := f.driver(ctx, "BFS", ring, semiring.Ctx{}, vals, frontier, f.opts.MaxIters, onIter)
+	aux := func(cp *Checkpoint) {
+		cp.AuxInt = append([]int32(nil), res.Level...)
+	}
+	vals, rep, err := f.driver(ctx, "BFS", ring, semiring.Ctx{}, vals, frontier, f.opts.MaxIters, onIter, aux)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -93,7 +105,7 @@ func (f *Framework) SSSPContext(ctx context.Context, src int32) (matrix.Dense, *
 	}
 	vals[src] = 0
 	frontier := &matrix.SparseVec{N: n, Idx: []int32{src}, Val: []float32{0}}
-	return f.driver(ctx, "SSSP", ring, semiring.Ctx{}, vals, frontier, f.opts.MaxIters, nil)
+	return f.driver(ctx, "SSSP", ring, semiring.Ctx{}, vals, frontier, f.opts.MaxIters, nil, nil)
 }
 
 // PageRank runs the damped power iteration of Table I for the given
@@ -113,7 +125,7 @@ func (f *Framework) PageRankContext(ctx context.Context, iters int, alpha float3
 	for i := range vals {
 		vals[i] = 1 / float32(n)
 	}
-	return f.driver(ctx, "PR", ring, semiring.Ctx{Alpha: alpha}, vals, nil, iters, nil)
+	return f.driver(ctx, "PR", ring, semiring.Ctx{Alpha: alpha}, vals, nil, iters, nil, nil)
 }
 
 // CF runs collaborative-filtering gradient descent (one latent factor,
@@ -135,7 +147,7 @@ func (f *Framework) CFContext(ctx context.Context, iters int, beta, lambda float
 		// Deterministic small positive init, spread across vertices.
 		vals[i] = 0.1 + 0.01*float32(i%17)
 	}
-	return f.driver(ctx, "CF", ring, semiring.Ctx{Beta: beta, Lambda: lambda}, vals, nil, iters, nil)
+	return f.driver(ctx, "CF", ring, semiring.Ctx{Beta: beta, Lambda: lambda}, vals, nil, iters, nil, nil)
 }
 
 // SpMV runs one plain (+,×) sparse matrix–vector product through the
@@ -154,7 +166,7 @@ func (f *Framework) SpMVContext(ctx context.Context, frontier *matrix.SparseVec)
 	}
 	ring := semiring.SpMV()
 	vals := make(matrix.Dense, f.N())
-	return f.driver(ctx, "SpMV", ring, semiring.Ctx{}, vals, frontier.Clone(), 1, nil)
+	return f.driver(ctx, "SpMV", ring, semiring.Ctx{}, vals, frontier.Clone(), 1, nil, nil)
 }
 
 // RunCustom drives a user-defined algorithm (a custom Table I row)
@@ -199,7 +211,7 @@ func (f *Framework) RunCustomContext(ctx context.Context, ring semiring.Semiring
 	if name == "" {
 		name = "custom"
 	}
-	return f.driver(ctx, name, ring, sctx, vals.Clone(), frontier, maxIters, nil)
+	return f.driver(ctx, name, ring, sctx, vals.Clone(), frontier, maxIters, nil, nil)
 }
 
 // PageRankTol runs the damped power iteration until the relative L1
@@ -234,10 +246,43 @@ func (f *Framework) PageRankTolContext(ctx context.Context, tol float32, maxIter
 	}
 	prev := vals.Clone()
 	iters := 0
+
+	// Checkpoints happen at this loop's granularity — one snapshot per
+	// K converged-checked power iterations, with the previous rank
+	// vector (the convergence state) in Aux. The inner driver calls run
+	// with the config stripped so they don't snapshot their own
+	// one-iteration world.
+	cc := CheckpointFromContext(ctx)
+	runCtx := ctx
+	if cc != nil {
+		runCtx = ContextWithCheckpoint(ctx, nil)
+		if cp := cc.Resume; cp != nil {
+			if cp.Algo != "PR(tol)" {
+				return nil, 0, total, fmt.Errorf("runtime: checkpoint was taken by %q, cannot resume PR(tol)", cp.Algo)
+			}
+			if int(cp.N) != n {
+				return nil, 0, total, fmt.Errorf("runtime: checkpoint covers %d vertices, graph has %d", cp.N, n)
+			}
+			vals = cp.Vals.Clone()
+			if len(cp.Aux) == n {
+				prev = cp.Aux.Clone()
+			}
+			iters = int(cp.Iter)
+			total.Iters = append([]IterStat(nil), cp.Trace...)
+			total.TotalIters = int(cp.TotalIters)
+			total.DroppedIters = int(cp.DroppedIters)
+			total.TotalCycles = cp.TotalCycles
+			total.TotalWall = time.Duration(cp.TotalWallNs)
+			total.EnergyJ = cp.EnergyJ
+			total.Stats = cp.Stats
+			total.Resumed, total.ResumedIter = true, iters
+		}
+	}
+
 	for iters < maxIters {
 		var rep *Report
 		var err error
-		vals, rep, err = f.driver(ctx, "PR", ring, semiring.Ctx{Alpha: alpha}, vals, nil, 1, nil)
+		vals, rep, err = f.driver(runCtx, "PR", ring, semiring.Ctx{Alpha: alpha}, vals, nil, 1, nil, nil)
 		if rep != nil {
 			// Each driver call restarts numbering at 0; renumber so the
 			// stitched trace reads as one run in the Fig. 9 layout.
@@ -275,6 +320,26 @@ func (f *Framework) PageRankTolContext(ctx context.Context, tol float32, maxIter
 			break
 		}
 		copy(prev, vals)
+
+		if cc != nil && cc.Sink != nil && cc.Every > 0 && iters%cc.Every == 0 && iters < maxIters {
+			cp := &Checkpoint{
+				Algo:         "PR(tol)",
+				N:            int32(n),
+				Iter:         int32(iters),
+				Vals:         vals.Clone(),
+				Aux:          prev.Clone(),
+				TotalCycles:  total.TotalCycles,
+				TotalWallNs:  int64(total.TotalWall),
+				EnergyJ:      total.EnergyJ,
+				Stats:        total.Stats,
+				TotalIters:   int32(total.TotalIters),
+				DroppedIters: int32(total.DroppedIters),
+				Trace:        append([]IterStat(nil), total.Iters...),
+			}
+			if err := cc.Sink(cp); err != nil {
+				return vals, iters, total, fmt.Errorf("runtime: PR(tol) checkpoint at iteration %d failed: %w", iters, err)
+			}
+		}
 	}
 	return vals, iters, total, nil
 }

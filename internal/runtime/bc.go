@@ -49,13 +49,63 @@ func (f *Framework) BCContext(ctx context.Context, src int32) (matrix.Dense, *Re
 		total.Stats.Add(rep.Stats)
 	}
 
-	// ---- Phase 1: levels ----
-	bres, rep, err := f.BFSContext(ctx, src)
-	if err != nil {
-		return nil, nil, err
+	// BC checkpoints at SpMV-pass granularity across its sweeps, with
+	// Phase/PhaseLevel locating the next pass and the level array (the
+	// phase-1 output both sweeps index by) in AuxInt. The inner
+	// driver calls run with the checkpoint config stripped — a
+	// one-iteration sub-run must not snapshot itself.
+	cc := CheckpointFromContext(ctx)
+	inner := ctx
+	var resume *Checkpoint
+	if cc != nil {
+		inner = ContextWithCheckpoint(ctx, nil)
+		if cp := cc.Resume; cp != nil {
+			if cp.Algo != "BC" {
+				return nil, nil, fmt.Errorf("runtime: checkpoint was taken by %q, cannot resume BC", cp.Algo)
+			}
+			if int(cp.N) != n || len(cp.AuxInt) != n {
+				return nil, nil, fmt.Errorf("runtime: BC checkpoint covers %d vertices, graph has %d", cp.N, n)
+			}
+			if cp.Phase != 2 && cp.Phase != 3 {
+				return nil, nil, fmt.Errorf("runtime: BC checkpoint names unknown phase %d", cp.Phase)
+			}
+			resume = cp
+		}
 	}
-	acc(rep)
-	level := bres.Level
+	passes := 0
+	var level []int32
+	sink := func(cp *Checkpoint) error {
+		cp.Algo = "BC"
+		cp.N = int32(n)
+		cp.Iter = int32(passes)
+		cp.AuxInt = append([]int32(nil), level...)
+		cp.TotalCycles = total.TotalCycles
+		cp.EnergyJ = total.EnergyJ
+		cp.Stats = total.Stats
+		cp.Trace = append([]IterStat(nil), total.Iters...)
+		return cc.Sink(cp)
+	}
+	due := func() bool {
+		return cc != nil && cc.Sink != nil && cc.Every > 0 && passes%cc.Every == 0
+	}
+
+	// ---- Phase 1: levels ----
+	if resume != nil {
+		level = append([]int32(nil), resume.AuxInt...)
+		passes = int(resume.Iter)
+		total.Iters = append([]IterStat(nil), resume.Trace...)
+		total.TotalCycles = resume.TotalCycles
+		total.EnergyJ = resume.EnergyJ
+		total.Stats = resume.Stats
+		total.Resumed, total.ResumedIter = true, passes
+	} else {
+		bres, rep, err := f.BFSContext(inner, src)
+		if err != nil {
+			return nil, nil, err
+		}
+		acc(rep)
+		level = bres.Level
+	}
 	maxLevel := int32(0)
 	for _, l := range level {
 		if l > maxLevel {
@@ -89,7 +139,19 @@ func (f *Framework) BCContext(ctx context.Context, src int32) (matrix.Dense, *Re
 	// ---- Phase 2: shortest-path counts σ (forward) ----
 	sigma := make(matrix.Dense, n)
 	sigma[src] = 1
-	for l := int32(0); l < maxLevel; l++ {
+	startFwd := int32(0)
+	if resume != nil {
+		if resume.Phase == 2 {
+			sigma = resume.Vals.Clone()
+			startFwd = resume.PhaseLevel
+		} else {
+			// Phase-3 checkpoint: the forward sweep is finished; its
+			// σ travels in Aux.
+			sigma = resume.Aux.Clone()
+			startFwd = maxLevel
+		}
+	}
+	for l := startFwd; l < maxLevel; l++ {
 		idx := append([]int32{}, byLevel[l]...)
 		val := make([]float32, len(idx))
 		for k, v := range idx {
@@ -100,7 +162,7 @@ func (f *Framework) BCContext(ctx context.Context, src int32) (matrix.Dense, *Re
 			return nil, nil, err
 		}
 		before := sigma.Clone()
-		out, rep, err := f.RunCustomContext(ctx, ring, semiring.Ctx{}, sigma, fr, 1)
+		out, rep, err := f.RunCustomContext(inner, ring, semiring.Ctx{}, sigma, fr, 1)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -115,6 +177,12 @@ func (f *Framework) BCContext(ctx context.Context, src int32) (matrix.Dense, *Re
 				sigma[v] = before[v]
 			}
 		}
+		passes++
+		if due() {
+			if err := sink(&Checkpoint{Phase: 2, PhaseLevel: l + 1, Vals: sigma.Clone()}); err != nil {
+				return nil, nil, fmt.Errorf("runtime: BC checkpoint after forward level %d failed: %w", l, err)
+			}
+		}
 	}
 
 	// ---- Phase 3: dependencies δ (backward, reversed graph) ----
@@ -126,7 +194,12 @@ func (f *Framework) BCContext(ctx context.Context, src int32) (matrix.Dense, *Re
 		f.rev = rev
 	}
 	delta := make(matrix.Dense, n)
-	for l := maxLevel - 1; l >= 0; l-- {
+	startBwd := maxLevel - 1
+	if resume != nil && resume.Phase == 3 {
+		delta = resume.Vals.Clone()
+		startBwd = resume.PhaseLevel
+	}
+	for l := startBwd; l >= 0; l-- {
 		idx := append([]int32{}, byLevel[l+1]...)
 		if len(idx) == 0 {
 			continue
@@ -142,7 +215,7 @@ func (f *Framework) BCContext(ctx context.Context, src int32) (matrix.Dense, *Re
 			return nil, nil, err
 		}
 		before := delta.Clone()
-		out, rep, err := f.rev.RunCustomContext(ctx, ring, semiring.Ctx{}, delta, fr, 1)
+		out, rep, err := f.rev.RunCustomContext(inner, ring, semiring.Ctx{}, delta, fr, 1)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -153,6 +226,12 @@ func (f *Framework) BCContext(ctx context.Context, src int32) (matrix.Dense, *Re
 				delta[v] = sigma[v] * out[v]
 			} else {
 				delta[v] = before[v]
+			}
+		}
+		passes++
+		if due() && l > 0 {
+			if err := sink(&Checkpoint{Phase: 3, PhaseLevel: l - 1, Vals: delta.Clone(), Aux: sigma.Clone()}); err != nil {
+				return nil, nil, fmt.Errorf("runtime: BC checkpoint after backward level %d failed: %w", l, err)
 			}
 		}
 	}

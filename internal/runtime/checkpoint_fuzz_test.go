@@ -1,0 +1,31 @@
+package runtime
+
+import (
+	"testing"
+
+	"cosparse/internal/matrix"
+)
+
+// FuzzDecodeCheckpoint drives the binary checkpoint decoder with
+// hostile inputs. Malformed frames must return errors — never panic,
+// never allocate unbounded memory (the decoder validates counts
+// against remaining bytes before allocating).
+func FuzzDecodeCheckpoint(f *testing.F) {
+	f.Add(EncodeCheckpoint(sampleCheckpoint()))
+	f.Add(EncodeCheckpoint(&Checkpoint{Algo: "BFS", N: 1, Vals: matrix.Dense{0}}))
+	f.Add(EncodeCheckpoint(&Checkpoint{}))
+	f.Add([]byte{})
+	f.Add([]byte("CSK1 but not really a checkpoint"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		// Accepted frames must re-encode to an accepted frame: decode
+		// of encode of a decoded checkpoint cannot fail.
+		if _, err := DecodeCheckpoint(EncodeCheckpoint(cp)); err != nil {
+			t.Fatalf("accepted checkpoint does not round-trip: %v", err)
+		}
+	})
+}

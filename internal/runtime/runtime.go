@@ -376,6 +376,12 @@ type Report struct {
 	TotalWall    time.Duration // wall-clock kernel time; zero under the simulator
 	EnergyJ      float64
 	Stats        sim.Stats
+
+	// Resumed is set when the run restarted from a checkpoint;
+	// ResumedIter is the iteration it picked up at. Totals and the
+	// trace cover the whole logical run, not just the resumed part.
+	Resumed     bool
+	ResumedIter int
 }
 
 // Seconds converts the cycle total at the 1 GHz clock of Table II.
@@ -404,10 +410,12 @@ func (f *Framework) cfg(hw sim.HWConfig) sim.Config {
 // iterations, returning the partial report alongside ctx's error.
 // onIter, if non-nil, observes each completed iteration in addition to
 // Options.OnIteration (same contract: do not retain or mutate the
-// frontier).
+// frontier). aux, if non-nil, lets the algorithm stow its own
+// convergence state (e.g. BFS levels) into each checkpoint the driver
+// takes.
 func (f *Framework) driver(ctx context.Context, name string, ring semiring.Semiring, sctx semiring.Ctx,
 	vals matrix.Dense, frontier *matrix.SparseVec, maxIters int,
-	onIter func(IterStat, *matrix.SparseVec)) (matrix.Dense, *Report, error) {
+	onIter func(IterStat, *matrix.SparseVec), aux func(*Checkpoint)) (matrix.Dense, *Report, error) {
 
 	be := f.opts.Backend
 	if be == nil {
@@ -432,7 +440,44 @@ func (f *Framework) driver(ctx context.Context, name string, ring semiring.Semir
 	var lastSet *matrix.SparseVec                       // what is currently scattered into fDense
 	prev := Decision{UseIP: true, HW: sim.HWConfig(-1)} // sentinel: first iteration always "reconfigures" freely
 
-	for iter := 0; iter < maxIters; iter++ {
+	cc := CheckpointFromContext(ctx)
+	startIter := 0
+	if cc != nil && cc.Resume != nil {
+		cp := cc.Resume
+		if cp.Algo != name {
+			return vals, rep, fmt.Errorf("runtime: checkpoint was taken by %q, cannot resume %s", cp.Algo, name)
+		}
+		if int(cp.N) != n {
+			return vals, rep, fmt.Errorf("runtime: checkpoint covers %d vertices, graph has %d", cp.N, n)
+		}
+		vals = cp.Vals.Clone()
+		frontier = cloneSparse(cp.Frontier)
+		lastSet = cloneSparse(cp.LastSet)
+		if lastSet != nil {
+			// Rebuild the dense IP buffer functionally (no cycles
+			// charged): it holds identity everywhere except the last
+			// scattered set, exactly what FrontierDense left behind.
+			fDense = make(matrix.Dense, n)
+			for i := range fDense {
+				fDense[i] = ring.Identity
+			}
+			for k, ix := range lastSet.Idx {
+				fDense[ix] = lastSet.Val[k]
+			}
+		}
+		if cp.HavePrev {
+			prev = Decision{UseIP: cp.PrevUseIP, HW: sim.HWConfig(cp.PrevHW)}
+		}
+		trace.preload(cp.Trace, int(cp.TotalIters), int(cp.DroppedIters))
+		rep.TotalCycles = cp.TotalCycles
+		rep.TotalWall = time.Duration(cp.TotalWallNs)
+		rep.EnergyJ = cp.EnergyJ
+		rep.Stats = cp.Stats
+		rep.Resumed, rep.ResumedIter = true, int(cp.Iter)
+		startIter = int(cp.Iter)
+	}
+
+	for iter := startIter; iter < maxIters; iter++ {
 		if err := ctx.Err(); err != nil {
 			return vals, rep, fmt.Errorf("runtime: %s stopped after %d iterations: %w", name, trace.total, err)
 		}
@@ -534,6 +579,15 @@ func (f *Framework) driver(ctx context.Context, name string, ring semiring.Semir
 		}
 
 		frontier = next
+		if cc != nil && cc.Sink != nil && cc.Every > 0 && (iter+1)%cc.Every == 0 && iter+1 < maxIters {
+			cp := f.snapshot(name, iter+1, vals, frontier, lastSet, true, prev, rep, trace)
+			if aux != nil {
+				aux(cp)
+			}
+			if err := cc.Sink(cp); err != nil {
+				return vals, rep, fmt.Errorf("runtime: %s checkpoint at iteration %d failed: %w", name, iter+1, err)
+			}
+		}
 	}
 	return vals, rep, nil
 }

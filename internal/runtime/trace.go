@@ -50,6 +50,22 @@ func (r *iterRing) push(st IterStat) {
 	r.dropped++
 }
 
+// preload seeds the ring from a checkpoint: entries are the retained
+// window in iteration order, total/dropped the exact counters at the
+// snapshot. If the window exceeds the ring's own bound (the cap
+// changed between runs), only the most recent capN entries survive and
+// the overflow is counted as dropped, mirroring push semantics.
+func (r *iterRing) preload(entries []IterStat, total, dropped int) {
+	if r.capN > 0 && len(entries) > r.capN {
+		dropped += len(entries) - r.capN
+		entries = entries[len(entries)-r.capN:]
+	}
+	r.buf = append([]IterStat(nil), entries...)
+	r.start = 0
+	r.total = total
+	r.dropped = dropped
+}
+
 // slice returns the retained entries in iteration order. The returned
 // slice aliases the ring only when it never wrapped.
 func (r *iterRing) slice() []IterStat {

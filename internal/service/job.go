@@ -105,17 +105,25 @@ const (
 
 // JobStatus is the JSON view of a job (GET /v1/jobs/{id}).
 type JobStatus struct {
-	ID       string     `json:"id"`
-	GraphID  string     `json:"graph_id"`
-	Algo     string     `json:"algo"`
-	System   string     `json:"system"`
-	State    JobState   `json:"state"`
-	Retries  int        `json:"retries,omitempty"`
-	Error    string     `json:"error,omitempty"`
-	Result   *JobResult `json:"result,omitempty"`
-	Created  time.Time  `json:"created"`
-	Started  *time.Time `json:"started,omitempty"`
-	Finished *time.Time `json:"finished,omitempty"`
+	ID      string   `json:"id"`
+	GraphID string   `json:"graph_id"`
+	Algo    string   `json:"algo"`
+	System  string   `json:"system"`
+	State   JobState `json:"state"`
+	Retries int      `json:"retries,omitempty"`
+	// Resumed marks a job recovered from the durability journal after a
+	// restart (it continues from its last checkpoint when one exists).
+	Resumed bool `json:"resumed,omitempty"`
+	// CheckpointIter is the iteration of the most recent persisted
+	// checkpoint; CheckpointAgeSeconds how long ago it was written.
+	// Absent until the first checkpoint lands.
+	CheckpointIter       int        `json:"checkpoint_iter,omitempty"`
+	CheckpointAgeSeconds float64    `json:"checkpoint_age_seconds,omitempty"`
+	Error                string     `json:"error,omitempty"`
+	Result               *JobResult `json:"result,omitempty"`
+	Created              time.Time  `json:"created"`
+	Started              *time.Time `json:"started,omitempty"`
+	Finished             *time.Time `json:"finished,omitempty"`
 }
 
 // Job is one scheduled algorithm run.
@@ -136,9 +144,23 @@ type Job struct {
 	// transition.
 	release func()
 
-	mu       sync.Mutex
-	state    JobState
-	retries  int // completed backoff re-runs after transient failures
+	// timeout is the job's effective deadline budget, kept so the
+	// durability journal can restore an equivalent deadline on
+	// recovery.
+	timeout time.Duration
+	// recovered marks a job re-enqueued from the journal on startup.
+	recovered bool
+
+	mu    sync.Mutex
+	state JobState
+	// resumed marks a run that actually restored a persisted checkpoint
+	// (recovered jobs without a usable snapshot restart from scratch and
+	// stay false).
+	resumed bool
+	retries int // completed backoff re-runs after transient failures
+	// ckptIter/ckptAt track the most recent persisted checkpoint.
+	ckptIter int
+	ckptAt   time.Time
 	errMsg   string
 	result   *JobResult
 	created  time.Time
@@ -175,9 +197,14 @@ func (j *Job) Status() JobStatus {
 		System:  j.sys.String(),
 		State:   j.state,
 		Retries: j.retries,
+		Resumed: j.resumed,
 		Error:   j.errMsg,
 		Result:  j.result,
 		Created: j.created,
+	}
+	if !j.ckptAt.IsZero() {
+		st.CheckpointIter = j.ckptIter
+		st.CheckpointAgeSeconds = time.Since(j.ckptAt).Seconds()
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -188,6 +215,13 @@ func (j *Job) Status() JobStatus {
 		st.Finished = &t
 	}
 	return st
+}
+
+// markResumed records that the run restored a persisted checkpoint.
+func (j *Job) markResumed() {
+	j.mu.Lock()
+	j.resumed = true
+	j.mu.Unlock()
 }
 
 // setTrace stores the run's report for the trace endpoint. Retries
@@ -239,6 +273,14 @@ func (j *Job) Retries() int {
 func (j *Job) noteRetry() {
 	j.mu.Lock()
 	j.retries++
+	j.mu.Unlock()
+}
+
+// noteCheckpoint records a persisted checkpoint for the status API.
+func (j *Job) noteCheckpoint(iter int) {
+	j.mu.Lock()
+	j.ckptIter = iter
+	j.ckptAt = time.Now()
 	j.mu.Unlock()
 }
 

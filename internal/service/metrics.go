@@ -141,6 +141,17 @@ type Metrics struct {
 	HTTPRequests atomic.Int64
 	HTTPInFlight atomic.Int64 // gauge: requests currently being served
 
+	// Durability (WAL journal + checkpoints; all zero when the daemon
+	// runs without -data-dir).
+	JournalBytes       atomic.Int64 // counter: journal bytes committed (frames incl. headers)
+	CheckpointsWritten atomic.Int64 // counter: checkpoint snapshots persisted
+	CheckpointFailures atomic.Int64 // counter: snapshot writes that failed (job kept running)
+	// Jobs re-enqueued by startup recovery, by outcome: resumed from a
+	// checkpoint, restarted from scratch, or unrecoverable.
+	JobsRecoveredResumed   atomic.Int64
+	JobsRecoveredRestarted atomic.Int64
+	JobsRecoveredFailed    atomic.Int64
+
 	// Simulated memory-system totals accumulated over finished jobs,
 	// split by direction (reads are demand/stream fetches, writes are
 	// dirty-line writebacks — see internal/sim).
@@ -257,6 +268,13 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	gauge("cosparsed_engine_cache_size", "Prepared engines currently cached.", m.EngineCacheSize.Load())
 	counter("cosparsed_http_requests_total", "HTTP requests served.", m.HTTPRequests.Load())
 	gauge("cosparsed_http_in_flight", "HTTP requests currently being served.", m.HTTPInFlight.Load())
+	counter("cosparsed_journal_bytes_total", "Bytes committed to the durability journal (framed records, fsynced).", m.JournalBytes.Load())
+	counter("cosparsed_checkpoints_written_total", "Checkpoint snapshots persisted for running jobs.", m.CheckpointsWritten.Load())
+	counter("cosparsed_checkpoint_failures_total", "Checkpoint snapshot writes that failed (the job kept running).", m.CheckpointFailures.Load())
+	fmt.Fprintf(w, "# HELP cosparsed_jobs_recovered_total Jobs re-enqueued by startup recovery, by outcome.\n# TYPE cosparsed_jobs_recovered_total counter\n")
+	fmt.Fprintf(w, "cosparsed_jobs_recovered_total{outcome=\"resumed\"} %d\n", m.JobsRecoveredResumed.Load())
+	fmt.Fprintf(w, "cosparsed_jobs_recovered_total{outcome=\"restarted\"} %d\n", m.JobsRecoveredRestarted.Load())
+	fmt.Fprintf(w, "cosparsed_jobs_recovered_total{outcome=\"failed\"} %d\n", m.JobsRecoveredFailed.Load())
 	counter("cosparsed_sim_hbm_read_lines_total", "Simulated HBM lines read (demand + stream fetches) across finished jobs.", m.SimHBMReadLines.Load())
 	counter("cosparsed_sim_hbm_write_lines_total", "Simulated HBM lines written (dirty-line writebacks) across finished jobs.", m.SimHBMWriteLines.Load())
 	counter("cosparsed_sim_hbm_read_queued_cycles_total", "Simulated HBM channel queueing cycles on the read side across finished jobs.", m.SimHBMReadQueued.Load())

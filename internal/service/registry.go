@@ -307,6 +307,41 @@ func (r *Registry) Register(spec GraphSpec) (*GraphEntry, error) {
 	return e, nil
 }
 
+// Restore rebuilds a journal-recovered graph under its original id.
+// Specs build deterministically (seeded generators, inline edge
+// lists), so the restored graph is identical to the one registered
+// before the crash. Called only during startup recovery; nextID is
+// bumped past every restored id so fresh registrations never collide.
+func (r *Registry) Restore(id string, spec GraphSpec) error {
+	g, err := spec.Build(r.maxVertices, r.maxEdges)
+	if err != nil {
+		return fmt.Errorf("rebuild graph %s: %w", id, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.graphs[id]; dup {
+		return fmt.Errorf("graph %s already restored", id)
+	}
+	if len(r.graphs) >= r.maxGraphs {
+		return fmt.Errorf("registry full restoring %s (limit %d)", id, r.maxGraphs)
+	}
+	est := EstimateGraphBytes(g.NumVertices(), g.NumEdges())
+	if err := r.admitLocked(est); err != nil {
+		return fmt.Errorf("restore graph %s: %w", id, err)
+	}
+	var n int
+	if _, err := fmt.Sscanf(id, "g%d", &n); err == nil && n > r.nextID {
+		r.nextID = n
+	}
+	e := &GraphEntry{ID: id, Spec: spec, Graph: g, bytes: est}
+	r.graphs[id] = e
+	r.usedBytes += est
+	r.m.GraphBytes.Store(r.usedBytes)
+	r.m.GraphsRegistered.Store(int64(len(r.graphs)))
+	r.m.GraphsCreated.Add(1)
+	return nil
+}
+
 // Get returns the entry for id, or nil.
 func (r *Registry) Get(id string) *GraphEntry {
 	r.mu.Lock()

@@ -99,6 +99,21 @@ type Scheduler struct {
 	// worker in a known state.
 	beforeRun func(*Job)
 
+	// Durability hooks (all optional; nil when the service runs without
+	// a data dir). onSubmit runs under the scheduler lock after the id
+	// is assigned but before the job becomes visible — an error vetoes
+	// the submission, so a job the journal could not record never runs.
+	// onStart/onRetry/onFinish record the matching transitions from the
+	// worker goroutine, after the in-memory transition succeeded.
+	onSubmit func(*Job) error
+	onStart  func(*Job)
+	onRetry  func(*Job)
+	onFinish func(j *Job, state JobState, errMsg string)
+	// durable switches Drain to journal-preserving semantics: queued
+	// jobs are left unsettled (their journal records stay live) so a
+	// restart re-enqueues them, instead of being failed.
+	durable bool
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string // insertion order for listings
@@ -150,29 +165,93 @@ func (s *Scheduler) SubmitJob(j *Job, timeout time.Duration) error {
 		}
 		return ErrClosed
 	}
-	j.id = fmt.Sprintf("j%d", s.nextID+1)
-	j.created = time.Now()
-	j.state = JobQueued
-	j.done = make(chan struct{})
-	j.ctx, j.cancel = context.WithTimeout(context.Background(), timeout)
-	// The enqueue attempt stays under the lock (it never blocks) so a
-	// rejected submission spends no id and a worker can only see jobs
-	// that are already in the map.
-	select {
-	case s.queue <- j:
-		s.nextID++
-		s.jobs[j.id] = j
-		s.order = append(s.order, j.id)
+	// Capacity is checked under the lock before the id is spent or the
+	// journal written: workers only ever remove from the queue, so a
+	// non-full queue here guarantees the send below cannot block. A
+	// rejected submission therefore spends no id and writes no journal
+	// record.
+	if len(s.queue) == cap(s.queue) {
 		s.mu.Unlock()
-		s.m.JobsSubmitted.Add(1)
-		s.m.JobsQueued.Add(1)
-		return nil
-	default:
-		s.mu.Unlock()
-		j.cancel()
+		// No context exists yet — nothing to cancel; the caller
+		// releases its graph pin.
 		s.m.JobsRejected.Add(1)
 		return ErrQueueFull
 	}
+	j.id = fmt.Sprintf("j%d", s.nextID+1)
+	j.created = time.Now()
+	j.state = JobQueued
+	j.timeout = timeout
+	j.done = make(chan struct{})
+	j.ctx, j.cancel = context.WithTimeout(context.Background(), timeout)
+	if s.onSubmit != nil {
+		// Journal the submission while the job is still invisible; an
+		// append failure vetoes the job (durability is the contract).
+		// The fsync under the scheduler lock briefly serializes
+		// submissions, which is the price of "accepted means durable".
+		if err := s.onSubmit(j); err != nil {
+			s.mu.Unlock()
+			j.cancel()
+			return err
+		}
+	}
+	s.queue <- j
+	s.nextID++
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+	s.m.JobsSubmitted.Add(1)
+	s.m.JobsQueued.Add(1)
+	return nil
+}
+
+// Restore re-inserts a journal-recovered job under its original id and
+// enqueues it. Called only during startup recovery, before the HTTP
+// listener accepts traffic, so id collisions with fresh submissions
+// cannot happen (nextID is bumped past every restored id).
+func (s *Scheduler) Restore(j *Job, id string, timeout time.Duration, retries int) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if _, dup := s.jobs[id]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("service: job %q already restored", id)
+	}
+	if len(s.queue) == cap(s.queue) {
+		s.mu.Unlock()
+		return ErrQueueFull
+	}
+	j.id = id
+	j.created = time.Now()
+	j.state = JobQueued
+	j.timeout = timeout
+	j.retries = retries
+	j.recovered = true
+	j.done = make(chan struct{})
+	j.ctx, j.cancel = context.WithTimeout(context.Background(), timeout)
+	s.queue <- j
+	var n int
+	if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > s.nextID {
+		s.nextID = n
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	s.m.JobsSubmitted.Add(1)
+	s.m.JobsQueued.Add(1)
+	return nil
+}
+
+// ReserveIDs advances the id allocator past n, so ids of jobs that
+// settled before a restart (and so never pass through Restore) are not
+// reissued to fresh submissions.
+func (s *Scheduler) ReserveIDs(n int) {
+	s.mu.Lock()
+	if n > s.nextID {
+		s.nextID = n
+	}
+	s.mu.Unlock()
 }
 
 // Get returns the job by id, or nil.
@@ -214,9 +293,27 @@ func (s *Scheduler) Cancel(id string) bool {
 	queued := j.state == JobQueued
 	j.mu.Unlock()
 	if queued {
-		if j.finish(JobCancelled, nil, "cancelled by client") {
-			s.m.JobsCancelled.Add(1)
-		}
+		s.settle(j, JobCancelled, nil, "cancelled by client")
+	}
+	return true
+}
+
+// settle drives the job's terminal transition, counts it, and journals
+// it through onFinish. Only the first settle of a job wins.
+func (s *Scheduler) settle(j *Job, state JobState, res *JobResult, errMsg string) bool {
+	if !j.finish(state, res, errMsg) {
+		return false
+	}
+	switch state {
+	case JobDone:
+		s.m.JobsDone.Add(1)
+	case JobFailed:
+		s.m.JobsFailed.Add(1)
+	case JobCancelled:
+		s.m.JobsCancelled.Add(1)
+	}
+	if s.onFinish != nil {
+		s.onFinish(j, state, errMsg)
 	}
 	return true
 }
@@ -247,11 +344,9 @@ func (s *Scheduler) process(j *Job) {
 		// was settled by its canceller; a deadlined one settles here.
 		j.cancel()
 		if errors.Is(err, context.Canceled) {
-			if j.finish(JobCancelled, nil, err.Error()) {
-				s.m.JobsCancelled.Add(1)
-			}
-		} else if j.finish(JobFailed, nil, "job deadline expired while queued: "+err.Error()) {
-			s.m.JobsFailed.Add(1)
+			s.settle(j, JobCancelled, nil, err.Error())
+		} else {
+			s.settle(j, JobFailed, nil, "job deadline expired while queued: "+err.Error())
 		}
 		return
 	}
@@ -261,22 +356,19 @@ func (s *Scheduler) process(j *Job) {
 		j.cancel()
 		return
 	}
+	if s.onStart != nil {
+		s.onStart(j)
+	}
 	s.m.JobsRunning.Add(1)
 	res, err := s.execute(j)
 	s.m.JobsRunning.Add(-1)
 	switch {
 	case err == nil:
-		if j.finish(JobDone, res, "") {
-			s.m.JobsDone.Add(1)
-		}
+		s.settle(j, JobDone, res, "")
 	case errors.Is(err, context.Canceled):
-		if j.finish(JobCancelled, nil, err.Error()) {
-			s.m.JobsCancelled.Add(1)
-		}
+		s.settle(j, JobCancelled, nil, err.Error())
 	default:
-		if j.finish(JobFailed, nil, err.Error()) {
-			s.m.JobsFailed.Add(1)
-		}
+		s.settle(j, JobFailed, nil, err.Error())
 	}
 	j.cancel() // release the deadline timer
 }
@@ -295,6 +387,9 @@ func (s *Scheduler) execute(j *Job) (*JobResult, error) {
 		}
 		s.m.JobsRetried.Add(1)
 		j.noteRetry()
+		if s.onRetry != nil {
+			s.onRetry(j)
+		}
 		timer := time.NewTimer(s.retry.backoff(j.id, attempt))
 		select {
 		case <-timer.C:
@@ -337,17 +432,20 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 	s.closed, s.draining = true, true
 	s.mu.Unlock()
 
-	// Fail everything still queued. Workers may race us for individual
-	// jobs; those run to completion, which only improves on the
-	// contract.
+	// Drain the queue. Workers may race us for individual jobs; those
+	// run to completion, which only improves on the contract. In
+	// durable mode queued jobs are left unsettled: their submit records
+	// stay live in the journal with no terminal transition, so the next
+	// startup re-enqueues them — the queue survives the restart instead
+	// of being failed.
 drainQueue:
 	for {
 		select {
 		case j := <-s.queue:
 			s.m.JobsQueued.Add(-1)
 			j.cancel()
-			if j.finish(JobFailed, nil, "server draining: queued job abandoned before running") {
-				s.m.JobsFailed.Add(1)
+			if !s.durable {
+				s.settle(j, JobFailed, nil, "server draining: queued job abandoned before running")
 			}
 		default:
 			break drainQueue
@@ -397,13 +495,15 @@ func (s *Scheduler) Close() {
 	}
 	close(s.quit)
 	s.wg.Wait()
-	// Settle anything still queued after the workers stopped.
+	// Settle anything still queued after the workers stopped. In
+	// durable mode the jobs stay unsettled so a restart re-enqueues
+	// them (same contract as Drain).
 	for {
 		select {
 		case j := <-s.queue:
 			s.m.JobsQueued.Add(-1)
-			if j.finish(JobCancelled, nil, "server shutting down") {
-				s.m.JobsCancelled.Add(1)
+			if !s.durable {
+				s.settle(j, JobCancelled, nil, "server shutting down")
 			}
 		default:
 			return

@@ -18,6 +18,7 @@ import (
 
 	"cosparse"
 	"cosparse/internal/fault"
+	"cosparse/internal/store"
 )
 
 // Config tunes a Service. Zero fields take the documented defaults.
@@ -76,6 +77,21 @@ type Config struct {
 	// (including partial runs) with the job's iteration trace — the
 	// daemon-side form of the CLI's -trace flag. Writes are serialized.
 	TraceSink io.Writer
+	// DataDir, when non-empty, enables durability: a WAL journal of
+	// graph and job lifecycle transitions plus periodic checkpoint
+	// snapshots of running jobs, replayed on startup by Open. Empty
+	// (the default) keeps the service fully in-memory; New ignores
+	// this field.
+	DataDir string
+	// CheckpointEvery is the iteration interval between checkpoint
+	// snapshots of running jobs when DataDir is set (default 16;
+	// negative disables snapshotting while keeping the journal).
+	CheckpointEvery int
+	// JournalSegmentBytes rotates journal segments (default 4 MiB).
+	JournalSegmentBytes int64
+	// StoreNoSync skips fsync in the durability store (tests only; it
+	// voids the crash-consistency contract).
+	StoreNoSync bool
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +135,9 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 16
+	}
 	return c
 }
 
@@ -135,6 +154,13 @@ type Service struct {
 	// traceMu serializes JSONL writes to cfg.TraceSink (jobs finish on
 	// concurrent workers).
 	traceMu sync.Mutex
+	// db is the durability store (journal + snapshots); nil when the
+	// service runs without a data dir. Every journal hook no-ops on
+	// nil, so the in-memory fast path is untouched.
+	db *store.Store
+	// recovered summarizes the last startup recovery (zero without
+	// one).
+	recovered RecoveryStats
 }
 
 // New assembles a Service (call Close when done).
@@ -153,11 +179,63 @@ func New(cfg Config) *Service {
 	s.reg.SetTraceCap(cfg.TraceCap)
 	s.sched = NewScheduler(cfg.Workers, cfg.QueueDepth, s.runJob, m)
 	s.sched.retry = cfg.Retry
+	s.sched.onStart = s.journalStart
+	s.sched.onRetry = s.journalRetry
+	s.sched.onFinish = s.journalFinish
 	return s
 }
 
-// Close drains the worker pool, cancelling live jobs.
-func (s *Service) Close() { s.sched.Close() }
+// Open assembles a Service with durability when cfg.DataDir is set: it
+// opens (creating if needed) the WAL journal and snapshot store under
+// the data dir, replays the journal, restores registered graphs,
+// re-enqueues every unfinished job (resuming from the latest valid
+// checkpoint where one exists), and compacts the journal to the live
+// state. With an empty DataDir it is exactly New.
+func Open(cfg Config) (*Service, error) {
+	s := New(cfg)
+	if s.cfg.DataDir == "" {
+		return s, nil
+	}
+	db, err := store.Open(s.cfg.DataDir, store.Options{
+		MaxSegmentBytes: s.cfg.JournalSegmentBytes,
+		NoSync:          s.cfg.StoreNoSync,
+		Faults:          s.cfg.Faults,
+		OnAppend:        func(n int) { s.m.JournalBytes.Add(int64(n)) },
+		Logf: func(format string, args ...any) {
+			s.log.Info(fmt.Sprintf(format, args...))
+		},
+	})
+	if err != nil {
+		s.sched.Close()
+		return nil, err
+	}
+	s.db = db
+	s.sched.durable = true
+	s.sched.onSubmit = s.journalSubmit
+	if err := s.recover(); err != nil {
+		s.sched.Close()
+		db.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Store exposes the durability store (nil without a data dir); the
+// daemon uses it for shutdown, tests for white-box assertions.
+func (s *Service) Store() *store.Store { return s.db }
+
+// Recovered reports what the last startup recovery found (zero values
+// without a data dir or on a fresh dir).
+func (s *Service) Recovered() RecoveryStats { return s.recovered }
+
+// Close drains the worker pool, cancelling live jobs, and closes the
+// durability store.
+func (s *Service) Close() {
+	s.sched.Close()
+	if s.db != nil {
+		s.db.Close()
+	}
+}
 
 // Drain stops the service gracefully: /readyz flips to 503, new
 // submissions are refused with ErrDraining, queued jobs are failed,
@@ -341,7 +419,10 @@ func (s *Service) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 		var be *BudgetError
 		switch {
 		case errors.As(err, &be):
-			// admitLocked already counted the rejection.
+			// admitLocked already counted the rejection. The budget
+			// frees up when graphs are deleted or jobs finish, so the
+			// condition is retryable — tell clients when to come back.
+			w.Header().Set("Retry-After", "5")
 			writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
 		case fault.IsTransient(err):
 			w.Header().Set("Retry-After", "1")
@@ -349,6 +430,14 @@ func (s *Service) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 		default:
 			writeError(w, http.StatusBadRequest, "%v", err)
 		}
+		return
+	}
+	if err := s.journalGraph(e.ID, spec); err != nil {
+		// Durable mode: a graph the journal cannot record would vanish
+		// on restart while jobs reference it. Unwind and refuse.
+		_ = s.reg.Delete(e.ID)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "journal write failed: %v", err)
 		return
 	}
 	info, _ := s.reg.Info(e.ID)
@@ -383,6 +472,7 @@ func (s *Service) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, "%v", err)
 		return
 	}
+	s.journalGraphDelete(r.PathValue("id"))
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("id")})
 }
 
@@ -507,6 +597,10 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 	if err := j.ctx.Err(); err != nil {
 		return nil, err
 	}
+	// With a data dir the run context carries the checkpoint config:
+	// periodic snapshots through the store, and the resume point for
+	// journal-recovered jobs. Without one this is j.ctx unchanged.
+	ctx := s.checkpointContext(j)
 
 	t0 := time.Now()
 	res := &JobResult{Algo: j.algo.String(), Backend: j.backend.String()}
@@ -514,7 +608,7 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 	switch j.algo {
 	case cosparse.AlgoBFS:
 		var out *cosparse.BFSResult
-		out, rep, err = ee.eng.BFSContext(j.ctx, j.req.Source)
+		out, rep, err = ee.eng.BFSContext(ctx, j.req.Source)
 		if err == nil {
 			for _, l := range out.Level {
 				if l >= 0 {
@@ -525,7 +619,7 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 		}
 	case cosparse.AlgoSSSP:
 		var dist []float32
-		dist, rep, err = ee.eng.SSSPContext(j.ctx, j.req.Source)
+		dist, rep, err = ee.eng.SSSPContext(ctx, j.req.Source)
 		if err == nil {
 			sum := 0.0
 			for _, d := range dist {
@@ -541,7 +635,7 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 		}
 	case cosparse.AlgoPageRank:
 		var pr []float32
-		pr, rep, err = ee.eng.PageRankContext(j.ctx, j.req.Iterations, float32(j.req.Alpha))
+		pr, rep, err = ee.eng.PageRankContext(ctx, j.req.Iterations, float32(j.req.Alpha))
 		if err == nil {
 			for i, v := range pr {
 				if float64(v) > res.TopScore {
@@ -551,7 +645,7 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 			res.Summary = fmt.Sprintf("pagerank(%d iters): top vertex %d score %.5f", j.req.Iterations, res.TopVertex, res.TopScore)
 		}
 	case cosparse.AlgoCF:
-		_, rep, err = ee.eng.CFContext(j.ctx, j.req.Iterations, float32(j.req.Beta), float32(j.req.Lambda))
+		_, rep, err = ee.eng.CFContext(ctx, j.req.Iterations, float32(j.req.Beta), float32(j.req.Lambda))
 		if err == nil {
 			res.Summary = fmt.Sprintf("cf trained %d iterations", j.req.Iterations)
 		}

@@ -1,0 +1,141 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cosparse/internal/fault"
+)
+
+// Snapshot files live next to the journal as snap-<jobID>.ckpt, with
+// the previous generation retained as snap-<jobID>.ckpt.prev. Writes
+// are atomic (temp file + rename); the .prev rotation means a crash at
+// any point leaves at least one intact checkpoint on disk, and a
+// corrupt current snapshot (torn rename window, bit rot caught by the
+// checkpoint CRC) still has a fallback.
+
+func snapName(jobID string) string { return "snap-" + jobID + ".ckpt" }
+
+// validJobID rejects ids that could escape the data directory. Real
+// ids are "j<N>"; anything with separators or traversal is hostile.
+func validJobID(id string) error {
+	if id == "" || strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") {
+		return fmt.Errorf("store: invalid job id %q", id)
+	}
+	return nil
+}
+
+// WriteSnapshot atomically persists a checkpoint for jobID, rotating
+// any existing snapshot to the .prev slot. The data is opaque to the
+// store (the runtime checkpoint codec owns the format and its CRC).
+func (s *Store) WriteSnapshot(jobID string, data []byte) error {
+	if err := validJobID(jobID); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.opt.Faults != nil {
+		if err := s.opt.Faults.Check(fault.SnapshotWrite); err != nil {
+			return fmt.Errorf("store: snapshot write: %w", err)
+		}
+	}
+	cur := filepath.Join(s.dir, snapName(jobID))
+	tmp := cur + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create snapshot temp: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := s.sync(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: close snapshot temp: %w", err)
+	}
+	// Rotate: cur -> prev (best effort; a missing cur is the first
+	// snapshot), then tmp -> cur. Rename is atomic on POSIX, so a
+	// crash between the two leaves prev valid and cur absent — the
+	// loader falls back.
+	if _, err := os.Stat(cur); err == nil {
+		if err := os.Rename(cur, cur+".prev"); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("store: rotate snapshot: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, cur); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: commit snapshot: %w", err)
+	}
+	return s.syncDir()
+}
+
+// LoadSnapshots returns the candidate checkpoint images for jobID,
+// newest first (current, then previous). Missing files are simply
+// absent from the result; an empty slice means no checkpoint exists.
+// Validation (CRC, version, shape) is the caller's job via the
+// checkpoint decoder.
+func (s *Store) LoadSnapshots(jobID string) ([][]byte, error) {
+	if err := validJobID(jobID); err != nil {
+		return nil, err
+	}
+	cur := filepath.Join(s.dir, snapName(jobID))
+	var out [][]byte
+	for _, path := range []string{cur, cur + ".prev"} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, fmt.Errorf("store: read snapshot: %w", err)
+		}
+		out = append(out, data)
+	}
+	return out, nil
+}
+
+// DeleteSnapshots removes every snapshot generation for jobID (current,
+// previous, and any orphaned temp). Missing files are not an error.
+func (s *Store) DeleteSnapshots(jobID string) error {
+	if err := validJobID(jobID); err != nil {
+		return err
+	}
+	cur := filepath.Join(s.dir, snapName(jobID))
+	var firstErr error
+	for _, path := range []string{cur, cur + ".prev", cur + ".tmp"} {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) && firstErr == nil {
+			firstErr = fmt.Errorf("store: delete snapshot: %w", err)
+		}
+	}
+	return firstErr
+}
+
+// SnapshotJobIDs lists the job ids that have a current snapshot on
+// disk, in directory order. Used by recovery to clean up snapshots for
+// jobs the journal says are settled.
+func (s *Store) SnapshotJobIDs() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan snapshots: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		ids = append(ids, strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".ckpt"))
+	}
+	return ids, nil
+}

@@ -1,0 +1,534 @@
+// Package store is cosparsed's durability layer: an append-only,
+// CRC-framed job journal plus binary checkpoint snapshots, both living
+// under a single data directory. The journal records every job and
+// graph lifecycle transition (submit/start/retry/finish, graph
+// register/delete) so that a crashed or killed daemon can rebuild its
+// queue on restart; snapshots hold mid-run algorithm state written
+// through the runtime checkpoint seam so interrupted jobs resume from
+// their last committed iteration instead of from scratch.
+//
+// Crash-consistency contract:
+//
+//   - A journal record is durable once Append returns: the frame
+//     (length + CRC32 + payload) is written and fsynced before the
+//     call completes. A crash mid-Append leaves a torn tail that the
+//     next Open detects by CRC and truncates — the journal never
+//     replays a partially written record.
+//   - Snapshots are atomic via write-to-temp + rename, with the
+//     previous snapshot retained as a fallback so a crash during
+//     snapshot replacement still leaves one valid checkpoint.
+//   - All durability I/O passes through the fault-injection points
+//     (store.journal_append, store.fsync, store.snapshot_write,
+//     store.recover_replay) so chaos tests can exercise every failure
+//     window deterministically.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"cosparse/internal/fault"
+)
+
+const (
+	// segMagic opens every journal segment file ("CSJ1").
+	segMagic uint32 = 0x43534a31
+	// segVersion is the journal format version; Open rejects segments
+	// written by a different version instead of guessing.
+	segVersion uint16 = 1
+	// segHeaderLen is magic(4) + version(2) + reserved(2).
+	segHeaderLen = 8
+	// frameHeaderLen is length(4) + crc32(4) per record.
+	frameHeaderLen = 8
+	// maxRecordLen bounds a single journal record; anything larger is
+	// corruption, not data (records are small JSON documents).
+	maxRecordLen = 16 << 20
+
+	// DefaultSegmentBytes rotates segments at 4 MiB so compaction
+	// never rewrites more than a bounded amount of history at once.
+	DefaultSegmentBytes = 4 << 20
+)
+
+// RecordType names a journal transition.
+type RecordType string
+
+const (
+	// RecGraph journals a graph registration (ID + the JSON spec that
+	// deterministically rebuilds it).
+	RecGraph RecordType = "graph"
+	// RecGraphDelete journals a graph deletion.
+	RecGraphDelete RecordType = "graph_delete"
+	// RecSubmit journals a job entering the queue, with the request
+	// body needed to re-run it.
+	RecSubmit RecordType = "submit"
+	// RecStart journals a worker picking the job up.
+	RecStart RecordType = "start"
+	// RecRetry journals a transient-failure retry.
+	RecRetry RecordType = "retry"
+	// RecFinish journals a terminal transition (done/failed/cancelled).
+	RecFinish RecordType = "finish"
+)
+
+// Record is one journal entry. Fields are populated per type; unused
+// fields are omitted from the encoded form.
+type Record struct {
+	Type RecordType `json:"type"`
+	// TimeUnixNs stamps the transition (wall clock, informational).
+	TimeUnixNs int64 `json:"time_unix_ns,omitempty"`
+
+	GraphID   string          `json:"graph_id,omitempty"`
+	GraphSpec json.RawMessage `json:"graph_spec,omitempty"`
+
+	JobID   string          `json:"job_id,omitempty"`
+	Request json.RawMessage `json:"request,omitempty"`
+	// TimeoutMS preserves the job's effective timeout so a recovered
+	// job keeps its original budget class.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	Retries   int   `json:"retries,omitempty"`
+	// State is the terminal state for RecFinish ("done", "failed",
+	// "cancelled").
+	State string `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// Options tunes a Store. The zero value is usable.
+type Options struct {
+	// MaxSegmentBytes rotates the active segment once it exceeds this
+	// size; zero means DefaultSegmentBytes.
+	MaxSegmentBytes int64
+	// NoSync skips fsync (tests only; production keeps the durability
+	// contract).
+	NoSync bool
+	// Faults, when non-nil, is consulted at every durability I/O
+	// boundary. Nil is fully disarmed.
+	Faults *fault.Injector
+	// OnAppend observes the number of journal bytes committed per
+	// Append (metrics hook). May be nil.
+	OnAppend func(n int)
+	// Logf receives recovery diagnostics (torn-tail truncation,
+	// compaction). May be nil.
+	Logf func(format string, args ...any)
+}
+
+// ReplayStats summarizes what Open found in the journal.
+type ReplayStats struct {
+	// Segments is the number of journal segment files scanned.
+	Segments int
+	// Records is the number of valid records replayed.
+	Records int
+	// TornBytes counts bytes discarded from a torn or corrupt tail of
+	// the final segment.
+	TornBytes int64
+	// Truncated reports whether a torn tail was discarded.
+	Truncated bool
+}
+
+// Store is the journal + snapshot handle for one data directory. All
+// methods are safe for concurrent use.
+type Store struct {
+	dir string
+	opt Options
+
+	mu       sync.Mutex
+	seg      *os.File
+	segIdx   int
+	segBytes int64
+	closed   bool
+
+	records []Record
+	replay  ReplayStats
+}
+
+// ErrClosed is returned by operations on a closed Store.
+var ErrClosed = errors.New("store: closed")
+
+func (o Options) segmentBytes() int64 {
+	if o.MaxSegmentBytes <= 0 {
+		return DefaultSegmentBytes
+	}
+	return o.MaxSegmentBytes
+}
+
+func (s *Store) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
+}
+
+func segName(idx int) string { return fmt.Sprintf("journal-%08d.wal", idx) }
+
+// segIndex parses the index out of a segment file name, returning -1
+// for names that are not journal segments.
+func segIndex(name string) int {
+	var idx int
+	if n, err := fmt.Sscanf(name, "journal-%08d.wal", &idx); err != nil || n != 1 {
+		return -1
+	}
+	if segName(idx) != name {
+		return -1
+	}
+	return idx
+}
+
+// Open opens (creating if needed) the durability store rooted at dir,
+// replaying every journal segment. A torn or corrupt tail on the final
+// segment is truncated; corruption anywhere else is an error (it means
+// a committed record was lost, which recovery must not paper over).
+func Open(dir string, opt Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create data dir: %w", err)
+	}
+	s := &Store{dir: dir, opt: opt}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan data dir: %w", err)
+	}
+	var segs []int
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if idx := segIndex(e.Name()); idx >= 0 {
+			segs = append(segs, idx)
+		}
+	}
+	sort.Ints(segs)
+
+	for i, idx := range segs {
+		last := i == len(segs)-1
+		removed, err := s.replaySegment(idx, last)
+		if err != nil {
+			return nil, err
+		}
+		if removed {
+			// A torn segment creation (crash before the header hit disk)
+			// was deleted; the previous segment is the append target.
+			segs = segs[:i]
+		}
+	}
+	s.replay.Segments = len(segs)
+	s.replay.Records = len(s.records)
+
+	if len(segs) == 0 {
+		if err := s.openSegment(1); err != nil {
+			return nil, err
+		}
+	} else {
+		last := segs[len(segs)-1]
+		f, err := os.OpenFile(filepath.Join(dir, segName(last)), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("store: reopen segment: %w", err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: stat segment: %w", err)
+		}
+		s.seg, s.segIdx, s.segBytes = f, last, st.Size()
+	}
+	return s, nil
+}
+
+// replaySegment reads one segment into s.records. When last is set, a
+// torn or corrupt frame tail truncates the file to its last valid
+// record, and a torn segment creation (file shorter than the header a
+// crash-free openSegment always leaves) removes the file entirely;
+// both cases report removed accordingly. Corruption anywhere else —
+// including a full header with the wrong magic or version — is a hard
+// error: that is a foreign or future-format file, not a crash artifact,
+// and recovery must not destroy it.
+func (s *Store) replaySegment(idx int, last bool) (removed bool, err error) {
+	path := filepath.Join(s.dir, segName(idx))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, fmt.Errorf("store: read segment: %w", err)
+	}
+	recs, good, verr := scanSegment(data)
+	for _, r := range recs {
+		if s.opt.Faults != nil {
+			if err := s.opt.Faults.Check(fault.RecoverReplay); err != nil {
+				return false, fmt.Errorf("store: replay %s: %w", segName(idx), err)
+			}
+		}
+		s.records = append(s.records, r)
+	}
+	if verr != nil {
+		headerBad := good < segHeaderLen
+		switch {
+		case !last, headerBad && int64(len(data)) >= segHeaderLen:
+			return false, fmt.Errorf("store: segment %s: %w", segName(idx), verr)
+		case headerBad:
+			s.logf("store: removing torn segment %s: %d bytes (%v)", segName(idx), len(data), verr)
+			if err := os.Remove(path); err != nil {
+				return false, fmt.Errorf("store: remove torn segment: %w", err)
+			}
+			s.replay.TornBytes += int64(len(data))
+			s.replay.Truncated = true
+			return true, nil
+		default:
+			torn := int64(len(data)) - good
+			s.logf("store: truncating torn tail of %s: %d bytes (%v)", segName(idx), torn, verr)
+			if err := os.Truncate(path, good); err != nil {
+				return false, fmt.Errorf("store: truncate torn tail: %w", err)
+			}
+			s.replay.TornBytes += torn
+			s.replay.Truncated = true
+		}
+	}
+	return false, nil
+}
+
+// scanSegment decodes all records in a segment image. It returns the
+// valid records, the byte offset up to which the segment is valid, and
+// the error that stopped the scan (nil when the whole segment parsed).
+func scanSegment(data []byte) (recs []Record, good int64, err error) {
+	if len(data) < segHeaderLen {
+		return nil, 0, fmt.Errorf("short segment header (%d bytes)", len(data))
+	}
+	if m := binary.LittleEndian.Uint32(data[0:4]); m != segMagic {
+		return nil, 0, fmt.Errorf("bad segment magic %#08x", m)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != segVersion {
+		return nil, 0, fmt.Errorf("unsupported journal version %d (want %d)", v, segVersion)
+	}
+	off := int64(segHeaderLen)
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if len(rest) < frameHeaderLen {
+			return recs, off, fmt.Errorf("torn frame header at offset %d", off)
+		}
+		length := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if length == 0 || length > maxRecordLen {
+			return recs, off, fmt.Errorf("implausible record length %d at offset %d", length, off)
+		}
+		if int64(len(rest)) < frameHeaderLen+int64(length) {
+			return recs, off, fmt.Errorf("torn record at offset %d", off)
+		}
+		payload := rest[frameHeaderLen : frameHeaderLen+int64(length)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, off, fmt.Errorf("record CRC mismatch at offset %d", off)
+		}
+		var r Record
+		if jerr := json.Unmarshal(payload, &r); jerr != nil {
+			return recs, off, fmt.Errorf("record decode at offset %d: %w", off, jerr)
+		}
+		recs = append(recs, r)
+		off += frameHeaderLen + int64(length)
+	}
+	return recs, off, nil
+}
+
+// openSegment creates a fresh segment with a header and makes it the
+// active append target. Caller holds s.mu (or is still in Open).
+func (s *Store) openSegment(idx int) error {
+	path := filepath.Join(s.dir, segName(idx))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create segment: %w", err)
+	}
+	hdr := make([]byte, segHeaderLen)
+	binary.LittleEndian.PutUint32(hdr[0:4], segMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], segVersion)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("store: write segment header: %w", err)
+	}
+	if err := s.sync(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := s.syncDir(); err != nil {
+		f.Close()
+		return err
+	}
+	if s.seg != nil {
+		s.seg.Close()
+	}
+	s.seg, s.segIdx, s.segBytes = f, idx, segHeaderLen
+	return nil
+}
+
+// sync commits a file, respecting NoSync and the fsync fault point.
+func (s *Store) sync(f *os.File) error {
+	if s.opt.Faults != nil {
+		if err := s.opt.Faults.Check(fault.StoreSync); err != nil {
+			return fmt.Errorf("store: fsync: %w", err)
+		}
+	}
+	if s.opt.NoSync {
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs the data directory so renames and creates are durable.
+func (s *Store) syncDir() error {
+	if s.opt.NoSync {
+		return nil
+	}
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
+	return nil
+}
+
+// Append journals one record. On return the record is durable (framed,
+// written, fsynced); any error means the record must be treated as not
+// written.
+func (s *Store) Append(r Record) error {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("store: encode record: %w", err)
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderLen:], payload)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.opt.Faults != nil {
+		if err := s.opt.Faults.Check(fault.JournalAppend); err != nil {
+			return fmt.Errorf("store: journal append: %w", err)
+		}
+	}
+	if _, err := s.seg.Write(frame); err != nil {
+		return fmt.Errorf("store: journal write: %w", err)
+	}
+	if err := s.sync(s.seg); err != nil {
+		return err
+	}
+	s.segBytes += int64(len(frame))
+	if s.opt.OnAppend != nil {
+		s.opt.OnAppend(len(frame))
+	}
+	if s.segBytes >= s.opt.segmentBytes() {
+		if err := s.openSegment(s.segIdx + 1); err != nil {
+			// The record itself is committed; rotation failure only
+			// delays the split until the next append.
+			s.logf("store: segment rotation failed: %v", err)
+		}
+	}
+	return nil
+}
+
+// Replay returns the records recovered at Open (in journal order) and
+// the replay statistics. The returned slice is shared; callers must
+// not mutate it.
+func (s *Store) Replay() ([]Record, ReplayStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.records, s.replay
+}
+
+// Compact rewrites the journal to exactly the live records, dropping
+// all history for settled jobs, then deletes the superseded segments.
+// Appends continue into the freshly written segment.
+func (s *Store) Compact(live []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	old := s.segIdx
+	if err := s.openSegment(old + 1); err != nil {
+		return err
+	}
+	for _, r := range live {
+		payload, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("store: encode record: %w", err)
+		}
+		frame := make([]byte, frameHeaderLen+len(payload))
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+		copy(frame[frameHeaderLen:], payload)
+		if _, err := s.seg.Write(frame); err != nil {
+			return fmt.Errorf("store: compaction write: %w", err)
+		}
+		s.segBytes += int64(len(frame))
+	}
+	if err := s.sync(s.seg); err != nil {
+		return err
+	}
+	// The new segment is durable; old segments are now dead weight.
+	removed := 0
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: scan for compaction: %w", err)
+	}
+	for _, e := range entries {
+		if idx := segIndex(e.Name()); idx >= 0 && idx <= old {
+			if err := os.Remove(filepath.Join(s.dir, e.Name())); err != nil {
+				s.logf("store: compaction could not remove %s: %v", e.Name(), err)
+				continue
+			}
+			removed++
+		}
+	}
+	if err := s.syncDir(); err != nil {
+		return err
+	}
+	s.logf("store: compacted journal to %d live records, removed %d segments", len(live), removed)
+	return nil
+}
+
+// Dir returns the data directory the store is rooted at.
+func (s *Store) Dir() string { return s.dir }
+
+// Close syncs and closes the active segment. Further operations fail
+// with ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.seg == nil {
+		return nil
+	}
+	var firstErr error
+	if !s.opt.NoSync {
+		if err := s.seg.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := s.seg.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	s.seg = nil
+	return firstErr
+}
+
+// ScanSegment is the exported decoder over a raw segment image, used
+// by fuzzing to drive the frame parser with hostile inputs. It returns
+// the records that parsed and the error that stopped the scan, and is
+// guaranteed never to panic.
+func ScanSegment(data []byte) ([]Record, error) {
+	recs, _, err := scanSegment(data)
+	return recs, err
+}
+
+var _ io.Closer = (*Store)(nil)
