@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race regress chaos chaos-restart fuzz check bench bench-backends bench-checkpoint clean
+.PHONY: all build vet lint test race regress chaos chaos-restart fuzz check bench bench-backends bench-batch bench-checkpoint clean
 
 all: check
 
@@ -18,7 +18,7 @@ lint: vet
 test:
 	$(GO) test ./...
 
-race: regress chaos chaos-restart fuzz bench-backends
+race: regress chaos chaos-restart fuzz bench-backends bench-batch
 	$(GO) test -race -short ./...
 
 # regress pins the stats-accounting fixes under the race detector: the
@@ -31,6 +31,7 @@ regress:
 	$(GO) test -race -count=1 -run 'TestObserveJobConcurrentExact|TestWritePrometheusDuringObservations|TestTraceEndpointMatchesReport|TestHTTPLatencyHistograms' ./internal/service
 	$(GO) test -race -count=1 -run 'TestSimBackendTimingsPinned' ./internal/runtime
 	$(GO) test -race -count=1 -run 'TestBackendEquivalence|TestBackendsMatchBaselineSpMV' .
+	$(GO) test -race -count=1 -run 'TestBatchEquivalence|TestBatchPPRLanesDiffer' .
 
 # chaos runs the fault-injection suite under the race detector: hundreds
 # of jobs against an armed injector (panics, transient errors, latency)
@@ -53,6 +54,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzScanSegment -fuzztime=10s ./internal/store
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeCheckpoint -fuzztime=10s ./internal/runtime
 	$(GO) test -run='^$$' -fuzz=FuzzJobSubmitBody -fuzztime=10s ./internal/service
+	$(GO) test -run='^$$' -fuzz=FuzzBatchSubmitBody -fuzztime=10s ./internal/service
 
 # check is the tier-1 gate: everything must pass before a commit.
 check: lint build race
@@ -63,8 +65,21 @@ bench:
 # bench-backends times the same PageRank run through the sim and native
 # execution backends on a scale-16 power-law graph and writes
 # BENCH_backends.json; it fails if native is not >= 10x faster.
+# GOMAXPROCS is pinned to 1 so the headline numbers are
+# scheduling-stable; the test adds a full-parallelism native leg
+# internally.
 bench-backends:
-	BENCH_BACKENDS=1 $(GO) test -count=1 -run TestBenchBackends -v .
+	GOMAXPROCS=1 BENCH_BACKENDS=1 $(GO) test -count=1 -run TestBenchBackends -v .
+
+# bench-batch measures multi-source job fusion end to end: 64
+# concurrent clients submit the same-graph native workload to a batched
+# and an unbatched service; results land in BENCH_batch.json and the
+# run fails if fusion is not >= 2x jobs/sec. Part of the race tier, but
+# the benchmark binary itself is built without -race: tsan's shadow
+# memory skews the fused/solo ratio into noise, and the coalescer's
+# rendezvous is already race-tested by regress and the chaos suites.
+bench-batch:
+	BENCH_BATCH=1 $(GO) test -count=1 -run TestBenchBatch -v -timeout 600s ./internal/service
 
 # bench-checkpoint measures the wall-clock cost of checkpointing native
 # PageRank at the service's default interval (snapshots through the

@@ -20,13 +20,16 @@ const (
 	AlgoPageRank
 	// AlgoCF is collaborative-filtering gradient descent.
 	AlgoCF
+	// AlgoPPR is personalized PageRank (random walk with restart from
+	// a single seed vertex).
+	AlgoPPR
 )
 
 // Algos lists every built-in algorithm in canonical order.
-func Algos() []Algo { return []Algo{AlgoBFS, AlgoSSSP, AlgoPageRank, AlgoCF} }
+func Algos() []Algo { return []Algo{AlgoBFS, AlgoSSSP, AlgoPageRank, AlgoCF, AlgoPPR} }
 
 // String returns the canonical lower-case name ("bfs", "sssp", "pr",
-// "cf"), accepted back by ParseAlgo.
+// "cf", "ppr"), accepted back by ParseAlgo.
 func (a Algo) String() string {
 	switch a {
 	case AlgoBFS:
@@ -37,13 +40,15 @@ func (a Algo) String() string {
 		return "pr"
 	case AlgoCF:
 		return "cf"
+	case AlgoPPR:
+		return "ppr"
 	}
 	return fmt.Sprintf("Algo(%d)", int(a))
 }
 
 // NeedsSource reports whether the algorithm takes a source vertex
-// (BFS, SSSP) rather than an iteration count (PR, CF).
-func (a Algo) NeedsSource() bool { return a == AlgoBFS || a == AlgoSSSP }
+// (BFS, SSSP, PPR's seed) rather than only an iteration count (PR, CF).
+func (a Algo) NeedsSource() bool { return a == AlgoBFS || a == AlgoSSSP || a == AlgoPPR }
 
 // ValueMode returns the edge-value mode the algorithm expects from
 // generated graphs: Weighted for SSSP/CF, Unweighted for BFS/PR.
@@ -55,8 +60,9 @@ func (a Algo) ValueMode() ValueMode {
 }
 
 // ParseAlgo parses an algorithm name, case-insensitively. It accepts
-// the canonical names ("bfs", "sssp", "pr", "cf") plus the common
-// aliases "pagerank" and "collaborative-filtering".
+// the canonical names ("bfs", "sssp", "pr", "cf", "ppr") plus the
+// common aliases "pagerank", "collaborative-filtering" and
+// "personalized-pagerank".
 func ParseAlgo(s string) (Algo, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "bfs":
@@ -67,6 +73,8 @@ func ParseAlgo(s string) (Algo, error) {
 		return AlgoPageRank, nil
 	case "cf", "collaborative-filtering":
 		return AlgoCF, nil
+	case "ppr", "personalized-pagerank":
+		return AlgoPPR, nil
 	}
-	return 0, fmt.Errorf("cosparse: unknown algorithm %q (want bfs, sssp, pr, cf)", s)
+	return 0, fmt.Errorf("cosparse: unknown algorithm %q (want bfs, sssp, pr, cf, ppr)", s)
 }

@@ -3,9 +3,12 @@ package cosparse
 // Backend wall-clock comparison (the `make bench-backends` target):
 // the same PageRank run on a scale-16 power-law graph through the
 // trace-driven sim backend and the goroutine-parallel native backend.
-// Gated behind BENCH_BACKENDS because the sim leg simulates every
-// memory event of a million-edge graph; results land in
-// BENCH_backends.json for trend tracking.
+// The make target pins GOMAXPROCS=1 so the sim-vs-native-1p numbers
+// are scheduling-stable across hosts; a second native leg at full host
+// parallelism measures what the goroutine pool actually buys. Gated
+// behind BENCH_BACKENDS because the sim leg simulates every memory
+// event of a million-edge graph; results land in BENCH_backends.json
+// for trend tracking.
 
 import (
 	"encoding/json"
@@ -43,30 +46,47 @@ func TestBenchBackends(t *testing.T) {
 		}
 		return time.Since(t0)
 	}
+
+	// Pinned legs at the environment's GOMAXPROCS (1 under make).
+	pinned := runtime.GOMAXPROCS(0)
 	simWall := run(SimBackend)
-	natWall := run(NativeBackend)
-	speedup := simWall.Seconds() / natWall.Seconds()
+	nat1p := run(NativeBackend)
+
+	// Full-parallelism native leg on every host core.
+	mp := runtime.NumCPU()
+	runtime.GOMAXPROCS(mp)
+	natMP := run(NativeBackend)
+	runtime.GOMAXPROCS(pinned)
+
+	speedup := simWall.Seconds() / natMP.Seconds()
+	scaling := nat1p.Seconds() / natMP.Seconds()
 
 	out := struct {
-		Graph      string  `json:"graph"`
-		Vertices   int     `json:"vertices"`
-		Edges      int     `json:"edges"`
-		Algo       string  `json:"algo"`
-		Iters      int     `json:"iters"`
-		SimWallS   float64 `json:"sim_wall_s"`
-		NativeWall float64 `json:"native_wall_s"`
-		Speedup    float64 `json:"speedup"`
-		GOMAXPROCS int     `json:"gomaxprocs"`
+		Graph        string  `json:"graph"`
+		Vertices     int     `json:"vertices"`
+		Edges        int     `json:"edges"`
+		Algo         string  `json:"algo"`
+		Iters        int     `json:"iters"`
+		GOMAXPROCS   int     `json:"gomaxprocs"`
+		SimWallS     float64 `json:"sim_wall_s"`
+		NativeWall1P float64 `json:"native_wall_1p_s"`
+		GOMAXPROCSMP int     `json:"gomaxprocs_mp"`
+		NativeWallMP float64 `json:"native_wall_mp_s"`
+		Speedup      float64 `json:"speedup"`
+		Scaling      float64 `json:"native_scaling"`
 	}{
-		Graph:      "powerlaw-scale16",
-		Vertices:   n,
-		Edges:      edges,
-		Algo:       "pr",
-		Iters:      iters,
-		SimWallS:   simWall.Seconds(),
-		NativeWall: natWall.Seconds(),
-		Speedup:    speedup,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Graph:        "powerlaw-scale16",
+		Vertices:     n,
+		Edges:        edges,
+		Algo:         "pr",
+		Iters:        iters,
+		GOMAXPROCS:   pinned,
+		SimWallS:     simWall.Seconds(),
+		NativeWall1P: nat1p.Seconds(),
+		GOMAXPROCSMP: mp,
+		NativeWallMP: natMP.Seconds(),
+		Speedup:      speedup,
+		Scaling:      scaling,
 	}
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -75,7 +95,8 @@ func TestBenchBackends(t *testing.T) {
 	if err := os.WriteFile("BENCH_backends.json", append(buf, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("sim %v, native %v, speedup %.1fx on %d procs", simWall, natWall, speedup, out.GOMAXPROCS)
+	t.Logf("sim %v, native %v (%d procs) / %v (%d procs), speedup %.1fx, native scaling %.1fx",
+		simWall, nat1p, pinned, natMP, mp, speedup, scaling)
 
 	if speedup < 10 {
 		t.Errorf("native backend only %.1fx faster than sim (want >= 10x)", speedup)

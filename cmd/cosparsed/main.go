@@ -67,6 +67,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durability directory: journal job/graph transitions and checkpoint running jobs there, and recover from it on startup (empty = in-memory only)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "iterations between checkpoint snapshots of running jobs with -data-dir (0 = default 16, negative = journal only)")
 	noSync := flag.Bool("store-no-sync", false, "skip fsync in the durability store (testing only; voids crash consistency)")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "gather window for multi-source job fusion: compatible jobs arriving within it coalesce into one fused multi-vector run (0 = disable batching)")
+	batchLanes := flag.Int("batch-lanes", 32, "maximum jobs one fused run carries")
 	flag.Parse()
 
 	if *workers <= 0 || *queue <= 0 || *cache <= 0 {
@@ -137,6 +139,8 @@ func main() {
 		DataDir:           *dataDir,
 		CheckpointEvery:   *ckptEvery,
 		StoreNoSync:       *noSync,
+		BatchWindow:       *batchWindow,
+		BatchMaxLanes:     *batchLanes,
 	})
 	if err != nil {
 		fail(fmt.Errorf("open service: %w", err))

@@ -611,6 +611,20 @@ func (e *Engine) CF(iters int, beta, lambda float32) ([]float32, *Report, error)
 	return v, e.report(rep), nil
 }
 
+// PersonalizedPageRank runs personalized PageRank (random walk with
+// restart) from the given seed vertex for iters iterations with
+// damping alpha: the returned vector is the seed's personalized rank
+// distribution. Batches of PPR jobs — one seed per user over one
+// shared graph — are the canonical multi-source fusion workload; see
+// PersonalizedPageRankBatch.
+func (e *Engine) PersonalizedPageRank(seed int32, iters int, alpha float32) ([]float32, *Report, error) {
+	pr, rep, err := e.fw.PPR(seed, iters, alpha)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pr, e.report(rep), nil
+}
+
 // SpMV computes one y = G.T·x for a sparse input vector given as
 // (indices, values) pairs, through the full reconfigurable path.
 func (e *Engine) SpMV(idx []int32, val []float32) ([]float32, *Report, error) {

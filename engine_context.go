@@ -42,6 +42,16 @@ func (e *Engine) PageRankContext(ctx context.Context, iters int, alpha float32) 
 	return pr, e.report(rep), nil
 }
 
+// PersonalizedPageRankContext runs personalized PageRank from seed
+// under ctx.
+func (e *Engine) PersonalizedPageRankContext(ctx context.Context, seed int32, iters int, alpha float32) ([]float32, *Report, error) {
+	pr, rep, err := e.fw.PPRContext(ctx, seed, iters, alpha)
+	if err != nil {
+		return nil, e.partialReport(rep), err
+	}
+	return pr, e.report(rep), nil
+}
+
 // CFContext runs collaborative-filtering gradient descent under ctx.
 func (e *Engine) CFContext(ctx context.Context, iters int, beta, lambda float32) ([]float32, *Report, error) {
 	v, rep, err := e.fw.CFContext(ctx, iters, beta, lambda)

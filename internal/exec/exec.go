@@ -55,6 +55,18 @@ type Backend interface {
 	// OP runs the outer-product kernel over the sparse frontier f.
 	OP(cfg sim.Config, part *kernels.OPPartition, f *matrix.SparseVec, op kernels.Operand) (*matrix.SparseVec, Result)
 
+	// IPMulti runs k fused inner-product kernels over one matrix
+	// traversal (SpMV → SpMM with LaneBlock-wide vector blocks). Each
+	// lane's output is bit-identical to a solo IP call with the same
+	// frontier and operand; the Result is the fused run's aggregate
+	// cost, which the caller apportions across lanes.
+	IPMulti(cfg sim.Config, part *kernels.IPPartition, xs []matrix.Dense, ops []kernels.Operand) ([]matrix.Dense, Result)
+
+	// OPMulti runs k outer-product kernels in one batched invocation
+	// (lanes share the tile-local CSC working set). Per-lane outputs
+	// are bit-identical to solo OP calls; the Result is the aggregate.
+	OPMulti(cfg sim.Config, part *kernels.OPPartition, fs []*matrix.SparseVec, ops []kernels.Operand) ([]*matrix.SparseVec, Result)
+
 	// MergeDense merges the IP kernel output into vals and extracts the
 	// next sparse frontier (nil for dense-frontier semirings).
 	MergeDense(cfg sim.Config, contrib, vals matrix.Dense, op kernels.Operand) (matrix.Dense, *matrix.SparseVec, Result)

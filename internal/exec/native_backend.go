@@ -34,6 +34,18 @@ func (nativeBackend) OP(cfg sim.Config, part *kernels.OPPartition, f *matrix.Spa
 	return out, Result{Wall: time.Since(t0)}
 }
 
+func (nativeBackend) IPMulti(cfg sim.Config, part *kernels.IPPartition, xs []matrix.Dense, ops []kernels.Operand) ([]matrix.Dense, Result) {
+	t0 := time.Now()
+	outs := kernels.NativeIPMulti(part, xs, ops)
+	return outs, Result{Wall: time.Since(t0)}
+}
+
+func (nativeBackend) OPMulti(cfg sim.Config, part *kernels.OPPartition, fs []*matrix.SparseVec, ops []kernels.Operand) ([]*matrix.SparseVec, Result) {
+	t0 := time.Now()
+	outs := kernels.NativeOPMulti(part, fs, ops, cfg.Geometry.PEsPerTile)
+	return outs, Result{Wall: time.Since(t0)}
+}
+
 func (nativeBackend) MergeDense(cfg sim.Config, contrib, vals matrix.Dense, op kernels.Operand) (matrix.Dense, *matrix.SparseVec, Result) {
 	t0 := time.Now()
 	vals, next := kernels.NativeMergeDense(contrib, vals, op)

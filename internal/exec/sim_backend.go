@@ -33,6 +33,30 @@ func (simBackend) OP(cfg sim.Config, part *kernels.OPPartition, f *matrix.Sparse
 	return out, fromSim(res)
 }
 
+func (simBackend) IPMulti(cfg sim.Config, part *kernels.IPPartition, xs []matrix.Dense, ops []kernels.Operand) ([]matrix.Dense, Result) {
+	outs, res := kernels.RunIPMulti(cfg, part, xs, ops)
+	return outs, fromSim(res)
+}
+
+// OPMulti on the simulator runs the lanes back to back on separate
+// machines and sums their costs. OP streams the frontier, not the
+// matrix, so there is no shared stream to amortize in the timing model
+// — fusion's win is on the IP side, which dense/high-activity batch
+// workloads use. Keeping lanes on solo RunOP also keeps per-lane cost
+// accounting exact.
+func (simBackend) OPMulti(cfg sim.Config, part *kernels.OPPartition, fs []*matrix.SparseVec, ops []kernels.Operand) ([]*matrix.SparseVec, Result) {
+	outs := make([]*matrix.SparseVec, len(fs))
+	var agg Result
+	for l := range fs {
+		out, res := kernels.RunOP(cfg, part, fs[l], ops[l])
+		outs[l] = out
+		agg.Cycles += res.Cycles
+		agg.EnergyJ += res.EnergyJ
+		agg.Stats.Add(res.Stats)
+	}
+	return outs, agg
+}
+
 func (simBackend) MergeDense(cfg sim.Config, contrib, vals matrix.Dense, op kernels.Operand) (matrix.Dense, *matrix.SparseVec, Result) {
 	vals, next, res := kernels.RunMergeDense(cfg, contrib, vals, op)
 	return vals, next, fromSim(res)

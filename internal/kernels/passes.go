@@ -12,8 +12,10 @@ import (
 //   - MergePrev (monotone propagation): reduce with the previous value,
 //     so untouched (Identity) contributions keep the old value and
 //     touched ones can only improve it;
-//   - Vector_Op (PR, CF): applied last, per Table I.
-func mergeValue(op Operand, contrib, prev float32) float32 {
+//   - Vector_Op (PR, PPR, CF): applied last, per Table I, with the
+//     destination id in Ctx.Dst (PPR's teleport term restarts at the
+//     seed vertex only).
+func mergeValue(op Operand, dst int32, contrib, prev float32) float32 {
 	r := op.Ring
 	if r.OnceOnly && prev != r.Identity {
 		return prev
@@ -23,7 +25,9 @@ func mergeValue(op Operand, contrib, prev float32) float32 {
 		v = r.Reduce(contrib, prev)
 	}
 	if r.VecOp != nil {
-		v = r.VecOp(v, prev, op.Ctx)
+		c := op.Ctx
+		c.Dst = dst
+		v = r.VecOp(v, prev, c)
 	}
 	return v
 }
@@ -53,7 +57,7 @@ func mergeDenseRange[P Probe](p P, lo, hi int32, contrib, vals, merged matrix.De
 		p.LoadStream(a.contrib + uint64(i)*4)
 		p.LoadStream(a.vals + uint64(i)*4)
 		p.Compute(cost)
-		nv := mergeValue(op, contrib[i], vals[i])
+		nv := mergeValue(op, i, contrib[i], vals[i])
 		merged[i] = nv
 		if nv != vals[i] {
 			p.Store(a.vals + uint64(i)*4)
@@ -86,7 +90,7 @@ func scatterMergeRange[P Probe](p P, lo, hi int32, contrib *matrix.SparseVec, va
 		i := contrib.Idx[k]
 		p.Load(a.vals + uint64(i)*4) // random gather of the old value
 		p.Compute(cost)
-		nv := mergeValue(op, contrib.Val[k], vals[i])
+		nv := mergeValue(op, i, contrib.Val[k], vals[i])
 		newVals[k] = nv
 		if nv != vals[i] {
 			p.Store(a.vals + uint64(i)*4)

@@ -128,6 +128,30 @@ func (f *Framework) PageRankContext(ctx context.Context, iters int, alpha float3
 	return f.driver(ctx, "PR", ring, semiring.Ctx{Alpha: alpha}, vals, nil, iters, nil, nil)
 }
 
+// PPR runs personalized PageRank from the given seed vertex: the rank
+// vector starts as e_seed and the teleport mass restarts at the seed
+// every iteration, so the result is the seed's random-walk-with-restart
+// distribution. A batch of PPR runs (one seed per user) over one shared
+// graph is the canonical multi-source fusion workload — see PPRBatch.
+func (f *Framework) PPR(src int32, iters int, alpha float32) (matrix.Dense, *Report, error) {
+	return f.PPRContext(context.Background(), src, iters, alpha)
+}
+
+// PPRContext is PPR with per-iteration cancellation.
+func (f *Framework) PPRContext(ctx context.Context, src int32, iters int, alpha float32) (matrix.Dense, *Report, error) {
+	n := f.N()
+	if src < 0 || int(src) >= n {
+		return nil, nil, fmt.Errorf("runtime: PPR seed %d out of range [0,%d)", src, n)
+	}
+	if iters <= 0 {
+		return nil, nil, fmt.Errorf("runtime: PPR iterations must be positive, got %d", iters)
+	}
+	ring := semiring.PPR()
+	vals := make(matrix.Dense, n)
+	vals[src] = 1
+	return f.driver(ctx, "PPR", ring, semiring.Ctx{Alpha: alpha, Seed: src}, vals, nil, iters, nil, nil)
+}
+
 // CF runs collaborative-filtering gradient descent (one latent factor,
 // Table I) for the given number of iterations with learning rate beta
 // and regularization lambda.

@@ -1,0 +1,607 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"cosparse/internal/exec"
+	"cosparse/internal/kernels"
+	"cosparse/internal/matrix"
+	"cosparse/internal/semiring"
+	"cosparse/internal/sim"
+)
+
+// Multi-source fused execution: k lanes of the same algorithm over the
+// same graph advance in lockstep rounds, and every round's SpMV kernels
+// are issued through the backend's batched entry points (IPMulti /
+// OPMulti) so the matrix traversal is amortized across lanes (SpMV →
+// SpMM). Everything outside the kernel — convergence checks, frontier
+// conversion, merges, reconfiguration decisions, trace rings and
+// checkpoints — stays per lane and reuses the exact solo code paths, so
+// each lane's result is bit-identical to a solo run and each lane
+// finishes, fails, cancels and checkpoints independently.
+
+// laneState is one lane's full driver state — the per-run locals of
+// Framework.driver, lifted into a struct so k lanes can interleave.
+type laneState struct {
+	ctx      context.Context
+	op       kernels.Operand
+	vals     matrix.Dense
+	frontier *matrix.SparseVec
+	fDense   matrix.Dense      // persistent IP frontier buffer
+	lastSet  *matrix.SparseVec // what is currently scattered into fDense
+	prev     Decision
+	iter     int
+	maxIters int
+	rep      *Report
+	trace    *iterRing
+	cc       *CheckpointConfig
+	onIter   func(IterStat, *matrix.SparseVec)
+	aux      func(*Checkpoint)
+	err      error
+	done     bool
+}
+
+func (l *laneState) fail(err error) {
+	l.err = err
+	l.done = true
+}
+
+// materialize mirrors driver's deferred trace flattening: the bounded
+// ring becomes the report's Iters on every exit path, including lanes
+// that failed or were cancelled mid-batch.
+func (l *laneState) materialize() {
+	l.rep.Iters = l.trace.slice()
+	l.rep.TotalIters = l.trace.total
+	l.rep.DroppedIters = l.trace.dropped
+}
+
+// newLane builds one lane, including the same checkpoint-resume
+// handling as driver — each lane's context carries its own
+// CheckpointConfig, so lanes in one fused run may resume at different
+// iterations.
+func (f *Framework) newLane(ctx context.Context, name string, ring semiring.Semiring, sctx semiring.Ctx,
+	vals matrix.Dense, frontier *matrix.SparseVec, maxIters int,
+	onIter func(IterStat, *matrix.SparseVec), aux func(*Checkpoint)) *laneState {
+
+	be := f.opts.Backend
+	if be == nil {
+		be = exec.Sim()
+	}
+	l := &laneState{
+		ctx:      ctx,
+		vals:     vals,
+		frontier: frontier,
+		maxIters: maxIters,
+		rep:      &Report{Algorithm: name, Geometry: f.opts.Geometry, Backend: be.Name()},
+		trace:    newIterRing(f.opts.ringCap()),
+		onIter:   onIter,
+		aux:      aux,
+		prev:     Decision{UseIP: true, HW: sim.HWConfig(-1)}, // sentinel: first iteration reconfigures freely
+	}
+	l.op = kernels.Operand{Ring: ring, Ctx: sctx}
+	if ring.NeedsSrcDeg {
+		l.op.Deg = f.deg
+	}
+	l.cc = CheckpointFromContext(ctx)
+	if l.cc != nil && l.cc.Resume != nil {
+		cp := l.cc.Resume
+		n := f.coo.R
+		if cp.Algo != name {
+			l.fail(fmt.Errorf("runtime: checkpoint was taken by %q, cannot resume %s", cp.Algo, name))
+			return l
+		}
+		if int(cp.N) != n {
+			l.fail(fmt.Errorf("runtime: checkpoint covers %d vertices, graph has %d", cp.N, n))
+			return l
+		}
+		l.vals = cp.Vals.Clone()
+		l.frontier = cloneSparse(cp.Frontier)
+		l.lastSet = cloneSparse(cp.LastSet)
+		if l.lastSet != nil {
+			l.fDense = make(matrix.Dense, n)
+			for i := range l.fDense {
+				l.fDense[i] = ring.Identity
+			}
+			for k, ix := range l.lastSet.Idx {
+				l.fDense[ix] = l.lastSet.Val[k]
+			}
+		}
+		if cp.HavePrev {
+			l.prev = Decision{UseIP: cp.PrevUseIP, HW: sim.HWConfig(cp.PrevHW)}
+		}
+		l.trace.preload(cp.Trace, int(cp.TotalIters), int(cp.DroppedIters))
+		l.rep.TotalCycles = cp.TotalCycles
+		l.rep.TotalWall = time.Duration(cp.TotalWallNs)
+		l.rep.EnergyJ = cp.EnergyJ
+		l.rep.Stats = cp.Stats
+		l.rep.Resumed, l.rep.ResumedIter = true, int(cp.Iter)
+		l.iter = int(cp.Iter)
+	}
+	return l
+}
+
+// splitResult apportions a fused kernel Result across k lanes: cycles
+// divide evenly with the integer remainder charged to the first lane,
+// wall time and energy likewise. Microarchitectural Stats describe the
+// fused run as a whole and are not split — fused kernel passes leave
+// per-lane Stats zero (the conv and merge passes, which run per lane,
+// still attribute exactly).
+func splitResult(r exec.Result, k int) []exec.Result {
+	out := make([]exec.Result, k)
+	if k == 0 {
+		return out
+	}
+	per := r.Cycles / int64(k)
+	wall := r.Wall / time.Duration(k)
+	energy := r.EnergyJ / float64(k)
+	for i := range out {
+		out[i] = exec.Result{Cycles: per, Wall: wall, EnergyJ: energy}
+	}
+	out[0].Cycles += r.Cycles % int64(k)
+	out[0].Wall += r.Wall - wall*time.Duration(k)
+	return out
+}
+
+// pendIter is one lane's in-flight iteration within a round.
+type pendIter struct {
+	lane          *laneState
+	st            IterStat
+	cfg           sim.Config
+	x             matrix.Dense // IP kernel input
+	contribDense  matrix.Dense
+	contribSparse *matrix.SparseVec
+}
+
+// hwOrder fixes the execution order of per-HW kernel sub-groups so
+// fused rounds are deterministic.
+var hwOrder = [...]sim.HWConfig{sim.SC, sim.SCS, sim.PC, sim.PS}
+
+// runLanes advances all lanes round by round until every lane has
+// converged, exhausted its iteration budget, failed or been cancelled.
+// Per round, each active lane runs the same pre-kernel phases as the
+// solo driver (context/hook checks, convergence test, decision tree,
+// frontier conversion); lanes that agree on a kernel and hardware
+// configuration then share one fused IPMulti/OPMulti invocation, and
+// the merge phase runs per lane. Lane results and errors land in the
+// laneState structs.
+func (f *Framework) runLanes(name string, ring semiring.Semiring, lanes []*laneState) {
+	be := f.opts.Backend
+	if be == nil {
+		be = exec.Sim()
+	}
+	defer func() {
+		for _, l := range lanes {
+			if l != nil {
+				l.materialize()
+			}
+		}
+	}()
+
+	n := f.coo.R
+	for {
+		var round []*pendIter
+		for _, l := range lanes {
+			if l == nil || l.done {
+				continue
+			}
+			if l.iter >= l.maxIters {
+				l.done = true
+				continue
+			}
+			if err := l.ctx.Err(); err != nil {
+				l.fail(fmt.Errorf("runtime: %s stopped after %d iterations: %w", name, l.trace.total, err))
+				continue
+			}
+			if f.opts.IterHook != nil {
+				if err := f.opts.IterHook(l.iter); err != nil {
+					l.fail(fmt.Errorf("runtime: %s stopped after %d iterations: %w", name, l.trace.total, err))
+					continue
+				}
+			}
+			var nnzF int
+			if ring.DenseFrontier {
+				nnzF = n
+			} else {
+				if l.frontier == nil || l.frontier.NNZ() == 0 {
+					l.done = true
+					continue
+				}
+				nnzF = l.frontier.NNZ()
+			}
+			dec := f.Decide(nnzF)
+			round = append(round, &pendIter{
+				lane: l,
+				st: IterStat{
+					Iter:        l.iter,
+					FrontierNNZ: nnzF,
+					Density:     float64(nnzF) / float64(n),
+					Decision:    dec,
+					Reconfig:    l.iter > 0 && dec != l.prev,
+				},
+				cfg: f.cfg(dec.HW),
+			})
+		}
+		if len(round) == 0 {
+			return
+		}
+
+		// Pre-kernel phase, per lane in lane order: operand refresh and —
+		// for sparse-frontier IP iterations — the dense frontier
+		// conversion (solo code path, exact per-lane attribution).
+		ipG := map[sim.HWConfig][]*pendIter{}
+		opG := map[sim.HWConfig][]*pendIter{}
+		for _, p := range round {
+			l := p.lane
+			if ring.NeedsDstVal {
+				l.op.Prev = l.vals
+			}
+			if p.st.Decision.UseIP {
+				if ring.DenseFrontier {
+					p.x = l.vals // PR/PPR/CF: the frontier is the value vector itself
+				} else {
+					if l.fDense == nil {
+						l.fDense = make(matrix.Dense, n)
+						for i := range l.fDense {
+							l.fDense[i] = ring.Identity
+						}
+					}
+					var convRes exec.Result
+					l.fDense, convRes = be.FrontierDense(p.cfg, l.fDense, l.lastSet, l.frontier, l.op)
+					l.lastSet = l.frontier
+					p.st.ConvCycles = convRes.Cycles
+					p.st.ConvWall = convRes.Wall
+					p.st.EnergyJ += convRes.EnergyJ
+					p.st.Stats.Add(convRes.Stats)
+					p.x = l.fDense
+				}
+				ipG[p.st.Decision.HW] = append(ipG[p.st.Decision.HW], p)
+			} else {
+				opG[p.st.Decision.HW] = append(opG[p.st.Decision.HW], p)
+			}
+		}
+
+		// Fused kernel phase: one batched invocation per (kernel, HW)
+		// sub-group. Lanes whose decision tree picked different hardware
+		// configurations run in separate sub-batches so each lane's
+		// recorded decision matches what actually executed.
+		for _, hw := range hwOrder {
+			if group := ipG[hw]; len(group) > 0 {
+				xs := make([]matrix.Dense, len(group))
+				ops := make([]kernels.Operand, len(group))
+				for i, p := range group {
+					xs[i] = p.x
+					ops[i] = p.lane.op
+				}
+				contribs, res := be.IPMulti(f.cfg(hw), f.ipPart, xs, ops)
+				shares := splitResult(res, len(group))
+				for i, p := range group {
+					p.contribDense = contribs[i]
+					p.st.KernelCycles = shares[i].Cycles
+					p.st.KernelWall = shares[i].Wall
+					p.st.EnergyJ += shares[i].EnergyJ
+				}
+			}
+			if group := opG[hw]; len(group) > 0 {
+				fs := make([]*matrix.SparseVec, len(group))
+				ops := make([]kernels.Operand, len(group))
+				for i, p := range group {
+					fs[i] = p.lane.frontier
+					ops[i] = p.lane.op
+				}
+				contribs, res := be.OPMulti(f.cfg(hw), f.opPart, fs, ops)
+				shares := splitResult(res, len(group))
+				for i, p := range group {
+					p.contribSparse = contribs[i]
+					p.st.KernelCycles = shares[i].Cycles
+					p.st.KernelWall = shares[i].Wall
+					p.st.EnergyJ += shares[i].EnergyJ
+				}
+			}
+		}
+
+		// Merge + bookkeeping phase, per lane in lane order — identical
+		// structure to the solo driver's iteration tail.
+		for _, p := range round {
+			l := p.lane
+			var mres exec.Result
+			var next *matrix.SparseVec
+			if p.st.Decision.UseIP {
+				l.vals, next, mres = be.MergeDense(p.cfg, p.contribDense, l.vals, l.op)
+			} else {
+				l.vals, next, mres = be.ScatterMerge(p.cfg, p.contribSparse, l.vals, l.op)
+			}
+			p.st.MergeCycles = mres.Cycles
+			p.st.MergeWall = mres.Wall
+			p.st.EnergyJ += mres.EnergyJ
+			p.st.Stats.Add(mres.Stats)
+
+			p.st.TotalCycles = p.st.ConvCycles + p.st.KernelCycles + p.st.MergeCycles
+			p.st.TotalWall = p.st.ConvWall + p.st.KernelWall + p.st.MergeWall
+			if p.st.Reconfig {
+				rc := be.ReconfigCycles(f.opts.Params)
+				p.st.TotalCycles += rc
+				p.st.Stats.ReconfigCycles += rc
+			}
+			l.prev = p.st.Decision
+
+			l.trace.push(p.st)
+			l.rep.TotalCycles += p.st.TotalCycles
+			l.rep.TotalWall += p.st.TotalWall
+			l.rep.EnergyJ += p.st.EnergyJ
+			l.rep.Stats.Add(p.st.Stats)
+			if f.opts.OnIteration != nil {
+				f.opts.OnIteration(p.st, next)
+			}
+			if l.onIter != nil {
+				l.onIter(p.st, next)
+			}
+
+			l.frontier = next
+			done := l.iter + 1
+			if l.cc != nil && l.cc.Sink != nil && l.cc.Every > 0 && done%l.cc.Every == 0 && done < l.maxIters {
+				cp := f.snapshot(name, done, l.vals, l.frontier, l.lastSet, true, l.prev, l.rep, l.trace)
+				if l.aux != nil {
+					l.aux(cp)
+				}
+				if err := l.cc.Sink(cp); err != nil {
+					l.fail(fmt.Errorf("runtime: %s checkpoint at iteration %d failed: %w", name, done, err))
+					continue
+				}
+			}
+			l.iter = done
+		}
+	}
+}
+
+// laneCtx returns the i-th per-lane context, defaulting to Background
+// when the caller passed fewer contexts than lanes (or nil entries).
+func laneCtx(ctxs []context.Context, i int) context.Context {
+	if i < len(ctxs) && ctxs[i] != nil {
+		return ctxs[i]
+	}
+	return context.Background()
+}
+
+// BFSBatch runs k breadth-first searches (one per source) as one fused
+// run. Slot i of the returned slices corresponds to srcs[i]; each
+// lane's result is bit-identical to BFSContext(ctxs[i], srcs[i]) run
+// alone, and lanes converge, fail and cancel independently (errs[i] is
+// non-nil only for lane i).
+func (f *Framework) BFSBatch(ctxs []context.Context, srcs []int32) ([]*BFSResult, []*Report, []error) {
+	k := len(srcs)
+	results := make([]*BFSResult, k)
+	reps := make([]*Report, k)
+	errs := make([]error, k)
+	ress := make([]*BFSResult, k)
+	lanes := make([]*laneState, k)
+	ring := semiring.BFS()
+	n := f.N()
+
+	for i, src := range srcs {
+		if src < 0 || int(src) >= n {
+			errs[i] = fmt.Errorf("runtime: BFS source %d out of range [0,%d)", src, n)
+			continue
+		}
+		vals := make(matrix.Dense, n)
+		for j := range vals {
+			vals[j] = ring.Identity
+		}
+		vals[src] = float32(src)
+		frontier := &matrix.SparseVec{N: n, Idx: []int32{src}, Val: []float32{float32(src)}}
+
+		res := &BFSResult{Parent: make([]int32, n), Level: make([]int32, n)}
+		for j := range res.Parent {
+			res.Parent[j] = -1
+			res.Level[j] = -1
+		}
+		res.Parent[src] = src
+		res.Level[src] = 0
+
+		ctx := laneCtx(ctxs, i)
+		if cc := CheckpointFromContext(ctx); cc != nil && cc.Resume != nil &&
+			cc.Resume.Algo == "BFS" && len(cc.Resume.AuxInt) == n {
+			copy(res.Level, cc.Resume.AuxInt)
+		}
+		onIter := func(st IterStat, next *matrix.SparseVec) {
+			if next != nil {
+				for _, v := range next.Idx {
+					if res.Level[v] < 0 {
+						res.Level[v] = int32(st.Iter) + 1
+					}
+				}
+			}
+		}
+		aux := func(cp *Checkpoint) {
+			cp.AuxInt = append([]int32(nil), res.Level...)
+		}
+		lanes[i] = f.newLane(ctx, "BFS", ring, semiring.Ctx{}, vals, frontier, f.opts.MaxIters, onIter, aux)
+		ress[i] = res
+	}
+
+	f.runLanes("BFS", ring, lanes)
+
+	for i, l := range lanes {
+		if l == nil {
+			continue
+		}
+		reps[i] = l.rep
+		if l.err != nil {
+			errs[i] = l.err
+			continue
+		}
+		res := ress[i]
+		for j := range l.vals {
+			if !math.IsInf(float64(l.vals[j]), 1) {
+				res.Parent[j] = int32(l.vals[j])
+			}
+		}
+		results[i] = res
+	}
+	return results, reps, errs
+}
+
+// SSSPBatch runs k single-source shortest-path computations as one
+// fused run; slot i corresponds to srcs[i] and is bit-identical to
+// SSSPContext(ctxs[i], srcs[i]) run alone.
+func (f *Framework) SSSPBatch(ctxs []context.Context, srcs []int32) ([]matrix.Dense, []*Report, []error) {
+	k := len(srcs)
+	dists := make([]matrix.Dense, k)
+	reps := make([]*Report, k)
+	errs := make([]error, k)
+	lanes := make([]*laneState, k)
+	ring := semiring.SSSP()
+	n := f.N()
+
+	for i, src := range srcs {
+		if src < 0 || int(src) >= n {
+			errs[i] = fmt.Errorf("runtime: SSSP source %d out of range [0,%d)", src, n)
+			continue
+		}
+		vals := make(matrix.Dense, n)
+		for j := range vals {
+			vals[j] = ring.Identity
+		}
+		vals[src] = 0
+		frontier := &matrix.SparseVec{N: n, Idx: []int32{src}, Val: []float32{0}}
+		lanes[i] = f.newLane(laneCtx(ctxs, i), "SSSP", ring, semiring.Ctx{}, vals, frontier, f.opts.MaxIters, nil, nil)
+	}
+
+	f.runLanes("SSSP", ring, lanes)
+
+	for i, l := range lanes {
+		if l == nil {
+			continue
+		}
+		reps[i] = l.rep
+		if l.err != nil {
+			errs[i] = l.err
+			continue
+		}
+		dists[i] = l.vals
+	}
+	return dists, reps, errs
+}
+
+// PageRankBatch runs k PageRank lanes as one fused run. Lanes start
+// from the same uniform vector, so their values coincide — the point is
+// serving k concurrent requests for the cost of one amortized pass,
+// with per-lane contexts, checkpoints and reports intact.
+func (f *Framework) PageRankBatch(ctxs []context.Context, k, iters int, alpha float32) ([]matrix.Dense, []*Report, []error) {
+	ranks := make([]matrix.Dense, k)
+	reps := make([]*Report, k)
+	errs := make([]error, k)
+	lanes := make([]*laneState, k)
+	ring := semiring.PR()
+	n := f.N()
+
+	for i := 0; i < k; i++ {
+		if iters <= 0 {
+			errs[i] = fmt.Errorf("runtime: PageRank iterations must be positive, got %d", iters)
+			continue
+		}
+		vals := make(matrix.Dense, n)
+		for j := range vals {
+			vals[j] = 1 / float32(n)
+		}
+		lanes[i] = f.newLane(laneCtx(ctxs, i), "PR", ring, semiring.Ctx{Alpha: alpha}, vals, nil, iters, nil, nil)
+	}
+
+	f.runLanes("PR", ring, lanes)
+
+	for i, l := range lanes {
+		if l == nil {
+			continue
+		}
+		reps[i] = l.rep
+		if l.err != nil {
+			errs[i] = l.err
+			continue
+		}
+		ranks[i] = l.vals
+	}
+	return ranks, reps, errs
+}
+
+// PPRBatch runs k personalized-PageRank lanes — one seed vertex per
+// lane — as one fused run: the canonical multi-source fusion workload
+// (k users' personalization vectors over one shared graph). Slot i is
+// bit-identical to PPRContext(ctxs[i], srcs[i], iters, alpha) alone.
+func (f *Framework) PPRBatch(ctxs []context.Context, srcs []int32, iters int, alpha float32) ([]matrix.Dense, []*Report, []error) {
+	k := len(srcs)
+	ranks := make([]matrix.Dense, k)
+	reps := make([]*Report, k)
+	errs := make([]error, k)
+	lanes := make([]*laneState, k)
+	ring := semiring.PPR()
+	n := f.N()
+
+	for i, src := range srcs {
+		if src < 0 || int(src) >= n {
+			errs[i] = fmt.Errorf("runtime: PPR seed %d out of range [0,%d)", src, n)
+			continue
+		}
+		if iters <= 0 {
+			errs[i] = fmt.Errorf("runtime: PPR iterations must be positive, got %d", iters)
+			continue
+		}
+		vals := make(matrix.Dense, n)
+		vals[src] = 1
+		lanes[i] = f.newLane(laneCtx(ctxs, i), "PPR", ring, semiring.Ctx{Alpha: alpha, Seed: src}, vals, nil, iters, nil, nil)
+	}
+
+	f.runLanes("PPR", ring, lanes)
+
+	for i, l := range lanes {
+		if l == nil {
+			continue
+		}
+		reps[i] = l.rep
+		if l.err != nil {
+			errs[i] = l.err
+			continue
+		}
+		ranks[i] = l.vals
+	}
+	return ranks, reps, errs
+}
+
+// CFBatch runs k collaborative-filtering lanes as one fused run (same
+// deterministic init per lane; per-lane contexts and reports).
+func (f *Framework) CFBatch(ctxs []context.Context, k, iters int, beta, lambda float32) ([]matrix.Dense, []*Report, []error) {
+	factors := make([]matrix.Dense, k)
+	reps := make([]*Report, k)
+	errs := make([]error, k)
+	lanes := make([]*laneState, k)
+	ring := semiring.CF()
+	n := f.N()
+
+	for i := 0; i < k; i++ {
+		if iters <= 0 {
+			errs[i] = fmt.Errorf("runtime: CF iterations must be positive, got %d", iters)
+			continue
+		}
+		vals := make(matrix.Dense, n)
+		for j := range vals {
+			vals[j] = 0.1 + 0.01*float32(j%17)
+		}
+		lanes[i] = f.newLane(laneCtx(ctxs, i), "CF", ring, semiring.Ctx{Beta: beta, Lambda: lambda}, vals, nil, iters, nil, nil)
+	}
+
+	f.runLanes("CF", ring, lanes)
+
+	for i, l := range lanes {
+		if l == nil {
+			continue
+		}
+		reps[i] = l.rep
+		if l.err != nil {
+			errs[i] = l.err
+			continue
+		}
+		factors[i] = l.vals
+	}
+	return factors, reps, errs
+}

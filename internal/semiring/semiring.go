@@ -28,6 +28,12 @@ type Ctx struct {
 	Lambda, Beta float32
 	// Alpha is the PR damping factor.
 	Alpha float32
+	// Dst is the destination vertex id of the value being merged,
+	// filled by the merge pass before applying VecOp (PPR's teleport
+	// term restarts at the seed only).
+	Dst int32
+	// Seed is the personalization vertex of a PPR run.
+	Seed int32
 }
 
 // Semiring is one row of Table I.
@@ -180,6 +186,39 @@ func PR() Semiring {
 	}
 }
 
+// PPR is personalized PageRank: the same Σ V_src/deg(src) Matrix_Op
+// and (+) Reduce as PR, but the teleport mass restarts at the single
+// seed vertex instead of spreading uniformly — Vector_Op = α·1{dst ==
+// seed} + (1−α)·V_updated. Starting from V = e_seed, the vector stays
+// the seed-personalized random-walk distribution every iteration. A
+// batch of PPR runs (one seed per user) over the same graph is the
+// canonical multi-source fusion workload.
+func PPR() Semiring {
+	return Semiring{
+		Name:     "PPR",
+		Identity: 0,
+		MatOp: func(_, vsrc float32, ctx Ctx) float32 {
+			if ctx.SrcDeg == 0 {
+				return 0
+			}
+			return vsrc / float32(ctx.SrcDeg)
+		},
+		Reduce: func(a, b float32) float32 { return a + b },
+		VecOp: func(updated, _ float32, ctx Ctx) float32 {
+			restart := float32(0)
+			if ctx.Dst == ctx.Seed {
+				restart = ctx.Alpha
+			}
+			return restart + (1-ctx.Alpha)*updated
+		},
+		MatOpCost:     2, // divide (pipelined) + add
+		ReduceCost:    1,
+		NeedsSrcDeg:   true,
+		Improving:     func(next, cur float32) bool { return next != cur },
+		DenseFrontier: true,
+	}
+}
+
 // CF is Table I's collaborative-filtering row with one latent factor:
 // Matrix_Op = Σ (Sp_{src,dst} − V_src·V_dst)·V_src − λ·V_dst and
 // Vector_Op = β·V_updated + V_dst (a gradient step with rate β).
@@ -215,6 +254,8 @@ func ByName(name string) (Semiring, bool) {
 		return SSSP(), true
 	case "pr", "PR", "pagerank":
 		return PR(), true
+	case "ppr", "PPR":
+		return PPR(), true
 	case "cf", "CF":
 		return CF(), true
 	}

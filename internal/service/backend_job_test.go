@@ -57,8 +57,8 @@ func TestNativeBackendJob(t *testing.T) {
 
 	text := scrapeMetrics(t, ts.URL)
 	for _, want := range []string{
-		`cosparsed_job_cycles_count{algo="pr",backend="sim"} 1`,
-		`cosparsed_job_cycles_count{algo="pr",backend="native"} 1`,
+		`cosparsed_job_cycles_count{algo="pr",backend="sim",mode="solo"} 1`,
+		`cosparsed_job_cycles_count{algo="pr",backend="native",mode="solo"} 1`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)

@@ -1,0 +1,197 @@
+package service
+
+// Multi-source fusion throughput (the `make bench-batch` target): 64
+// concurrent clients hammer one service with the same-graph native PPR
+// workload, once with the coalescer enabled and once without. The
+// unbatched service serializes same-engine jobs on runMu; the batched
+// one fuses up to 32 compatible jobs into each multi-vector run, so
+// the shared matrix is streamed once per lane block instead of once
+// per job. Gated behind BENCH_BATCH; results land in BENCH_batch.json
+// at the repo root and the run fails below 2x jobs/sec.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBenchBatch(t *testing.T) {
+	if os.Getenv("BENCH_BATCH") == "" {
+		t.Skip("set BENCH_BATCH=1 to run the batching throughput comparison")
+	}
+	const (
+		n       = 1 << 14
+		edges   = 16 * n
+		jobs    = 256
+		clients = 64
+		seeds   = 64 // distinct sources, cycled
+		iters   = 10
+	)
+
+	type laneSummary struct {
+		Summary string
+		Fused   bool
+	}
+
+	runSide := func(window time.Duration) (time.Duration, map[int32]string, int) {
+		cfg := Config{
+			Workers: clients, QueueDepth: jobs + 8,
+			BatchWindow: window, BatchMaxLanes: 32,
+		}
+		svc, ts := newTestService(t, cfg)
+		gid := func() string {
+			var info GraphInfo
+			code := doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", GraphSpec{
+				Kind: "powerlaw", Vertices: n, Edges: edges, Seed: 11,
+			}, &info)
+			if code != http.StatusCreated {
+				t.Fatalf("register bench graph: %d", code)
+			}
+			return info.ID
+		}()
+
+		// submit posts one job and waits for it; goroutine-safe (no
+		// t.Fatal off the test goroutine).
+		submit := func(src int32) (laneSummary, error) {
+			body, _ := json.Marshal(JobRequest{
+				GraphID: gid, Algo: "ppr", Source: src, Iterations: iters,
+				Backend: "native", TimeoutMs: 240_000,
+			})
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return laneSummary{}, err
+			}
+			var st JobStatus
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				return laneSummary{}, err
+			}
+			if resp.StatusCode != http.StatusAccepted {
+				return laneSummary{}, fmt.Errorf("submit: status %d", resp.StatusCode)
+			}
+			j := svc.sched.Get(st.ID)
+			if j == nil {
+				return laneSummary{}, fmt.Errorf("job %s vanished", st.ID)
+			}
+			<-j.Done()
+			fin := j.Status()
+			if fin.State != JobDone {
+				return laneSummary{}, fmt.Errorf("job %s: %s (%s)", st.ID, fin.State, fin.Error)
+			}
+			return laneSummary{Summary: fin.Result.Summary, Fused: fin.Fused}, nil
+		}
+
+		var (
+			mu        sync.Mutex
+			summaries = make(map[int32]string, seeds)
+			fusedJobs int
+			firstErr  error
+			wg        sync.WaitGroup
+		)
+		// Warm the engine cache before the storm: 64 simultaneous cold
+		// misses would trip the build-pressure limiter, and the bench is
+		// about steady-state throughput, not cold-start.
+		if _, err := submit(0); err != nil {
+			t.Fatalf("warmup: %v", err)
+		}
+		perClient := jobs / clients
+		t0 := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for k := 0; k < perClient; k++ {
+					src := int32((c + k*clients) % seeds)
+					ls, err := submit(src)
+					mu.Lock()
+					if err != nil {
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					if prev, ok := summaries[src]; ok && prev != ls.Summary {
+						if firstErr == nil {
+							firstErr = fmt.Errorf("source %d: summary %q != %q", src, ls.Summary, prev)
+						}
+					}
+					summaries[src] = ls.Summary
+					if ls.Fused {
+						fusedJobs++
+					}
+					mu.Unlock()
+				}
+			}(c)
+		}
+		wg.Wait()
+		wall := time.Since(t0)
+		if firstErr != nil {
+			t.Fatal(firstErr)
+		}
+		return wall, summaries, fusedJobs
+	}
+
+	fusedWall, fusedSums, fusedCount := runSide(5 * time.Millisecond)
+	soloWall, soloSums, soloFused := runSide(0)
+
+	if soloFused != 0 {
+		t.Fatalf("unbatched service fused %d jobs", soloFused)
+	}
+	// Fused answers must match unbatched ones source for source.
+	for src, want := range soloSums {
+		if got := fusedSums[src]; got != want {
+			t.Errorf("source %d: fused %q, unbatched %q", src, got, want)
+		}
+	}
+
+	fusedJPS := jobs / fusedWall.Seconds()
+	soloJPS := jobs / soloWall.Seconds()
+	speedup := fusedJPS / soloJPS
+
+	out := struct {
+		Graph        string  `json:"graph"`
+		Vertices     int     `json:"vertices"`
+		Edges        int     `json:"edges"`
+		Algo         string  `json:"algo"`
+		Iters        int     `json:"iters"`
+		Jobs         int     `json:"jobs"`
+		Clients      int     `json:"clients"`
+		Backend      string  `json:"backend"`
+		BatchWindowS float64 `json:"batch_window_s"`
+		MaxLanes     int     `json:"max_lanes"`
+		FusedJobs    int     `json:"fused_jobs"`
+		FusedWallS   float64 `json:"fused_wall_s"`
+		FusedJobsSec float64 `json:"fused_jobs_per_sec"`
+		SoloWallS    float64 `json:"unbatched_wall_s"`
+		SoloJobsSec  float64 `json:"unbatched_jobs_per_sec"`
+		Speedup      float64 `json:"speedup"`
+	}{
+		Graph: "powerlaw-scale14", Vertices: n, Edges: edges,
+		Algo: "ppr", Iters: iters, Jobs: jobs, Clients: clients,
+		Backend: "native", BatchWindowS: 0.005, MaxLanes: 32,
+		FusedJobs:  fusedCount,
+		FusedWallS: fusedWall.Seconds(), FusedJobsSec: fusedJPS,
+		SoloWallS: soloWall.Seconds(), SoloJobsSec: soloJPS,
+		Speedup: speedup,
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_batch.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fused %v (%.1f jobs/s, %d/%d fused), unbatched %v (%.1f jobs/s): %.2fx",
+		fusedWall, fusedJPS, fusedCount, jobs, soloWall, soloJPS, speedup)
+
+	if speedup < 2 {
+		t.Errorf("fusion speedup %.2fx, want >= 2x jobs/sec", speedup)
+	}
+}

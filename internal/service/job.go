@@ -42,6 +42,38 @@ type JobRequest struct {
 	IncludeTrace bool `json:"include_trace,omitempty"`
 }
 
+// BatchJobRequest is the JSON body of POST /v1/jobs/batch: one job per
+// source (or count copies for source-free algorithms), sharing every
+// other parameter — so the jobs carry the same compatibility key and
+// fuse into one multi-vector run when batching is enabled.
+type BatchJobRequest struct {
+	GraphID string `json:"graph_id"`
+	Algo    string `json:"algo"`
+	// Sources lists one start vertex per job (bfs, sssp, ppr).
+	// Duplicates are allowed; each gets its own job and lane.
+	Sources []int32 `json:"sources,omitempty"`
+	// Count is the number of jobs for source-free algorithms (pr, cf).
+	Count        int     `json:"count,omitempty"`
+	Iterations   int     `json:"iterations,omitempty"`
+	Alpha        float64 `json:"alpha,omitempty"`
+	Beta         float64 `json:"beta,omitempty"`
+	Lambda       float64 `json:"lambda,omitempty"`
+	Tiles        int     `json:"tiles,omitempty"`
+	PEs          int     `json:"pes,omitempty"`
+	Backend      string  `json:"backend,omitempty"`
+	TimeoutMs    int64   `json:"timeout_ms,omitempty"`
+	IncludeTrace bool    `json:"include_trace,omitempty"`
+}
+
+// BatchJobResponse answers POST /v1/jobs/batch. When the queue filled
+// mid-batch, Jobs holds the accepted prefix and Rejected/Error explain
+// the refused remainder.
+type BatchJobResponse struct {
+	Jobs     []JobStatus `json:"jobs"`
+	Rejected int         `json:"rejected,omitempty"`
+	Error    string      `json:"error,omitempty"`
+}
+
 // JobResult is the payload of a successfully finished job.
 type JobResult struct {
 	Algo    string `json:"algo"`
@@ -117,13 +149,17 @@ type JobStatus struct {
 	// CheckpointIter is the iteration of the most recent persisted
 	// checkpoint; CheckpointAgeSeconds how long ago it was written.
 	// Absent until the first checkpoint lands.
-	CheckpointIter       int        `json:"checkpoint_iter,omitempty"`
-	CheckpointAgeSeconds float64    `json:"checkpoint_age_seconds,omitempty"`
-	Error                string     `json:"error,omitempty"`
-	Result               *JobResult `json:"result,omitempty"`
-	Created              time.Time  `json:"created"`
-	Started              *time.Time `json:"started,omitempty"`
-	Finished             *time.Time `json:"finished,omitempty"`
+	CheckpointIter       int     `json:"checkpoint_iter,omitempty"`
+	CheckpointAgeSeconds float64 `json:"checkpoint_age_seconds,omitempty"`
+	// Fused marks a job that executed as a lane of a coalesced batch;
+	// BatchLanes is how many lanes that fused run carried.
+	Fused      bool       `json:"fused,omitempty"`
+	BatchLanes int        `json:"batch_lanes,omitempty"`
+	Error      string     `json:"error,omitempty"`
+	Result     *JobResult `json:"result,omitempty"`
+	Created    time.Time  `json:"created"`
+	Started    *time.Time `json:"started,omitempty"`
+	Finished   *time.Time `json:"finished,omitempty"`
 }
 
 // Job is one scheduled algorithm run.
@@ -161,11 +197,14 @@ type Job struct {
 	// ckptIter/ckptAt track the most recent persisted checkpoint.
 	ckptIter int
 	ckptAt   time.Time
-	errMsg   string
-	result   *JobResult
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	// fused/batchLanes record execution as a coalesced-batch lane.
+	fused      bool
+	batchLanes int
+	errMsg     string
+	result     *JobResult
+	created    time.Time
+	started    time.Time
+	finished   time.Time
 	// trace is the run's per-iteration report, kept even when the
 	// client did not ask for include_trace and even for partial runs
 	// (deadline, cancellation, fault) — it feeds the trace endpoint and
@@ -206,6 +245,8 @@ func (j *Job) Status() JobStatus {
 		st.CheckpointIter = j.ckptIter
 		st.CheckpointAgeSeconds = time.Since(j.ckptAt).Seconds()
 	}
+	st.Fused = j.fused
+	st.BatchLanes = j.batchLanes
 	if !j.started.IsZero() {
 		t := j.started
 		st.Started = &t
@@ -215,6 +256,25 @@ func (j *Job) Status() JobStatus {
 		st.Finished = &t
 	}
 	return st
+}
+
+// markFused records that the job executed as one lane of a fused
+// batch of the given size.
+func (j *Job) markFused(lanes int) {
+	j.mu.Lock()
+	j.fused = true
+	j.batchLanes = lanes
+	j.mu.Unlock()
+}
+
+// mode returns the metrics execution-mode label.
+func (j *Job) mode() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.fused {
+		return "fused"
+	}
+	return "solo"
 }
 
 // markResumed records that the run restored a persisted checkpoint.

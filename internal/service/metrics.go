@@ -28,6 +28,10 @@ var SecondsBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60}
 // synchronous runs on large graphs.
 var HTTPBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
 
+// OccupancyBuckets are the histogram bounds for lanes per fused batch
+// run (1 = a gather window that caught nothing to fuse).
+var OccupancyBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+
 // Histogram is a fixed-bucket cumulative histogram. Observe is
 // lock-free (atomic bucket counters; the float sum is a CAS loop over
 // its bit pattern), so concurrent observers never serialize against
@@ -83,6 +87,19 @@ func (h *Histogram) writeLabeled(w io.Writer, name, labels string) {
 	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum)
 	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, math.Float64frombits(h.sumBits.Load()))
 	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, cum)
+}
+
+// writeBare renders the histogram without labels.
+func (h *Histogram) writeBare(w io.Writer, name string) {
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, math.Float64frombits(h.sumBits.Load()))
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
 }
 
 func formatBound(b float64) string {
@@ -152,6 +169,10 @@ type Metrics struct {
 	JobsRecoveredRestarted atomic.Int64
 	JobsRecoveredFailed    atomic.Int64
 
+	// BatchOccupancy tracks lanes per fused batch run: how many
+	// compatible jobs each gather window actually coalesced.
+	BatchOccupancy *Histogram
+
 	// Simulated memory-system totals accumulated over finished jobs,
 	// split by direction (reads are demand/stream fetches, writes are
 	// dirty-line writebacks — see internal/sim).
@@ -175,21 +196,26 @@ type Metrics struct {
 // NewMetrics returns an initialized Metrics.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		jobs:    make(map[string]*jobHists),
-		httpSer: make(map[string]*httpHist),
+		BatchOccupancy: NewHistogram(OccupancyBuckets),
+		jobs:           make(map[string]*jobHists),
+		httpSer:        make(map[string]*httpHist),
 	}
 }
 
 // ObserveJob records one finished job's simulated cycle count and
-// wall-clock duration under its algorithm name and execution backend
+// wall-clock duration under its algorithm name, execution backend
 // (native jobs report zero cycles but real wall time, so the series
-// must not blend). One read-lock acquisition resolves both histograms;
-// the observations themselves are lock-free.
-func (m *Metrics) ObserveJob(algo, backend string, cycles int64, wallSeconds float64) {
+// must not blend) and execution mode ("solo" for a dedicated run,
+// "fused" for a lane of a coalesced batch). One read-lock acquisition
+// resolves both histograms; the observations themselves are lock-free.
+func (m *Metrics) ObserveJob(algo, backend, mode string, cycles int64, wallSeconds float64) {
 	if backend == "" {
 		backend = "sim"
 	}
-	key := algo + "\x00" + backend
+	if mode == "" {
+		mode = "solo"
+	}
+	key := algo + "\x00" + backend + "\x00" + mode
 	m.mu.RLock()
 	jh, ok := m.jobs[key]
 	m.mu.RUnlock()
@@ -223,6 +249,11 @@ func (m *Metrics) ObserveHTTP(route string, status int, seconds float64) {
 		m.mu.Unlock()
 	}
 	hh.latency.Observe(seconds)
+}
+
+// ObserveBatch records one fused batch run's lane count.
+func (m *Metrics) ObserveBatch(lanes int) {
+	m.BatchOccupancy.Observe(float64(lanes))
 }
 
 // ObserveSim folds one finished job's simulated memory-system counters
@@ -301,10 +332,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	sort.Strings(jobKeys)
 	sort.Strings(httpKeys)
 
-	// Job-series map keys are algo\x00backend; render both as labels.
+	// Job-series map keys are algo\x00backend\x00mode; render all three
+	// as labels.
 	jobLabels := func(key string) string {
-		algo, backend, _ := strings.Cut(key, "\x00")
-		return fmt.Sprintf("algo=%q,backend=%q", algo, backend)
+		algo, rest, _ := strings.Cut(key, "\x00")
+		backend, mode, _ := strings.Cut(rest, "\x00")
+		return fmt.Sprintf("algo=%q,backend=%q,mode=%q", algo, backend, mode)
 	}
 	if len(jobKeys) > 0 {
 		fmt.Fprintf(w, "# HELP cosparsed_job_cycles Simulated cycles per finished job.\n# TYPE cosparsed_job_cycles histogram\n")
@@ -315,6 +348,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		for _, k := range jobKeys {
 			jobs[k].seconds.writeLabeled(w, "cosparsed_job_seconds", jobLabels(k))
 		}
+	}
+	if m.BatchOccupancy != nil && m.BatchOccupancy.Count() > 0 {
+		fmt.Fprintf(w, "# HELP cosparsed_batch_occupancy Lanes per fused batch run (jobs coalesced by one gather window).\n# TYPE cosparsed_batch_occupancy histogram\n")
+		m.BatchOccupancy.writeBare(w, "cosparsed_batch_occupancy")
 	}
 	if len(httpKeys) > 0 {
 		fmt.Fprintf(w, "# HELP cosparsed_http_request_seconds HTTP request latency by route pattern and status code.\n# TYPE cosparsed_http_request_seconds histogram\n")

@@ -25,7 +25,7 @@ func TestObserveJobConcurrentExact(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
 				algo := algos[(g+i)%len(algos)]
-				m.ObserveJob(algo, "sim", int64(1e5+i), 0.25)
+				m.ObserveJob(algo, "sim", "solo", int64(1e5+i), 0.25)
 				m.ObserveHTTP("/v1/jobs", 200, 0.002)
 			}
 		}(g)
@@ -35,7 +35,7 @@ func TestObserveJobConcurrentExact(t *testing.T) {
 	var total int64
 	for _, a := range algos {
 		m.mu.RLock()
-		jh := m.jobs[a+"\x00sim"]
+		jh := m.jobs[a+"\x00sim\x00solo"]
 		m.mu.RUnlock()
 		if jh == nil {
 			t.Fatalf("no histogram for %q", a)
@@ -84,7 +84,7 @@ func TestWritePrometheusDuringObservations(t *testing.T) {
 				case <-stop:
 					return
 				default:
-					m.ObserveJob("pr", "sim", int64(i), float64(i)/1e6)
+					m.ObserveJob("pr", "sim", "solo", int64(i), float64(i)/1e6)
 					m.ObserveHTTP("/metrics", 200, 0.0001)
 				}
 			}
@@ -105,7 +105,7 @@ func BenchmarkObserveJobParallel(b *testing.B) {
 	m := NewMetrics()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			m.ObserveJob("pr", "sim", 5e6, 0.02)
+			m.ObserveJob("pr", "sim", "solo", 5e6, 0.02)
 		}
 	})
 }

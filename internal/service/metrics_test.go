@@ -31,8 +31,8 @@ x_count{k="v"} 5
 func TestWritePrometheusDeterministicOrder(t *testing.T) {
 	m := NewMetrics()
 	m.JobsDone.Add(2)
-	m.ObserveJob("pr", "sim", 5e6, 0.02)
-	m.ObserveJob("bfs", "native", 2e5, 0.004)
+	m.ObserveJob("pr", "sim", "solo", 5e6, 0.02)
+	m.ObserveJob("bfs", "native", "solo", 2e5, 0.004)
 
 	var a, b strings.Builder
 	m.WritePrometheus(&a)
@@ -42,8 +42,8 @@ func TestWritePrometheusDeterministicOrder(t *testing.T) {
 	}
 	text := a.String()
 	// Histogram algorithms render in sorted order.
-	bfs := strings.Index(text, `cosparsed_job_cycles_bucket{algo="bfs",backend="native"`)
-	pr := strings.Index(text, `cosparsed_job_cycles_bucket{algo="pr",backend="sim"`)
+	bfs := strings.Index(text, `cosparsed_job_cycles_bucket{algo="bfs",backend="native",mode="solo"`)
+	pr := strings.Index(text, `cosparsed_job_cycles_bucket{algo="pr",backend="sim",mode="solo"`)
 	if bfs < 0 || pr < 0 || bfs > pr {
 		t.Fatalf("histogram ordering wrong: bfs@%d pr@%d", bfs, pr)
 	}
@@ -51,8 +51,8 @@ func TestWritePrometheusDeterministicOrder(t *testing.T) {
 		"# TYPE cosparsed_jobs_done_total counter",
 		"cosparsed_jobs_done_total 2",
 		"# TYPE cosparsed_queue_depth gauge",
-		`cosparsed_job_cycles_count{algo="pr",backend="sim"} 1`,
-		`cosparsed_job_seconds_count{algo="bfs",backend="native"} 1`,
+		`cosparsed_job_cycles_count{algo="pr",backend="sim",mode="solo"} 1`,
+		`cosparsed_job_seconds_count{algo="bfs",backend="native",mode="solo"} 1`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("missing %q", want)

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"cosparse"
+	"cosparse/internal/batch"
 	"cosparse/internal/fault"
 	"cosparse/internal/store"
 )
@@ -92,6 +93,16 @@ type Config struct {
 	// StoreNoSync skips fsync in the durability store (tests only; it
 	// voids the crash-consistency contract).
 	StoreNoSync bool
+	// BatchWindow enables multi-source job fusion: compatible jobs
+	// (same graph, algorithm, backend, geometry and parameters — only
+	// the source vertex may differ) submitted within this window
+	// coalesce into one fused multi-vector run. 0 (the default)
+	// disables fusion; every job runs solo. The daemon enables it by
+	// default (-batch-window).
+	BatchWindow time.Duration
+	// BatchMaxLanes caps how many jobs one fused run carries (default
+	// 32 when batching is enabled).
+	BatchMaxLanes int
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +149,9 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 16
 	}
+	if c.BatchWindow > 0 && c.BatchMaxLanes <= 0 {
+		c.BatchMaxLanes = 32
+	}
 	return c
 }
 
@@ -161,6 +175,9 @@ type Service struct {
 	// recovered summarizes the last startup recovery (zero without
 	// one).
 	recovered RecoveryStats
+	// batcher coalesces compatible jobs into fused multi-vector runs;
+	// nil when cfg.BatchWindow is 0 (every job runs solo).
+	batcher *batch.Coalescer
 }
 
 // New assembles a Service (call Close when done).
@@ -177,6 +194,9 @@ func New(cfg Config) *Service {
 	s.reg.SetMemoryBudget(cfg.MemoryBudgetBytes)
 	s.reg.SetFaults(cfg.Faults)
 	s.reg.SetTraceCap(cfg.TraceCap)
+	if cfg.BatchWindow > 0 {
+		s.batcher = batch.New(cfg.BatchWindow, cfg.BatchMaxLanes, s.runBatch)
+	}
 	s.sched = NewScheduler(cfg.Workers, cfg.QueueDepth, s.runJob, m)
 	s.sched.retry = cfg.Retry
 	s.sched.onStart = s.journalStart
@@ -265,6 +285,7 @@ func (s *Service) Handler() http.Handler {
 	s.route(mux, "GET /v1/graphs/{id}", s.handleGetGraph)
 	s.route(mux, "DELETE /v1/graphs/{id}", s.handleDeleteGraph)
 	s.route(mux, "POST /v1/jobs", s.handleSubmitJob)
+	s.route(mux, "POST /v1/jobs/batch", s.handleSubmitBatch)
 	s.route(mux, "GET /v1/jobs", s.handleListJobs)
 	s.route(mux, "GET /v1/jobs/{id}", s.handleGetJob)
 	s.route(mux, "GET /v1/jobs/{id}/trace", s.handleJobTrace)
@@ -521,6 +542,110 @@ func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.Status())
 }
 
+// MaxBatchJobs caps how many jobs one POST /v1/jobs/batch may carry.
+const MaxBatchJobs = 256
+
+func (s *Service) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchJobRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeDecodeError(w, "bad batch request", err)
+		return
+	}
+	algo, err := cosparse.ParseAlgo(req.Algo)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	n := len(req.Sources)
+	if algo.NeedsSource() {
+		if n == 0 {
+			writeError(w, http.StatusBadRequest, "algorithm %q needs a sources list", algo)
+			return
+		}
+		if req.Count != 0 && req.Count != n {
+			writeError(w, http.StatusBadRequest, "count %d disagrees with %d sources", req.Count, n)
+			return
+		}
+	} else {
+		if n != 0 {
+			writeError(w, http.StatusBadRequest, "algorithm %q takes count, not sources", algo)
+			return
+		}
+		if n = req.Count; n <= 0 {
+			writeError(w, http.StatusBadRequest, "count must be positive, got %d", req.Count)
+			return
+		}
+	}
+	if n > MaxBatchJobs {
+		writeError(w, http.StatusBadRequest, "batch of %d jobs exceeds the limit %d", n, MaxBatchJobs)
+		return
+	}
+	jobs := make([]*Job, 0, n)
+	for i := 0; i < n; i++ {
+		jr := JobRequest{
+			GraphID: req.GraphID, Algo: req.Algo,
+			Iterations: req.Iterations, Alpha: req.Alpha, Beta: req.Beta, Lambda: req.Lambda,
+			Tiles: req.Tiles, PEs: req.PEs, Backend: req.Backend,
+			TimeoutMs: req.TimeoutMs, IncludeTrace: req.IncludeTrace,
+		}
+		if algo.NeedsSource() {
+			jr.Source = req.Sources[i]
+		}
+		j, err := s.buildJob(jr)
+		if err != nil {
+			// All-or-nothing validation: unpin everything built so far.
+			for _, built := range jobs {
+				built.release()
+			}
+			var nf *notFoundError
+			if errors.As(err, &nf) {
+				writeError(w, http.StatusNotFound, "job %d: %v", i, err)
+			} else {
+				writeError(w, http.StatusBadRequest, "job %d: %v", i, err)
+			}
+			return
+		}
+		jobs = append(jobs, j)
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	statuses := make([]JobStatus, 0, n)
+	for i, j := range jobs {
+		if err := s.sched.SubmitJob(j, timeout); err != nil {
+			// Jobs already submitted stay submitted; the remainder is
+			// refused as a unit.
+			for _, rest := range jobs[i:] {
+				rest.release()
+			}
+			if len(statuses) > 0 {
+				writeJSON(w, http.StatusAccepted, BatchJobResponse{
+					Jobs: statuses, Rejected: n - len(statuses), Error: err.Error(),
+				})
+				return
+			}
+			if errors.Is(err, ErrQueueFull) {
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, "%v", err)
+			} else {
+				writeError(w, http.StatusServiceUnavailable, "%v", err)
+			}
+			return
+		}
+		statuses = append(statuses, j.Status())
+	}
+	s.log.Info("batch queued",
+		slog.String("graph", req.GraphID),
+		slog.String("algo", algo.String()),
+		slog.Int("jobs", len(statuses)),
+	)
+	writeJSON(w, http.StatusAccepted, BatchJobResponse{Jobs: statuses})
+}
+
 // notFoundError marks validation failures that should map to 404.
 type notFoundError struct{ msg string }
 
@@ -581,11 +706,177 @@ func (s *Service) buildJob(req JobRequest) (*Job, error) {
 }
 
 // runJob executes one job on a worker goroutine; the scheduler maps
-// its error into the job's terminal state.
+// its error into the job's terminal state. With batching enabled the
+// job first rendezvouses in the coalescer: compatible jobs arriving
+// within the gather window run as lanes of one fused multi-vector
+// pass; a group of one falls through to a plain solo run.
 func (s *Service) runJob(j *Job) (*JobResult, error) {
 	if err := s.cfg.Faults.Check(fault.JobRun); err != nil {
 		return nil, err
 	}
+	if s.batcher != nil {
+		v, err := s.batcher.Run(j.ctx, s.batchKey(j), j)
+		if err != nil {
+			return nil, err
+		}
+		res, _ := v.(*JobResult)
+		return res, nil
+	}
+	return s.executeSolo(j)
+}
+
+// batchKey groups jobs that may fuse: everything that shapes the run
+// except the source vertex — graph, algorithm, backend, geometry and
+// numeric parameters. Lanes keep their own context and deadline.
+func (s *Service) batchKey(j *Job) string {
+	return fmt.Sprintf("%s\x00%s\x00%s\x00%s\x00%d\x00%g\x00%g\x00%g",
+		j.req.GraphID, j.algo, j.backend, j.sys,
+		j.req.Iterations, j.req.Alpha, j.req.Beta, j.req.Lambda)
+}
+
+// runBatch executes one coalesced group on the goroutine of the
+// group's leader (the first job under the key); follower jobs block in
+// the coalescer until their lane's result is delivered.
+func (s *Service) runBatch(key string, lanes []*batch.Lane) {
+	s.m.ObserveBatch(len(lanes))
+	if len(lanes) == 1 {
+		j := lanes[0].Payload.(*Job)
+		res, err := s.executeSolo(j)
+		lanes[0].Deliver(res, err)
+		return
+	}
+	jobs := make([]*Job, len(lanes))
+	for i, l := range lanes {
+		jobs[i] = l.Payload.(*Job)
+	}
+	// The compatibility key guarantees one shared engine for the group.
+	j0 := jobs[0]
+	ee, err := s.reg.Engine(j0.graph, j0.sys, j0.backend)
+	if err != nil {
+		for _, l := range lanes {
+			l.Deliver(nil, err)
+		}
+		return
+	}
+	ee.runMu.Lock()
+	defer ee.runMu.Unlock()
+	ctxs := make([]context.Context, len(jobs))
+	for i, j := range jobs {
+		j.markFused(len(lanes))
+		ctxs[i] = s.checkpointContext(j)
+	}
+	t0 := time.Now()
+	results, reps, errs := s.runFused(ee, j0, ctxs, jobs)
+	wall := time.Since(t0)
+	for i, j := range jobs {
+		rep := reps[i]
+		j.setTrace(rep)
+		s.sinkTrace(j, errs[i])
+		if errs[i] != nil {
+			s.log.Warn("job stopped",
+				slog.String("job", j.id),
+				slog.String("algo", j.algo.String()),
+				slog.Bool("fused", true),
+				slog.Duration("wall", wall),
+				slog.String("err", errs[i].Error()),
+			)
+			lanes[i].Deliver(nil, errs[i])
+			continue
+		}
+		res := results[i]
+		res.Iterations = rep.TotalIterations
+		res.TotalCycles = rep.TotalCycles
+		res.SimSeconds = rep.Seconds
+		res.EnergyJ = rep.EnergyJ
+		// Every lane waited for the whole fused pass, so the batch wall
+		// is each job's honest latency. The amortized per-lane cycle and
+		// energy shares are already apportioned inside the report.
+		res.WallMs = float64(wall) / float64(time.Millisecond)
+		if j.req.IncludeTrace {
+			res.Report = rep
+		}
+		// Memory-system stats are whole-batch figures, not attributable
+		// per lane, so fused lanes skip ObserveSim.
+		s.m.ObserveJob(j.algo.String(), j.backend.String(), "fused", rep.TotalCycles, wall.Seconds())
+		s.log.Info("job done",
+			slog.String("job", j.id),
+			slog.String("algo", j.algo.String()),
+			slog.Bool("fused", true),
+			slog.Int("lanes", len(lanes)),
+			slog.Int64("cycles", rep.TotalCycles),
+			slog.Duration("wall", wall),
+		)
+		lanes[i].Deliver(res, nil)
+	}
+}
+
+// runFused dispatches the group's algorithm as one fused multi-lane
+// run and fills per-lane headline results. Slot i of every returned
+// slice belongs to jobs[i].
+func (s *Service) runFused(ee *engineEntry, j0 *Job, ctxs []context.Context, jobs []*Job) ([]*JobResult, []*cosparse.Report, []error) {
+	k := len(jobs)
+	results := make([]*JobResult, k)
+	srcs := make([]int32, k)
+	for i, j := range jobs {
+		results[i] = &JobResult{Algo: j.algo.String(), Backend: j.backend.String()}
+		srcs[i] = j.req.Source
+	}
+	var reps []*cosparse.Report
+	var errs []error
+	switch j0.algo {
+	case cosparse.AlgoBFS:
+		outs, r, e := ee.eng.BFSBatch(ctxs, srcs)
+		reps, errs = r, e
+		for i := range jobs {
+			if errs[i] == nil {
+				fillBFS(results[i], jobs[i], outs[i])
+			}
+		}
+	case cosparse.AlgoSSSP:
+		outs, r, e := ee.eng.SSSPBatch(ctxs, srcs)
+		reps, errs = r, e
+		for i := range jobs {
+			if errs[i] == nil {
+				fillSSSP(results[i], jobs[i], outs[i])
+			}
+		}
+	case cosparse.AlgoPageRank:
+		outs, r, e := ee.eng.PageRankBatch(ctxs, k, j0.req.Iterations, float32(j0.req.Alpha))
+		reps, errs = r, e
+		for i := range jobs {
+			if errs[i] == nil {
+				fillPR(results[i], jobs[i], outs[i])
+			}
+		}
+	case cosparse.AlgoPPR:
+		outs, r, e := ee.eng.PersonalizedPageRankBatch(ctxs, srcs, j0.req.Iterations, float32(j0.req.Alpha))
+		reps, errs = r, e
+		for i := range jobs {
+			if errs[i] == nil {
+				fillPPR(results[i], jobs[i], outs[i])
+			}
+		}
+	case cosparse.AlgoCF:
+		_, r, e := ee.eng.CFBatch(ctxs, k, j0.req.Iterations, float32(j0.req.Beta), float32(j0.req.Lambda))
+		reps, errs = r, e
+		for i := range jobs {
+			if errs[i] == nil {
+				fillCF(results[i], jobs[i])
+			}
+		}
+	default:
+		reps = make([]*cosparse.Report, k)
+		errs = make([]error, k)
+		for i := range errs {
+			errs[i] = fmt.Errorf("algorithm %q not runnable as a job", j0.algo)
+		}
+	}
+	return results, reps, errs
+}
+
+// executeSolo runs one job alone on its engine (the only path when
+// batching is disabled, and the single-lane fast path when enabled).
+func (s *Service) executeSolo(j *Job) (*JobResult, error) {
 	ee, err := s.reg.Engine(j.graph, j.sys, j.backend)
 	if err != nil {
 		return nil, err
@@ -610,44 +901,30 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 		var out *cosparse.BFSResult
 		out, rep, err = ee.eng.BFSContext(ctx, j.req.Source)
 		if err == nil {
-			for _, l := range out.Level {
-				if l >= 0 {
-					res.Reached++
-				}
-			}
-			res.Summary = fmt.Sprintf("bfs from %d reached %d/%d vertices", j.req.Source, res.Reached, j.graph.Graph.NumVertices())
+			fillBFS(res, j, out)
 		}
 	case cosparse.AlgoSSSP:
 		var dist []float32
 		dist, rep, err = ee.eng.SSSPContext(ctx, j.req.Source)
 		if err == nil {
-			sum := 0.0
-			for _, d := range dist {
-				if !math.IsInf(float64(d), 1) {
-					sum += float64(d)
-					res.Reached++
-				}
-			}
-			if res.Reached > 0 {
-				res.MeanDistance = sum / float64(res.Reached)
-			}
-			res.Summary = fmt.Sprintf("sssp from %d reached %d vertices, mean distance %.4f", j.req.Source, res.Reached, res.MeanDistance)
+			fillSSSP(res, j, dist)
 		}
 	case cosparse.AlgoPageRank:
 		var pr []float32
 		pr, rep, err = ee.eng.PageRankContext(ctx, j.req.Iterations, float32(j.req.Alpha))
 		if err == nil {
-			for i, v := range pr {
-				if float64(v) > res.TopScore {
-					res.TopVertex, res.TopScore = int32(i), float64(v)
-				}
-			}
-			res.Summary = fmt.Sprintf("pagerank(%d iters): top vertex %d score %.5f", j.req.Iterations, res.TopVertex, res.TopScore)
+			fillPR(res, j, pr)
+		}
+	case cosparse.AlgoPPR:
+		var pr []float32
+		pr, rep, err = ee.eng.PersonalizedPageRankContext(ctx, j.req.Source, j.req.Iterations, float32(j.req.Alpha))
+		if err == nil {
+			fillPPR(res, j, pr)
 		}
 	case cosparse.AlgoCF:
 		_, rep, err = ee.eng.CFContext(ctx, j.req.Iterations, float32(j.req.Beta), float32(j.req.Lambda))
 		if err == nil {
-			res.Summary = fmt.Sprintf("cf trained %d iterations", j.req.Iterations)
+			fillCF(res, j)
 		}
 	default:
 		err = fmt.Errorf("algorithm %q not runnable as a job", j.algo)
@@ -677,7 +954,7 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 	if j.req.IncludeTrace {
 		res.Report = rep
 	}
-	s.m.ObserveJob(j.algo.String(), j.backend.String(), rep.TotalCycles, wall.Seconds())
+	s.m.ObserveJob(j.algo.String(), j.backend.String(), "solo", rep.TotalCycles, wall.Seconds())
 	if mem := rep.Memory; mem != nil {
 		reconfigs := int64(0)
 		for _, it := range rep.Iterations {
@@ -707,6 +984,55 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 		slog.Duration("wall", wall),
 	)
 	return res, nil
+}
+
+// The fill helpers derive each algorithm's headline numbers and
+// summary line from its raw output; shared by the solo and fused
+// paths so a fused lane's JobResult reads exactly like a solo one.
+
+func fillBFS(res *JobResult, j *Job, out *cosparse.BFSResult) {
+	for _, l := range out.Level {
+		if l >= 0 {
+			res.Reached++
+		}
+	}
+	res.Summary = fmt.Sprintf("bfs from %d reached %d/%d vertices", j.req.Source, res.Reached, j.graph.Graph.NumVertices())
+}
+
+func fillSSSP(res *JobResult, j *Job, dist []float32) {
+	sum := 0.0
+	for _, d := range dist {
+		if !math.IsInf(float64(d), 1) {
+			sum += float64(d)
+			res.Reached++
+		}
+	}
+	if res.Reached > 0 {
+		res.MeanDistance = sum / float64(res.Reached)
+	}
+	res.Summary = fmt.Sprintf("sssp from %d reached %d vertices, mean distance %.4f", j.req.Source, res.Reached, res.MeanDistance)
+}
+
+func fillPR(res *JobResult, j *Job, pr []float32) {
+	for i, v := range pr {
+		if float64(v) > res.TopScore {
+			res.TopVertex, res.TopScore = int32(i), float64(v)
+		}
+	}
+	res.Summary = fmt.Sprintf("pagerank(%d iters): top vertex %d score %.5f", j.req.Iterations, res.TopVertex, res.TopScore)
+}
+
+func fillPPR(res *JobResult, j *Job, pr []float32) {
+	for i, v := range pr {
+		if float64(v) > res.TopScore {
+			res.TopVertex, res.TopScore = int32(i), float64(v)
+		}
+	}
+	res.Summary = fmt.Sprintf("ppr from seed %d (%d iters): top vertex %d score %.5f", j.req.Source, j.req.Iterations, res.TopVertex, res.TopScore)
+}
+
+func fillCF(res *JobResult, j *Job) {
+	res.Summary = fmt.Sprintf("cf trained %d iterations", j.req.Iterations)
 }
 
 // decisionTrace renders the report's per-iteration configuration

@@ -145,8 +145,8 @@ func TestEndToEndFlow(t *testing.T) {
 		"cosparsed_jobs_submitted_total 2",
 		"cosparsed_jobs_done_total 2",
 		"cosparsed_graphs_registered 1",
-		`cosparsed_job_cycles_count{algo="pr",backend="sim"} 2`,
-		`cosparsed_job_seconds_count{algo="pr",backend="sim"} 2`,
+		`cosparsed_job_cycles_count{algo="pr",backend="sim",mode="solo"} 2`,
+		`cosparsed_job_seconds_count{algo="pr",backend="sim",mode="solo"} 2`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
