@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race regress chaos chaos-restart fuzz check bench bench-backends bench-batch bench-checkpoint clean
+.PHONY: all build vet lint test race regress chaos chaos-restart chaos-failover fuzz check bench bench-backends bench-batch bench-checkpoint bench-repl clean
 
 all: check
 
@@ -18,7 +18,7 @@ lint: vet
 test:
 	$(GO) test ./...
 
-race: regress chaos chaos-restart fuzz bench-backends bench-batch
+race: regress chaos chaos-restart chaos-failover fuzz bench-backends bench-batch
 	$(GO) test -race -short ./...
 
 # regress pins the stats-accounting fixes under the race detector: the
@@ -46,6 +46,14 @@ chaos:
 chaos-restart:
 	$(GO) test -race -run 'TestChaosRestart' -count=1 -timeout 300s ./cmd/cosparsed
 
+# chaos-failover is the replication end-to-end: a leader cosparsed is
+# SIGKILLed with >= 8 mixed-algo jobs in flight (two mid-checkpoint,
+# a fused batch pair queued) while a follower tails its journal; the
+# follower is promoted and every job must finish there bit-identical
+# to an uninterrupted run, on both backends.
+chaos-failover:
+	$(GO) test -race -run 'TestChaosFailover' -count=1 -timeout 300s ./cmd/cosparsed
+
 # fuzz gives each parser fuzz target a short budget; crashes land in
 # internal/gen/testdata/fuzz for triage.
 fuzz:
@@ -55,6 +63,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeCheckpoint -fuzztime=10s ./internal/runtime
 	$(GO) test -run='^$$' -fuzz=FuzzJobSubmitBody -fuzztime=10s ./internal/service
 	$(GO) test -run='^$$' -fuzz=FuzzBatchSubmitBody -fuzztime=10s ./internal/service
+	$(GO) test -run='^$$' -fuzz=FuzzReplFrame -fuzztime=10s ./internal/repl
 
 # check is the tier-1 gate: everything must pass before a commit.
 check: lint build race
@@ -87,6 +96,14 @@ bench-batch:
 # it fails if the overhead exceeds the 5% durability budget.
 bench-checkpoint:
 	BENCH_CHECKPOINT=1 $(GO) test -count=1 -run TestBenchCheckpointOverhead -v ./internal/runtime
+
+# bench-repl measures what the semisync follower-ack costs a submit:
+# 16 concurrent clients time the submit POST against a leader with a
+# caught-up local follower in async and semisync modes; results land
+# in BENCH_repl.json and the run fails if the semisync p50 is >= 2x
+# the async p50 on localhost.
+bench-repl:
+	BENCH_REPL=1 $(GO) test -count=1 -run TestBenchRepl -v -timeout 600s ./internal/service
 
 clean:
 	$(GO) clean ./...

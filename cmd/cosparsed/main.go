@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,6 +70,13 @@ func main() {
 	noSync := flag.Bool("store-no-sync", false, "skip fsync in the durability store (testing only; voids crash consistency)")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "gather window for multi-source job fusion: compatible jobs arriving within it coalesce into one fused multi-vector run (0 = disable batching)")
 	batchLanes := flag.Int("batch-lanes", 32, "maximum jobs one fused run carries")
+	follow := flag.String("follow", "", "start as a hot standby of the leader at this base URL (requires -data-dir; mutating endpoints answer 503 until promoted)")
+	advertise := flag.String("advertise", "", "base URL this node is reachable at, sent to the leader when following (default derived from -addr)")
+	replMode := flag.String("repl-mode", "async", "leader submit-ack coupling: async (ack on local durability) or semisync (hold acks for the follower's journal ack)")
+	semisyncTimeout := flag.Duration("semisync-timeout", 2*time.Second, "cap on the semisync ack wait before falling back to async (counted in metrics)")
+	replBuffer := flag.Int64("repl-buffer", 8<<20, "leader in-memory replication ship-buffer bytes; overflow forces a full resync")
+	replHeartbeat := flag.Duration("repl-heartbeat", time.Second, "leader-to-follower heartbeat cadence")
+	promoteAfter := flag.Duration("promote-after", 0, "auto-promote a synced standby when no leader heartbeat arrives for this long (0 = manual promotion only via POST /v1/admin/promote)")
 	flag.Parse()
 
 	if *workers <= 0 || *queue <= 0 || *cache <= 0 {
@@ -85,6 +93,23 @@ func main() {
 	}
 	if *maxBody <= 0 || *retries < 0 || *drainTimeout <= 0 {
 		fail(fmt.Errorf("need -max-body > 0, -retries >= 0, -drain-timeout > 0"))
+	}
+	if *follow != "" {
+		if *dataDir == "" {
+			fail(fmt.Errorf("-follow requires -data-dir (the replicated journal lives there)"))
+		}
+		if *advertise == "" {
+			// ":8080" → "http://127.0.0.1:8080"; an explicit host:port is
+			// used as-is. Cross-host deployments should pass -advertise.
+			host := *addr
+			if strings.HasPrefix(host, ":") {
+				host = "127.0.0.1" + host
+			}
+			*advertise = "http://" + host
+		}
+	}
+	if *semisyncTimeout <= 0 || *replBuffer <= 0 || *replHeartbeat <= 0 {
+		fail(fmt.Errorf("need -semisync-timeout, -repl-buffer and -repl-heartbeat > 0"))
 	}
 
 	if *retries == 0 {
@@ -117,30 +142,37 @@ func main() {
 	}
 
 	svc, err := service.Open(service.Config{
-		Workers:           *workers,
-		QueueDepth:        *queue,
-		EngineCacheSize:   *cache,
-		MaxGraphs:         *maxGraphs,
-		MaxVertices:       *maxVertices,
-		MaxEdges:          *maxEdges,
-		DefaultSystem:     cosparse.System{Tiles: *tiles, PEsPerTile: *pes},
-		DefaultBackend:    *backend,
-		DefaultTimeout:    *timeout,
-		MaxTimeout:        *maxTimeout,
-		MemoryBudgetBytes: *memBudget,
-		MaxBodyBytes:      *maxBody,
-		Retry:             service.RetryPolicy{MaxRetries: *retries},
-		Faults:            inject,
-		Logger:            logger,
-		EnablePprof:       *pprof,
-		SlowJob:           *slowJob,
-		TraceCap:          *traceCap,
-		TraceSink:         traceSink,
-		DataDir:           *dataDir,
-		CheckpointEvery:   *ckptEvery,
-		StoreNoSync:       *noSync,
-		BatchWindow:       *batchWindow,
-		BatchMaxLanes:     *batchLanes,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		EngineCacheSize:    *cache,
+		MaxGraphs:          *maxGraphs,
+		MaxVertices:        *maxVertices,
+		MaxEdges:           *maxEdges,
+		DefaultSystem:      cosparse.System{Tiles: *tiles, PEsPerTile: *pes},
+		DefaultBackend:     *backend,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		MemoryBudgetBytes:  *memBudget,
+		MaxBodyBytes:       *maxBody,
+		Retry:              service.RetryPolicy{MaxRetries: *retries},
+		Faults:             inject,
+		Logger:             logger,
+		EnablePprof:        *pprof,
+		SlowJob:            *slowJob,
+		TraceCap:           *traceCap,
+		TraceSink:          traceSink,
+		DataDir:            *dataDir,
+		CheckpointEvery:    *ckptEvery,
+		StoreNoSync:        *noSync,
+		BatchWindow:        *batchWindow,
+		BatchMaxLanes:      *batchLanes,
+		FollowLeader:       *follow,
+		AdvertiseURL:       *advertise,
+		ReplMode:           *replMode,
+		SemisyncTimeout:    *semisyncTimeout,
+		ReplBufferBytes:    *replBuffer,
+		ReplHeartbeatEvery: *replHeartbeat,
+		PromoteAfter:       *promoteAfter,
 	})
 	if err != nil {
 		fail(fmt.Errorf("open service: %w", err))

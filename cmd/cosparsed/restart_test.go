@@ -79,14 +79,16 @@ func freePort(t *testing.T) int {
 
 // startDaemon launches cosparsed against dataDir and waits for
 // /healthz. Iterations are slowed by injected latency so the killer
-// has a wide window between checkpoints.
-func startDaemon(t *testing.T, bin, dataDir string, port int) *daemon {
+// has a wide window between checkpoints. Extra flags (replication
+// roles, worker counts) are appended after the base set, so later
+// flags win for repeated names.
+func startDaemon(t *testing.T, bin, dataDir string, port int, extra ...string) *daemon {
 	t.Helper()
 	d := &daemon{
 		base: fmt.Sprintf("http://127.0.0.1:%d", port),
 		logs: &bytes.Buffer{},
 	}
-	d.cmd = exec.Command(bin,
+	args := []string{
 		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
 		"-workers", "1",
 		"-data-dir", dataDir,
@@ -94,7 +96,8 @@ func startDaemon(t *testing.T, bin, dataDir string, port int) *daemon {
 		"-store-no-sync",
 		"-fault-spec", "runtime.iteration:lat=1,latency=5ms",
 		"-fault-seed", "7",
-	)
+	}
+	d.cmd = exec.Command(bin, append(args, extra...)...)
 	d.cmd.Stdout, d.cmd.Stderr = d.logs, d.logs
 	if err := d.cmd.Start(); err != nil {
 		t.Fatalf("start cosparsed: %v", err)
@@ -177,12 +180,14 @@ type jobView struct {
 }
 
 type result struct {
-	Summary     string  `json:"summary"`
-	TopVertex   int32   `json:"top_vertex"`
-	TopScore    float64 `json:"top_score"`
-	Iterations  int     `json:"iterations"`
-	TotalCycles int64   `json:"total_cycles"`
-	EnergyJ     float64 `json:"energy_j"`
+	Summary      string  `json:"summary"`
+	TopVertex    int32   `json:"top_vertex"`
+	TopScore     float64 `json:"top_score"`
+	Reached      int     `json:"reached"`
+	MeanDistance float64 `json:"mean_distance"`
+	Iterations   int     `json:"iterations"`
+	TotalCycles  int64   `json:"total_cycles"`
+	EnergyJ      float64 `json:"energy_j"`
 }
 
 func (d *daemon) registerGraph(t *testing.T) {

@@ -62,13 +62,25 @@ const (
 	SnapshotWrite Point = "store.snapshot_write"
 	// RecoverReplay covers startup journal replay, per record.
 	RecoverReplay Point = "store.recover_replay"
+	// ReplSend covers the leader-side replicator before every POST to
+	// the follower (frame batches, snapshots, resync chunks,
+	// heartbeats). An injected error is a simulated network failure and
+	// drives the reconnect/backoff path.
+	ReplSend Point = "repl.send"
+	// ReplAck covers the leader's processing of a follower ack, after
+	// the HTTP response arrived and before semisync waiters release.
+	ReplAck Point = "repl.ack"
+	// ReplApply covers the follower's application of a replicated
+	// batch, before any record reaches its journal.
+	ReplApply Point = "repl.apply"
 )
 
 // Points lists every injection point the service wires up, in a fixed
 // order (used by spec validation and diagnostics).
 func Points() []Point {
 	return []Point{GraphBuild, EngineBuild, JobRun, Iteration, HTTPHandler,
-		JournalAppend, StoreSync, SnapshotWrite, RecoverReplay}
+		JournalAppend, StoreSync, SnapshotWrite, RecoverReplay,
+		ReplSend, ReplAck, ReplApply}
 }
 
 // Rule arms one point. Rates are probabilities in [0, 1] evaluated

@@ -1,0 +1,222 @@
+// Package repl implements hot-standby replication for cosparsed: a
+// leader-side Replicator streams the journal's CRC frames and
+// checkpoint snapshots to a follower over HTTP, and a follower-side
+// Follower applies the stream into its own store, tracks lag, and
+// supports promotion (manual or on leader-heartbeat timeout).
+//
+// The wire unit is the store's own journal frame (length + CRC32 +
+// JSON payload), shipped verbatim: the follower verifies every
+// checksum before anything touches its journal, so a corrupt or torn
+// batch is rejected atomically — the same discipline the store applies
+// to its own segments at Open.
+//
+// Ordering is tracked by the store's sequence numbers (1-based record
+// count within a process lifetime). A new leader session always begins
+// with a full resync — segments plus snapshots staged on the follower
+// and committed atomically — because sequence numbers do not survive a
+// leader restart. After resync the leader tails: each apply batch
+// carries the sequence number of its first record, and the follower's
+// continuity rule (duplicate prefixes skipped, gaps rejected with 409
+// so the leader falls back to resync) makes double-delivery harmless
+// and loss impossible.
+//
+// Epochs fence stale leaders. Promotion bumps the follower's persisted
+// epoch; every replication request carries the sender's epoch, and a
+// receiver whose persisted epoch is higher answers 409, which moves
+// the stale leader's replicator to StateRejected permanently.
+package repl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Mode selects how tightly submit acks couple to replication.
+type Mode int
+
+const (
+	// ModeAsync acks submits as soon as the leader's journal is
+	// durable; the follower catches up in the background.
+	ModeAsync Mode = iota
+	// ModeSemiSync holds each submit ack until the follower has
+	// acknowledged the submit's journal record (or the semisync
+	// timeout fires, falling back to async and counting the fallback
+	// in metrics).
+	ModeSemiSync
+)
+
+// ParseMode parses the -repl-mode flag value.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "async":
+		return ModeAsync, nil
+	case "semisync":
+		return ModeSemiSync, nil
+	}
+	return ModeAsync, fmt.Errorf("repl: unknown mode %q (want async or semisync)", s)
+}
+
+// String renders the mode for status endpoints and logs.
+func (m Mode) String() string {
+	if m == ModeSemiSync {
+		return "semisync"
+	}
+	return "async"
+}
+
+// Replication state codes, exported through the cosparsed_repl_state
+// gauge and the /replication endpoint.
+const (
+	// StateOff: replication not configured.
+	StateOff int64 = 0
+	// StateIdle: leader with no follower attached.
+	StateIdle int64 = 1
+	// StateSyncing: full resync in flight (leader shipping segments,
+	// or follower staging them).
+	StateSyncing int64 = 2
+	// StateStreaming: caught up and tailing appends.
+	StateStreaming int64 = 3
+	// StateDisconnected: peer unreachable; reconnect with capped
+	// backoff in progress.
+	StateDisconnected int64 = 4
+	// StateRejected: fenced by a higher epoch (stale leader after a
+	// promote); terminal until operator intervention.
+	StateRejected int64 = 5
+)
+
+// StateName renders a state code for human-facing status.
+func StateName(code int64) string {
+	switch code {
+	case StateIdle:
+		return "idle"
+	case StateSyncing:
+		return "syncing"
+	case StateStreaming:
+		return "streaming"
+	case StateDisconnected:
+		return "disconnected"
+	case StateRejected:
+		return "rejected"
+	}
+	return "off"
+}
+
+// Stats is the lock-free counter block shared with the service's
+// metrics endpoint. All fields are atomics; a zero Stats is ready.
+type Stats struct {
+	// State holds the current replication state code (State*).
+	State atomic.Int64
+	// LagRecords is the number of journaled records the peer has not
+	// acknowledged (leader side) or the last reported leader lead
+	// (follower side, 0 once caught up).
+	LagRecords atomic.Int64
+	// Resyncs counts full segment resyncs started.
+	Resyncs atomic.Int64
+	// SemisyncFallbacks counts submits that timed out waiting for a
+	// follower ack and were acked async instead.
+	SemisyncFallbacks atomic.Int64
+	// SentRecords counts journal records shipped (including resync).
+	SentRecords atomic.Int64
+	// AppliedRecords counts records applied into the local journal
+	// (follower side, including resync staging commits).
+	AppliedRecords atomic.Int64
+	// BufferedBytes is the current ship-buffer occupancy (leader).
+	BufferedBytes atomic.Int64
+	// BufferOverflows counts ship-buffer overflows; each one forces a
+	// full resync on the next successful connect.
+	BufferOverflows atomic.Int64
+}
+
+// StatusView is the JSON shape of the /replication endpoint. Leader
+// and follower fill the fields that apply to their role.
+type StatusView struct {
+	Role  string `json:"role"`
+	State string `json:"state"`
+	Mode  string `json:"mode,omitempty"`
+	Epoch uint64 `json:"epoch"`
+	// Follower is the attached follower's URL (leader side).
+	Follower string `json:"follower,omitempty"`
+	// Leader is the leader URL being followed (follower side).
+	Leader     string `json:"leader,omitempty"`
+	LagRecords int64  `json:"lag_records"`
+	// AckedSeq is the highest sequence number the follower has
+	// acknowledged (leader side).
+	AckedSeq uint64 `json:"acked_seq,omitempty"`
+	// AppliedSeq is the highest leader sequence number applied
+	// locally (follower side).
+	AppliedSeq        uint64 `json:"applied_seq,omitempty"`
+	Resyncs           int64  `json:"resyncs"`
+	SemisyncFallbacks int64  `json:"semisync_fallbacks,omitempty"`
+	BufferedBytes     int64  `json:"buffered_bytes,omitempty"`
+	BufferOverflows   int64  `json:"buffer_overflows,omitempty"`
+	// SecondsSinceHeartbeat is the follower's view of leader
+	// liveness; -1 before the first heartbeat.
+	SecondsSinceHeartbeat float64 `json:"seconds_since_heartbeat,omitempty"`
+}
+
+const (
+	epochFile    = "repl-epoch"
+	followerFile = "repl-follower"
+)
+
+// LoadEpoch reads the persisted replication epoch from dir; a missing
+// file is epoch 0 (never promoted, never fenced).
+func LoadEpoch(dir string) (uint64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, epochFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("repl: read epoch: %w", err)
+	}
+	e, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("repl: parse epoch: %w", err)
+	}
+	return e, nil
+}
+
+// SaveEpoch durably persists the replication epoch (tmp + rename, so
+// a crash never leaves a torn epoch file).
+func SaveEpoch(dir string, epoch uint64) error {
+	return atomicWrite(filepath.Join(dir, epochFile), []byte(strconv.FormatUint(epoch, 10)))
+}
+
+// LoadFollowerURL reads the last registered follower URL, so a
+// restarted leader re-attaches without waiting for the follower to
+// re-register. Missing file means no follower has ever registered.
+func LoadFollowerURL(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, followerFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", nil
+		}
+		return "", fmt.Errorf("repl: read follower url: %w", err)
+	}
+	return strings.TrimSpace(string(data)), nil
+}
+
+// SaveFollowerURL persists the registered follower URL.
+func SaveFollowerURL(dir, url string) error {
+	return atomicWrite(filepath.Join(dir, followerFile), []byte(url))
+}
+
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("repl: write %s: %w", filepath.Base(path), err)
+	}
+	f, err := os.Open(tmp)
+	if err == nil {
+		f.Sync()
+		f.Close()
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("repl: rename %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}

@@ -1,0 +1,488 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"cosparse/internal/store"
+)
+
+func testStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	s, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func submitRec(id string) store.Record {
+	return store.Record{Type: store.RecSubmit, JobID: id, Request: json.RawMessage(`{"algo":"pr"}`), TimeoutMS: 1000}
+}
+
+func encodeFrames(t *testing.T, recs ...store.Record) []byte {
+	t.Helper()
+	var buf []byte
+	for _, r := range recs {
+		f, err := EncodeFrame(r)
+		if err != nil {
+			t.Fatalf("EncodeFrame: %v", err)
+		}
+		buf = append(buf, f...)
+	}
+	return buf
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	want := []store.Record{
+		submitRec("j1"),
+		{Type: store.RecStart, JobID: "j1"},
+		{Type: store.RecGraph, GraphID: "g1", GraphSpec: json.RawMessage(`{"kind":"powerlaw"}`)},
+		{Type: store.RecFinish, JobID: "j1", State: "done"},
+	}
+	got, err := DecodeFrames(encodeFrames(t, want...))
+	if err != nil {
+		t.Fatalf("DecodeFrames: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Type != want[i].Type || got[i].JobID != want[i].JobID || got[i].GraphID != want[i].GraphID {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if recs, err := DecodeFrames(nil); err != nil || len(recs) != 0 {
+		t.Errorf("DecodeFrames(nil) = (%v, %v), want empty ok", recs, err)
+	}
+}
+
+func TestDecodeFramesAtomicOnCorruption(t *testing.T) {
+	clean := encodeFrames(t, submitRec("j1"), submitRec("j2"))
+
+	// Torn tail: everything-or-nothing, even though the first frame is
+	// intact.
+	if recs, err := DecodeFrames(clean[:len(clean)-3]); err == nil || recs != nil {
+		t.Errorf("torn tail: got (%v, %v), want (nil, error)", recs, err)
+	}
+	// Flipped payload byte in the second frame.
+	corrupt := append([]byte(nil), clean...)
+	corrupt[len(corrupt)-2] ^= 0xff
+	if recs, err := DecodeFrames(corrupt); err == nil || recs != nil {
+		t.Errorf("corrupt payload: got (%v, %v), want (nil, error)", recs, err)
+	}
+	// Trailing garbage after valid frames.
+	if recs, err := DecodeFrames(append(append([]byte(nil), clean...), 0x01)); err == nil || recs != nil {
+		t.Errorf("trailing garbage: got (%v, %v), want (nil, error)", recs, err)
+	}
+}
+
+func TestSplitFramesNeverTearsAFrame(t *testing.T) {
+	var recs []store.Record
+	for i := 0; i < 10; i++ {
+		recs = append(recs, submitRec(fmt.Sprintf("j%d", i)))
+	}
+	data := encodeFrames(t, recs...)
+	chunks, err := splitFrames(data, 100)
+	if err != nil {
+		t.Fatalf("splitFrames: %v", err)
+	}
+	if len(chunks) < 2 {
+		t.Fatalf("expected multiple chunks at 100-byte budget, got %d", len(chunks))
+	}
+	var total int
+	for i, c := range chunks {
+		// Every chunk must decode independently — the follower
+		// CRC-verifies chunk by chunk.
+		got, err := DecodeFrames(c)
+		if err != nil {
+			t.Fatalf("chunk %d does not decode: %v", i, err)
+		}
+		total += len(got)
+	}
+	if total != len(recs) {
+		t.Fatalf("chunks decode to %d records, want %d", total, len(recs))
+	}
+	if _, err := splitFrames(data[:len(data)-1], 100); err == nil {
+		t.Error("splitFrames accepted a torn input")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for in, want := range map[string]Mode{"": ModeAsync, "async": ModeAsync, "semisync": ModeSemiSync, "SemiSync": ModeSemiSync} {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = (%v, %v), want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseMode("paxos"); err == nil {
+		t.Error("ParseMode accepted an unknown mode")
+	}
+}
+
+func TestEpochPersistence(t *testing.T) {
+	dir := t.TempDir()
+	if e, err := LoadEpoch(dir); err != nil || e != 0 {
+		t.Fatalf("LoadEpoch(empty) = (%d, %v), want (0, nil)", e, err)
+	}
+	if err := SaveEpoch(dir, 7); err != nil {
+		t.Fatalf("SaveEpoch: %v", err)
+	}
+	if e, err := LoadEpoch(dir); err != nil || e != 7 {
+		t.Fatalf("LoadEpoch = (%d, %v), want (7, nil)", e, err)
+	}
+	if u, err := LoadFollowerURL(dir); err != nil || u != "" {
+		t.Fatalf("LoadFollowerURL(empty) = (%q, %v)", u, err)
+	}
+	if err := SaveFollowerURL(dir, "http://standby:9"); err != nil {
+		t.Fatalf("SaveFollowerURL: %v", err)
+	}
+	if u, _ := LoadFollowerURL(dir); u != "http://standby:9" {
+		t.Fatalf("LoadFollowerURL = %q", u)
+	}
+}
+
+// followerFixture wires a Follower over a real store behind an
+// httptest server.
+type followerFixture struct {
+	f     *Follower
+	store *store.Store
+	srv   *httptest.Server
+	stats *Stats
+}
+
+func newFollowerFixture(t *testing.T) *followerFixture {
+	t.Helper()
+	dir := t.TempDir()
+	st := testStore(t, dir)
+	stats := &Stats{}
+	f, err := NewFollower(FollowerConfig{
+		Store: st, DataDir: dir, LeaderURL: "http://unused", SelfURL: "http://unused",
+		Stats: stats,
+	})
+	if err != nil {
+		t.Fatalf("NewFollower: %v", err)
+	}
+	srv := httptest.NewServer(f.Handler())
+	t.Cleanup(srv.Close)
+	return &followerFixture{f: f, store: st, srv: srv, stats: stats}
+}
+
+// do issues one replication request against the fixture.
+func (fx *followerFixture) do(t *testing.T, path string, epoch, baseSeq uint64, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, fx.srv.URL+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(HeaderEpoch, strconv.FormatUint(epoch, 10))
+	if baseSeq > 0 {
+		req.Header.Set(HeaderBaseSeq, strconv.FormatUint(baseSeq, 10))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// sync commits an empty resync so the follower accepts tail applies
+// from sequence 1.
+func (fx *followerFixture) sync(t *testing.T, epoch uint64) {
+	t.Helper()
+	if resp := fx.do(t, "/v1/repl/resync/begin", epoch, 0, nil); resp.StatusCode != 200 {
+		t.Fatalf("resync/begin -> %d", resp.StatusCode)
+	}
+	if resp := fx.do(t, "/v1/repl/resync/commit", epoch, 0, []byte(`{"cursor":0}`)); resp.StatusCode != 200 {
+		t.Fatalf("resync/commit -> %d", resp.StatusCode)
+	}
+}
+
+func TestFollowerRejectsTornBatchAtomically(t *testing.T) {
+	fx := newFollowerFixture(t)
+	fx.sync(t, 0)
+
+	clean := encodeFrames(t, submitRec("j1"), submitRec("j2"))
+	// A mid-stream torn tail: the request body ends inside frame 2.
+	if resp := fx.do(t, "/v1/repl/apply", 0, 1, clean[:len(clean)-3]); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("torn apply -> %d, want 400", resp.StatusCode)
+	}
+	if recs, _ := fx.store.Replay(); len(recs) != 0 {
+		t.Fatalf("torn apply half-applied: journal has %d records", len(recs))
+	}
+	if fx.f.AppliedSeq() != 0 {
+		t.Fatalf("torn apply moved the cursor to %d", fx.f.AppliedSeq())
+	}
+	// The identical clean batch then applies in full.
+	if resp := fx.do(t, "/v1/repl/apply", 0, 1, clean); resp.StatusCode != 200 {
+		t.Fatalf("clean apply -> %d", resp.StatusCode)
+	}
+	if recs, _ := fx.store.Replay(); len(recs) != 2 {
+		t.Fatalf("clean apply landed %d records, want 2", len(recs))
+	}
+}
+
+func TestFollowerSequenceContinuity(t *testing.T) {
+	fx := newFollowerFixture(t)
+
+	// Before any resync there is no sync base: applies are refused.
+	if resp := fx.do(t, "/v1/repl/apply", 0, 1, encodeFrames(t, submitRec("j1"))); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("apply before sync -> %d, want 409", resp.StatusCode)
+	}
+	fx.sync(t, 0)
+
+	b12 := encodeFrames(t, submitRec("j1"), submitRec("j2"))
+	if resp := fx.do(t, "/v1/repl/apply", 0, 1, b12); resp.StatusCode != 200 {
+		t.Fatalf("apply -> %d", resp.StatusCode)
+	}
+	// Exact duplicate (leader retry after a lost ack): acked, not
+	// re-applied.
+	if resp := fx.do(t, "/v1/repl/apply", 0, 1, b12); resp.StatusCode != 200 {
+		t.Fatalf("duplicate apply -> %d, want 200", resp.StatusCode)
+	}
+	if recs, _ := fx.store.Replay(); len(recs) != 2 {
+		t.Fatalf("duplicate re-applied: %d records", len(recs))
+	}
+	// Overlap: [2,3] with 2 already applied — only 3 lands.
+	if resp := fx.do(t, "/v1/repl/apply", 0, 2, encodeFrames(t, submitRec("j2"), submitRec("j3"))); resp.StatusCode != 200 {
+		t.Fatalf("overlap apply -> %d", resp.StatusCode)
+	}
+	recs, _ := fx.store.Replay()
+	if len(recs) != 3 || recs[2].JobID != "j3" {
+		t.Fatalf("overlap apply journal = %d records (%+v)", len(recs), recs)
+	}
+	// Gap: base 10 when expecting 4 — 409 so the leader resyncs.
+	if resp := fx.do(t, "/v1/repl/apply", 0, 10, encodeFrames(t, submitRec("j9"))); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("gap apply -> %d, want 409", resp.StatusCode)
+	}
+	if fx.f.AppliedSeq() != 3 {
+		t.Fatalf("AppliedSeq = %d, want 3", fx.f.AppliedSeq())
+	}
+}
+
+func TestFollowerEpochFencing(t *testing.T) {
+	fx := newFollowerFixture(t)
+	fx.sync(t, 0)
+
+	// Promote: epoch bumps to 1, durably.
+	epoch, err := fx.f.MarkPromoted()
+	if err != nil || epoch != 1 {
+		t.Fatalf("MarkPromoted = (%d, %v), want (1, nil)", epoch, err)
+	}
+	// Idempotent second promote.
+	if e2, err := fx.f.MarkPromoted(); err != nil || e2 != 1 {
+		t.Fatalf("second MarkPromoted = (%d, %v), want (1, nil)", e2, err)
+	}
+	if e, _ := LoadEpoch(fx.f.cfg.DataDir); e != 1 {
+		t.Fatalf("persisted epoch = %d, want 1", e)
+	}
+	// The stale leader's stream (epoch 0) is rejected on every path.
+	for _, path := range []string{"/v1/repl/apply", "/v1/repl/heartbeat", "/v1/repl/resync/begin"} {
+		base := uint64(0)
+		if path == "/v1/repl/apply" {
+			base = 4
+		}
+		if resp := fx.do(t, path, 0, base, encodeFrames(t, submitRec("jx"))); resp.StatusCode != http.StatusConflict {
+			t.Errorf("%s from stale leader -> %d, want 409", path, resp.StatusCode)
+		}
+	}
+	if recs, _ := fx.store.Replay(); len(recs) != 0 {
+		t.Fatalf("stale leader wrote %d records past the fence", len(recs))
+	}
+}
+
+// TestLeaderFollowerEndToEnd runs a real leader replicator against a
+// real follower: resync of pre-existing history, then tail streaming,
+// then a semisync WaitApplied.
+func TestLeaderFollowerEndToEnd(t *testing.T) {
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+
+	fStore := testStore(t, followerDir)
+	fStats := &Stats{}
+	fol, err := NewFollower(FollowerConfig{
+		Store: fStore, DataDir: followerDir, LeaderURL: "http://unused", SelfURL: "http://unused",
+		Stats: fStats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsrv := httptest.NewServer(fol.Handler())
+	defer fsrv.Close()
+
+	lStats := &Stats{}
+	var rep *Replicator
+	lStore, err := store.Open(leaderDir, store.Options{
+		NoSync: true,
+		OnAppendFrame: func(seq uint64, frame []byte) {
+			if rep != nil {
+				rep.OnRecord(seq, frame)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lStore.Close()
+
+	// History written before the follower ever attaches: covered by
+	// resync.
+	for i := 1; i <= 5; i++ {
+		if err := lStore.Append(submitRec(fmt.Sprintf("pre%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lStore.WriteSnapshot("pre1", []byte("ckpt-bytes")); err != nil {
+		t.Fatal(err)
+	}
+
+	rep = NewReplicator(LeaderConfig{
+		Store: lStore, DataDir: leaderDir, Stats: lStats,
+		HeartbeatEvery: 50 * time.Millisecond,
+	})
+	defer rep.Close()
+	if err := rep.AttachFollower(fsrv.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "resync", func() bool { return rep.AckedSeq() >= 5 })
+
+	// Tail records stream without another resync.
+	for i := 1; i <= 3; i++ {
+		if err := lStore.Append(submitRec(fmt.Sprintf("tail%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if !rep.WaitApplied(ctx, 8) {
+		t.Fatalf("WaitApplied(8) timed out; acked=%d", rep.AckedSeq())
+	}
+
+	recs, _ := fStore.Replay()
+	if len(recs) != 8 || recs[0].JobID != "pre1" || recs[7].JobID != "tail3" {
+		t.Fatalf("follower journal = %d records (%+v)", len(recs), recs)
+	}
+	snaps, err := fStore.LoadSnapshots("pre1")
+	if err != nil || len(snaps) == 0 || string(snaps[0]) != "ckpt-bytes" {
+		t.Fatalf("follower snapshot = (%v, %v), want ckpt-bytes", snaps, err)
+	}
+	if got := lStats.Resyncs.Load(); got != 1 {
+		t.Errorf("leader resyncs = %d, want 1", got)
+	}
+	if lStats.State.Load() != StateStreaming {
+		t.Errorf("leader state = %s, want streaming", StateName(lStats.State.Load()))
+	}
+	waitFor(t, "follower heartbeat", func() bool { return fol.Status().SecondsSinceHeartbeat >= 0 })
+}
+
+func TestBufferOverflowTriggersResyncOnAttach(t *testing.T) {
+	leaderDir := t.TempDir()
+	lStats := &Stats{}
+	var rep *Replicator
+	lStore, err := store.Open(leaderDir, store.Options{
+		NoSync: true,
+		OnAppendFrame: func(seq uint64, frame []byte) {
+			if rep != nil {
+				rep.OnRecord(seq, frame)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lStore.Close()
+	// No follower yet and a tiny buffer: appends overflow the ship
+	// buffer and are dropped.
+	rep = NewReplicator(LeaderConfig{
+		Store: lStore, DataDir: leaderDir, Stats: lStats, BufferBytes: 256,
+		HeartbeatEvery: 50 * time.Millisecond,
+	})
+	defer rep.Close()
+	for i := 1; i <= 50; i++ {
+		if err := lStore.Append(submitRec(fmt.Sprintf("j%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lStats.BufferOverflows.Load() == 0 {
+		t.Fatal("expected ship-buffer overflow with 256-byte budget")
+	}
+
+	fx := newFollowerFixture(t)
+	if err := rep.AttachFollower(fx.srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	// Despite the dropped tail, a full resync delivers everything.
+	waitFor(t, "resync after overflow", func() bool { return rep.AckedSeq() >= 50 })
+	if recs, _ := fx.store.Replay(); len(recs) != 50 {
+		t.Fatalf("follower journal = %d records, want 50", len(recs))
+	}
+}
+
+func TestLeaderFencedByPromotedFollower(t *testing.T) {
+	leaderDir := t.TempDir()
+	lStats := &Stats{}
+	var rep *Replicator
+	lStore, err := store.Open(leaderDir, store.Options{
+		NoSync: true,
+		OnAppendFrame: func(seq uint64, frame []byte) {
+			if rep != nil {
+				rep.OnRecord(seq, frame)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lStore.Close()
+
+	fx := newFollowerFixture(t)
+	if _, err := fx.f.MarkPromoted(); err != nil {
+		t.Fatal(err)
+	}
+	rep = NewReplicator(LeaderConfig{
+		Store: lStore, DataDir: leaderDir, Stats: lStats,
+		HeartbeatEvery: 20 * time.Millisecond,
+	})
+	defer rep.Close()
+	if err := lStore.Append(submitRec("j1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.AttachFollower(fx.srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "fencing", func() bool { return lStats.State.Load() == StateRejected })
+	// Semisync waiters are released with failure, not hung.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if rep.WaitApplied(ctx, 1) {
+		t.Fatal("WaitApplied succeeded against a fenced replicator")
+	}
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatal("WaitApplied hung until the deadline instead of failing fast")
+	}
+	if recs, _ := fx.store.Replay(); len(recs) != 0 {
+		t.Fatalf("fenced leader still replicated %d records", len(recs))
+	}
+}
+
+func waitFor(t *testing.T, what string, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if ok() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -1,0 +1,162 @@
+package service
+
+// Replication ack-latency benchmark (the `make bench-repl` target): 16
+// concurrent clients submit small native PageRank jobs against a
+// leader with a caught-up local follower, once in async mode (202 on
+// local durability) and once in semisync (202 held for the follower's
+// journal ack). Only the submit POST is timed; each client waits for
+// its job to settle off the clock so the queue never saturates. Gated
+// behind BENCH_REPL; results land in BENCH_repl.json at the repo root
+// and the run fails if the semisync p50 costs more than 2x the async
+// p50 on localhost.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBenchRepl(t *testing.T) {
+	if os.Getenv("BENCH_REPL") == "" {
+		t.Skip("set BENCH_REPL=1 to run the replication ack-latency comparison")
+	}
+	const (
+		clients   = 16
+		perClient = 32
+		jobs      = clients * perClient
+	)
+
+	runSide := func(mode string) []time.Duration {
+		cfg := Config{
+			Workers: clients, QueueDepth: jobs + 8,
+			ReplMode:        mode,
+			SemisyncTimeout: 10 * time.Second,
+		}
+		leader, lts := newReplLeader(t, t.TempDir(), cfg)
+		defer func() {
+			lts.Close()
+			leader.Close()
+		}()
+		_, fts := newReplFollower(t, t.TempDir(), lts.URL, Config{Workers: 1, QueueDepth: 8})
+		waitCaughtUp(t, fts.URL)
+		gid := registerGraph(t, lts.URL, 11)
+
+		// submit posts one job, returns the POST round-trip time, then
+		// waits for the job off the clock; goroutine-safe.
+		submit := func() (time.Duration, error) {
+			body, _ := json.Marshal(JobRequest{
+				GraphID: gid, Algo: "pr", Iterations: 2,
+				Backend: "native", TimeoutMs: 120_000,
+			})
+			t0 := time.Now()
+			resp, err := http.Post(lts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			lat := time.Since(t0)
+			if err != nil {
+				return 0, err
+			}
+			var st JobStatus
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				return 0, err
+			}
+			if resp.StatusCode != http.StatusAccepted {
+				return 0, fmt.Errorf("submit: status %d", resp.StatusCode)
+			}
+			j := leader.sched.Get(st.ID)
+			if j == nil {
+				return 0, fmt.Errorf("job %s vanished", st.ID)
+			}
+			<-j.Done()
+			return lat, nil
+		}
+
+		// Warm the engine cache so the measured jobs are steady-state.
+		if _, err := submit(); err != nil {
+			t.Fatalf("%s warmup: %v", mode, err)
+		}
+
+		var (
+			mu       sync.Mutex
+			lats     = make([]time.Duration, 0, jobs)
+			firstErr error
+			wg       sync.WaitGroup
+		)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < perClient; k++ {
+					lat, err := submit()
+					mu.Lock()
+					if err != nil && firstErr == nil {
+						firstErr = err
+					}
+					lats = append(lats, lat)
+					mu.Unlock()
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			t.Fatalf("%s side: %v", mode, firstErr)
+		}
+		if n := leader.replStats.SemisyncFallbacks.Load(); n != 0 {
+			t.Fatalf("%s side fell back %d times; the semisync numbers would be fake", mode, n)
+		}
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		return lats
+	}
+
+	pct := func(lats []time.Duration, p float64) time.Duration {
+		i := int(float64(len(lats)-1) * p)
+		return lats[i]
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+	asyncLats := runSide("async")
+	semiLats := runSide("semisync")
+
+	asyncP50, asyncP99 := pct(asyncLats, 0.50), pct(asyncLats, 0.99)
+	semiP50, semiP99 := pct(semiLats, 0.50), pct(semiLats, 0.99)
+	overhead := float64(semiP50) / float64(asyncP50)
+
+	out := struct {
+		Jobs        int     `json:"jobs"`
+		Clients     int     `json:"clients"`
+		Algo        string  `json:"algo"`
+		Backend     string  `json:"backend"`
+		AsyncP50Ms  float64 `json:"async_submit_p50_ms"`
+		AsyncP99Ms  float64 `json:"async_submit_p99_ms"`
+		SemiP50Ms   float64 `json:"semisync_submit_p50_ms"`
+		SemiP99Ms   float64 `json:"semisync_submit_p99_ms"`
+		OverheadP50 float64 `json:"semisync_overhead_p50"`
+	}{
+		Jobs: jobs, Clients: clients, Algo: "pr", Backend: "native",
+		AsyncP50Ms: ms(asyncP50), AsyncP99Ms: ms(asyncP99),
+		SemiP50Ms: ms(semiP50), SemiP99Ms: ms(semiP99),
+		OverheadP50: overhead,
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_repl.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("async p50 %v p99 %v; semisync p50 %v p99 %v; overhead %.2fx",
+		asyncP50, asyncP99, semiP50, semiP99, overhead)
+
+	if overhead >= 2 {
+		t.Errorf("semisync p50 overhead %.2fx, want < 2x on localhost", overhead)
+	}
+}

@@ -184,6 +184,11 @@ type Job struct {
 	// durability journal can restore an equivalent deadline on
 	// recovery.
 	timeout time.Duration
+	// replSeq is the journal sequence number of the submit record (0
+	// without durability); semisync submit acks wait on it. Written by
+	// journalSubmit inside SubmitJob and read by the same goroutine
+	// after SubmitJob returns, so it needs no lock.
+	replSeq uint64
 	// recovered marks a job re-enqueued from the journal on startup.
 	recovered bool
 

@@ -14,6 +14,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"cosparse/internal/repl"
 )
 
 // CycleBuckets are the histogram bounds for per-job simulated cycle
@@ -169,6 +171,10 @@ type Metrics struct {
 	JobsRecoveredRestarted atomic.Int64
 	JobsRecoveredFailed    atomic.Int64
 
+	// Repl is the replication counter block shared with internal/repl
+	// (state stays 0 = off when replication is not configured).
+	Repl *repl.Stats
+
 	// BatchOccupancy tracks lanes per fused batch run: how many
 	// compatible jobs each gather window actually coalesced.
 	BatchOccupancy *Histogram
@@ -312,6 +318,16 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("cosparsed_sim_hbm_write_queued_cycles_total", "Simulated HBM channel queueing cycles on the write side across finished jobs.", m.SimHBMWriteQueued.Load())
 	counter("cosparsed_sim_stall_cycles_total", "Simulated PE memory-stall cycles across finished jobs.", m.SimStallCycles.Load())
 	counter("cosparsed_sim_reconfigurations_total", "Hardware/software reconfigurations performed across finished jobs.", m.SimReconfigurations.Load())
+	if m.Repl != nil {
+		gauge("cosparsed_repl_state", "Replication state (0=off 1=idle 2=syncing 3=streaming 4=disconnected 5=rejected).", m.Repl.State.Load())
+		gauge("cosparsed_repl_lag_records", "Journal records the replication peer has not acknowledged.", m.Repl.LagRecords.Load())
+		counter("cosparsed_repl_resyncs_total", "Full segment resyncs started.", m.Repl.Resyncs.Load())
+		counter("cosparsed_repl_semisync_fallbacks_total", "Semisync submits acked without a follower ack (timeout fallback to async).", m.Repl.SemisyncFallbacks.Load())
+		counter("cosparsed_repl_sent_records_total", "Journal records shipped to the follower (tail batches plus resyncs).", m.Repl.SentRecords.Load())
+		counter("cosparsed_repl_applied_records_total", "Replicated journal records applied locally (follower side).", m.Repl.AppliedRecords.Load())
+		gauge("cosparsed_repl_buffered_bytes", "Leader ship-buffer occupancy.", m.Repl.BufferedBytes.Load())
+		counter("cosparsed_repl_buffer_overflows_total", "Ship-buffer overflows (each forces a full resync).", m.Repl.BufferOverflows.Load())
+	}
 
 	// One lock acquisition snapshots every histogram family; the
 	// histograms themselves are rendered from atomics afterwards.

@@ -41,7 +41,7 @@ func (s *Service) journalSubmit(j *Job) error {
 	if err != nil {
 		return fmt.Errorf("journal submit: %w", err)
 	}
-	return s.db.Append(store.Record{
+	seq, err := s.db.AppendSeq(store.Record{
 		Type:       store.RecSubmit,
 		TimeUnixNs: nowNs(),
 		JobID:      j.id,
@@ -49,6 +49,12 @@ func (s *Service) journalSubmit(j *Job) error {
 		Request:    reqJSON,
 		TimeoutMS:  j.timeout.Milliseconds(),
 	})
+	if err != nil {
+		return err
+	}
+	// The submit's sequence number is what a semisync ack waits on.
+	j.replSeq = seq
+	return nil
 }
 
 func (s *Service) journalStart(j *Job) {
@@ -150,8 +156,12 @@ type recoveredJob struct {
 	finished bool
 }
 
-// recover replays the journal into the registry and scheduler. It runs
-// before the HTTP listener exists, so nothing races it.
+// recover replays the journal into the registry and scheduler. At
+// startup it runs before the HTTP listener exists; at promotion the
+// listener is live, but the standby guard keeps every mutating
+// endpoint at 503 until Promote flips the role after recover returns,
+// so the registry and scheduler are still exclusively ours (read
+// endpoints take their own locks and race benignly).
 func (s *Service) recover() error {
 	recs, rstats := s.db.Replay()
 	s.recovered = RecoveryStats{Records: rstats.Records, Truncated: rstats.Truncated}
@@ -406,7 +416,8 @@ func (s *Service) checkpointContext(j *Job) context.Context {
 	if s.cfg.CheckpointEvery > 0 {
 		cfg.Every = s.cfg.CheckpointEvery
 		cfg.Sink = func(cp *cosparse.Checkpoint) error {
-			if err := s.db.WriteSnapshot(j.id, cp.Encode()); err != nil {
+			data := cp.Encode()
+			if err := s.db.WriteSnapshot(j.id, data); err != nil {
 				// Degraded durability must not kill a healthy run: log,
 				// count, keep computing. The previous snapshot (if any)
 				// remains the resume point.
@@ -419,6 +430,12 @@ func (s *Service) checkpointContext(j *Job) context.Context {
 			}
 			s.m.CheckpointsWritten.Add(1)
 			j.noteCheckpoint(cp.Iteration())
+			// Ship the fresh checkpoint to the follower (best-effort,
+			// latest image wins) so a promotion resumes mid-run instead
+			// of recomputing from iteration 0.
+			if rl := s.replLeader.Load(); rl != nil {
+				rl.ShipSnapshot(j.id, data)
+			}
 			return nil
 		}
 	}

@@ -19,6 +19,7 @@ import (
 	"cosparse"
 	"cosparse/internal/batch"
 	"cosparse/internal/fault"
+	"cosparse/internal/repl"
 	"cosparse/internal/store"
 )
 
@@ -103,6 +104,32 @@ type Config struct {
 	// BatchMaxLanes caps how many jobs one fused run carries (default
 	// 32 when batching is enabled).
 	BatchMaxLanes int
+	// FollowLeader, when non-empty, starts this instance as a hot
+	// standby of the leader at the given base URL: mutating endpoints
+	// answer 503, the leader's journal and checkpoint stream is
+	// applied into this node's store, and promotion (POST
+	// /v1/admin/promote, or PromoteAfter without a heartbeat) runs
+	// recovery and takes over as leader. Requires DataDir.
+	FollowLeader string
+	// AdvertiseURL is the base URL this node is reachable at, sent to
+	// the leader at registration (follower mode). Required with
+	// FollowLeader.
+	AdvertiseURL string
+	// ReplMode selects the leader's submit-ack coupling: "async" (the
+	// default) or "semisync" (submit acks wait for the follower's
+	// journal ack, with SemisyncTimeout fallback to async).
+	ReplMode string
+	// SemisyncTimeout caps the semisync ack wait (default 2s).
+	SemisyncTimeout time.Duration
+	// ReplBufferBytes bounds the leader's in-memory ship buffer
+	// (default 8 MiB); overflow forces a full resync.
+	ReplBufferBytes int64
+	// ReplHeartbeatEvery is the leader→follower heartbeat cadence
+	// (default 1s).
+	ReplHeartbeatEvery time.Duration
+	// PromoteAfter auto-promotes a synced follower when no leader
+	// heartbeat arrives for this long (0 = manual promotion only).
+	PromoteAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -178,6 +205,28 @@ type Service struct {
 	// batcher coalesces compatible jobs into fused multi-vector runs;
 	// nil when cfg.BatchWindow is 0 (every job runs solo).
 	batcher *batch.Coalescer
+
+	// Replication role state. standby is true while this node follows a
+	// leader (mutating endpoints 503); promotion flips it after recovery.
+	standby atomic.Bool
+	// replStats is the lock-free counter block shared with the metrics
+	// endpoint; always allocated (state stays "off" without replication).
+	replStats *repl.Stats
+	// replLeader is the leader-side replicator: set for every durable
+	// leader (a follower can attach to any of them), and installed by
+	// Promote on an ex-standby. Loaded from the store's append hook, so
+	// it must be an atomic pointer.
+	replLeader atomic.Pointer[repl.Replicator]
+	// follower is the standby-side stream applier; nil on a born-leader.
+	follower *repl.Follower
+	// followerStop cancels the follower's register/watchdog loop.
+	followerStop context.CancelFunc
+	// replEpoch mirrors the persisted replication epoch.
+	replEpoch atomic.Uint64
+	// replMode is the parsed cfg.ReplMode.
+	replMode repl.Mode
+	// promoteMu serializes Promote (manual + heartbeat-timeout callers).
+	promoteMu sync.Mutex
 }
 
 // New assembles a Service (call Close when done).
@@ -191,6 +240,8 @@ func New(cfg Config) *Service {
 		log:   cfg.Logger,
 		start: time.Now(),
 	}
+	s.replStats = &repl.Stats{}
+	s.m.Repl = s.replStats
 	s.reg.SetMemoryBudget(cfg.MemoryBudgetBytes)
 	s.reg.SetFaults(cfg.Faults)
 	s.reg.SetTraceCap(cfg.TraceCap)
@@ -213,6 +264,16 @@ func New(cfg Config) *Service {
 // state. With an empty DataDir it is exactly New.
 func Open(cfg Config) (*Service, error) {
 	s := New(cfg)
+	mode, err := repl.ParseMode(s.cfg.ReplMode)
+	if err != nil {
+		s.sched.Close()
+		return nil, err
+	}
+	s.replMode = mode
+	if s.cfg.FollowLeader != "" && s.cfg.DataDir == "" {
+		s.sched.Close()
+		return nil, fmt.Errorf("follower mode (-follow) requires a data dir")
+	}
 	if s.cfg.DataDir == "" {
 		return s, nil
 	}
@@ -221,6 +282,16 @@ func Open(cfg Config) (*Service, error) {
 		NoSync:          s.cfg.StoreNoSync,
 		Faults:          s.cfg.Faults,
 		OnAppend:        func(n int) { s.m.JournalBytes.Add(int64(n)) },
+		// Every committed journal frame is offered to the replicator.
+		// The closure re-reads the atomic pointer so frames flow to the
+		// replicator a promotion installs later; while it is nil (e.g.
+		// during recovery) frames are skipped, which is safe — a
+		// follower attach always starts with a full resync.
+		OnAppendFrame: func(seq uint64, frame []byte) {
+			if rl := s.replLeader.Load(); rl != nil {
+				rl.OnRecord(seq, frame)
+			}
+		},
 		Logf: func(format string, args ...any) {
 			s.log.Info(fmt.Sprintf(format, args...))
 		},
@@ -232,11 +303,53 @@ func Open(cfg Config) (*Service, error) {
 	s.db = db
 	s.sched.durable = true
 	s.sched.onSubmit = s.journalSubmit
+	if s.cfg.FollowLeader != "" {
+		// Standby: the journal belongs to the replication stream, so
+		// recovery is deferred to promotion — replaying it now would
+		// start jobs that the leader is still running.
+		s.standby.Store(true)
+		f, err := repl.NewFollower(repl.FollowerConfig{
+			Store:        db,
+			DataDir:      s.cfg.DataDir,
+			LeaderURL:    s.cfg.FollowLeader,
+			SelfURL:      s.cfg.AdvertiseURL,
+			PromoteAfter: s.cfg.PromoteAfter,
+			OnPromote: func(reason string) {
+				if _, err := s.Promote(reason); err != nil {
+					s.log.Error("auto-promote failed", slog.String("err", err.Error()))
+				}
+			},
+			Faults: s.cfg.Faults,
+			Stats:  s.replStats,
+			Logger: s.replLog(),
+		})
+		if err != nil {
+			s.sched.Close()
+			db.Close()
+			return nil, err
+		}
+		s.follower = f
+		s.replEpoch.Store(f.Epoch())
+		ctx, cancel := context.WithCancel(context.Background())
+		s.followerStop = cancel
+		go f.Run(ctx)
+		return s, nil
+	}
 	if err := s.recover(); err != nil {
 		s.sched.Close()
 		db.Close()
 		return nil, err
 	}
+	// Every durable leader runs a replicator (idle until a follower
+	// registers), so standby attachment needs no leader-side flag.
+	epoch, err := repl.LoadEpoch(s.cfg.DataDir)
+	if err != nil {
+		s.sched.Close()
+		db.Close()
+		return nil, err
+	}
+	s.replEpoch.Store(epoch)
+	s.replLeader.Store(s.newReplicator(epoch))
 	return s, nil
 }
 
@@ -252,6 +365,12 @@ func (s *Service) Recovered() RecoveryStats { return s.recovered }
 // durability store.
 func (s *Service) Close() {
 	s.sched.Close()
+	if s.followerStop != nil {
+		s.followerStop()
+	}
+	if rl := s.replLeader.Load(); rl != nil {
+		rl.Close()
+	}
 	if s.db != nil {
 		s.db.Close()
 	}
@@ -280,19 +399,41 @@ func (s *Service) Metrics() *Metrics { return s.m }
 // latency instrumentation, and (optionally) pprof attached.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	s.route(mux, "POST /v1/graphs", s.handleRegisterGraph)
+	// Mutating endpoints are guarded: a standby answers 503 on them
+	// until promoted, so clients never write to a node whose journal is
+	// owned by the replication stream.
+	s.route(mux, "POST /v1/graphs", s.guardStandby(s.handleRegisterGraph))
 	s.route(mux, "GET /v1/graphs", s.handleListGraphs)
 	s.route(mux, "GET /v1/graphs/{id}", s.handleGetGraph)
-	s.route(mux, "DELETE /v1/graphs/{id}", s.handleDeleteGraph)
-	s.route(mux, "POST /v1/jobs", s.handleSubmitJob)
-	s.route(mux, "POST /v1/jobs/batch", s.handleSubmitBatch)
+	s.route(mux, "DELETE /v1/graphs/{id}", s.guardStandby(s.handleDeleteGraph))
+	s.route(mux, "POST /v1/jobs", s.guardStandby(s.handleSubmitJob))
+	s.route(mux, "POST /v1/jobs/batch", s.guardStandby(s.handleSubmitBatch))
 	s.route(mux, "GET /v1/jobs", s.handleListJobs)
 	s.route(mux, "GET /v1/jobs/{id}", s.handleGetJob)
 	s.route(mux, "GET /v1/jobs/{id}/trace", s.handleJobTrace)
-	s.route(mux, "DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.route(mux, "DELETE /v1/jobs/{id}", s.guardStandby(s.handleCancelJob))
 	s.route(mux, "GET /healthz", s.handleHealth)
 	s.route(mux, "GET /readyz", s.handleReady)
 	s.route(mux, "GET /metrics", s.handleMetrics)
+	s.route(mux, "GET /replication", s.handleReplication)
+	s.route(mux, "POST /v1/repl/register", s.handleReplRegister)
+	s.route(mux, "POST /v1/admin/promote", s.handlePromote)
+	if s.follower != nil {
+		// The stream-apply endpoints exist only on a node started as a
+		// follower; after promotion they keep answering 409 (fenced).
+		fh := s.follower.Handler()
+		for _, p := range []string{
+			"POST /v1/repl/apply",
+			"POST /v1/repl/heartbeat",
+			"POST /v1/repl/resync/begin",
+			"POST /v1/repl/resync/chunk",
+			"POST /v1/repl/resync/snapshot/{job}",
+			"POST /v1/repl/resync/commit",
+			"POST /v1/repl/snapshot/{job}",
+		} {
+			mux.Handle(p, fh)
+		}
+	}
 	if s.cfg.EnablePprof {
 		// Mounted on the service mux (not http.DefaultServeMux, which
 		// importing net/http/pprof would populate globally) so the flag
@@ -539,6 +680,10 @@ func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		slog.String("algo", j.algo.String()),
 		slog.String("system", j.sys.String()),
 	)
+	// Semisync: the 202 is held until the follower has journaled the
+	// submit record (or the timeout falls back to async). The job is
+	// already durable and queued locally either way.
+	s.semisyncWait(r, j.replSeq)
 	writeJSON(w, http.StatusAccepted, j.Status())
 }
 
@@ -615,6 +760,9 @@ func (s *Service) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	statuses := make([]JobStatus, 0, n)
+	// For semisync, one wait on the highest journaled sequence number
+	// covers the whole batch (the follower applies in order).
+	var maxSeq uint64
 	for i, j := range jobs {
 		if err := s.sched.SubmitJob(j, timeout); err != nil {
 			// Jobs already submitted stay submitted; the remainder is
@@ -623,6 +771,7 @@ func (s *Service) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 				rest.release()
 			}
 			if len(statuses) > 0 {
+				s.semisyncWait(r, maxSeq)
 				writeJSON(w, http.StatusAccepted, BatchJobResponse{
 					Jobs: statuses, Rejected: n - len(statuses), Error: err.Error(),
 				})
@@ -636,6 +785,9 @@ func (s *Service) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			return
 		}
+		if j.replSeq > maxSeq {
+			maxSeq = j.replSeq
+		}
 		statuses = append(statuses, j.Status())
 	}
 	s.log.Info("batch queued",
@@ -643,6 +795,7 @@ func (s *Service) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		slog.String("algo", algo.String()),
 		slog.Int("jobs", len(statuses)),
 	)
+	s.semisyncWait(r, maxSeq)
 	writeJSON(w, http.StatusAccepted, BatchJobResponse{Jobs: statuses})
 }
 
@@ -1151,13 +1304,36 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReady is the readiness probe: 200 while serving, 503 once a
-// drain has started so load balancers stop routing new work here.
+// drain has started so load balancers stop routing new work here. It
+// also reports the replication role: a standby is 503 until its first
+// resync commits ("syncing"), then 200 with "caught-up" — usable for
+// reads, while mutations still 503 until promotion.
 func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	role := "leader"
+	if s.isStandby() {
+		role = "follower"
+	}
+	resp := map[string]any{"status": "ready", "role": role}
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		resp["status"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	if s.isStandby() {
+		if s.follower.Synced() {
+			resp["replication"] = "caught-up"
+			writeJSON(w, http.StatusOK, resp)
+		} else {
+			resp["status"] = "standby-syncing"
+			resp["replication"] = "syncing"
+			writeJSON(w, http.StatusServiceUnavailable, resp)
+		}
+		return
+	}
+	if s.db != nil {
+		resp["replication"] = repl.StateName(s.replStats.State.Load())
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {

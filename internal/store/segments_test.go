@@ -1,0 +1,234 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// synthHeader builds a valid segment header so frames returned by
+// ReadFrom / OnAppendFrame can be decoded with scanSegment.
+func synthHeader() []byte {
+	hdr := make([]byte, segHeaderLen)
+	binary.LittleEndian.PutUint32(hdr[0:4], segMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], segVersion)
+	return hdr
+}
+
+func TestAppendSeqMonotonicAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := testOpen(t, dir, Options{})
+	for i := 1; i <= 3; i++ {
+		seq, err := s.AppendSeq(submitRec(fmt.Sprintf("j%d", i)))
+		if err != nil {
+			t.Fatalf("AppendSeq: %v", err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("AppendSeq %d returned seq %d", i, seq)
+		}
+	}
+	if got := s.Seq(); got != 3 {
+		t.Fatalf("Seq() = %d, want 3", got)
+	}
+	s.Close()
+
+	// The cursor resumes from the replayed record count: replayed
+	// records occupy seqs 1..n, so the next append is n+1.
+	s2 := testOpen(t, dir, Options{})
+	if got := s2.Seq(); got != 3 {
+		t.Fatalf("Seq() after reopen = %d, want 3", got)
+	}
+	seq, err := s2.AppendSeq(submitRec("j4"))
+	if err != nil || seq != 4 {
+		t.Fatalf("AppendSeq after reopen = (%d, %v), want (4, nil)", seq, err)
+	}
+}
+
+func TestOnAppendFrameDeliversDecodableFrames(t *testing.T) {
+	var seqs []uint64
+	frames := synthHeader()
+	s := testOpen(t, t.TempDir(), Options{
+		OnAppendFrame: func(seq uint64, frame []byte) {
+			seqs = append(seqs, seq)
+			frames = append(frames, frame...)
+		},
+	})
+	want := []Record{submitRec("j1"), {Type: RecStart, JobID: "j1"}, {Type: RecFinish, JobID: "j1", State: "done"}}
+	for _, r := range want {
+		if err := s.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if len(seqs) != 3 || seqs[0] != 1 || seqs[2] != 3 {
+		t.Fatalf("OnAppendFrame seqs = %v, want [1 2 3]", seqs)
+	}
+	// The observed frames, stitched behind a segment header, must
+	// decode back to exactly the appended records — this is the
+	// contract the replication stream relies on.
+	got, err := ScanSegment(frames)
+	if err != nil {
+		t.Fatalf("ScanSegment over observed frames: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Type != want[i].Type || got[i].JobID != want[i].JobID {
+			t.Errorf("frame %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAppendBatchReplaysAndHooks(t *testing.T) {
+	dir := t.TempDir()
+	var seqs []uint64
+	s := testOpen(t, dir, Options{
+		OnAppendFrame: func(seq uint64, frame []byte) { seqs = append(seqs, seq) },
+	})
+	batch := []Record{submitRec("j1"), submitRec("j2"), submitRec("j3")}
+	if err := s.AppendBatch(batch); err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if len(seqs) != 3 || seqs[0] != 1 || seqs[2] != 3 {
+		t.Fatalf("batch hook seqs = %v, want [1 2 3]", seqs)
+	}
+	if got, _ := s.Replay(); len(got) != 3 || got[1].JobID != "j2" {
+		t.Fatalf("Replay after batch = %+v", got)
+	}
+	s.Close()
+
+	s2 := testOpen(t, dir, Options{})
+	got, _ := s2.Replay()
+	if len(got) != 3 || got[0].JobID != "j1" || got[2].JobID != "j3" {
+		t.Fatalf("replay after reopen = %+v", got)
+	}
+}
+
+func TestReplayIncludesPostOpenAppends(t *testing.T) {
+	dir := t.TempDir()
+	s := testOpen(t, dir, Options{})
+	if err := s.Append(submitRec("j1")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Replay after Open plus live appends must return the full journal
+	// — the promoted follower's recovery folds over exactly this.
+	s2 := testOpen(t, dir, Options{})
+	if err := s2.Append(submitRec("j2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.AppendBatch([]Record{submitRec("j3")}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s2.Replay()
+	if len(got) != 3 || got[0].JobID != "j1" || got[2].JobID != "j3" {
+		t.Fatalf("Replay = %+v, want j1..j3", got)
+	}
+}
+
+func TestSegmentsAndReadFromRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := testOpen(t, dir, Options{MaxSegmentBytes: 128})
+	const n = 20
+	for i := 1; i <= n; i++ {
+		if err := s.Append(submitRec(fmt.Sprintf("j%d", i))); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	segs, cursor, err := s.Segments()
+	if err != nil {
+		t.Fatalf("Segments: %v", err)
+	}
+	if cursor != n {
+		t.Fatalf("cursor = %d, want %d", cursor, n)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation to yield multiple segments, got %d", len(segs))
+	}
+	for i, info := range segs {
+		wantActive := i == len(segs)-1
+		if info.Active != wantActive {
+			t.Errorf("segment %d Active = %v, want %v", info.Index, info.Active, wantActive)
+		}
+		if i > 0 && info.Index <= segs[i-1].Index {
+			t.Errorf("segments out of order: %d after %d", info.Index, segs[i-1].Index)
+		}
+	}
+
+	// Reading every segment from the header boundary and decoding the
+	// stitched frames must reproduce the journal exactly.
+	var all []Record
+	for _, info := range segs {
+		frames, err := s.ReadFrom(info.Index, SegmentHeaderLen)
+		if err != nil {
+			t.Fatalf("ReadFrom(%d): %v", info.Index, err)
+		}
+		if int64(len(frames)) != info.Bytes-SegmentHeaderLen {
+			t.Errorf("segment %d: read %d bytes, Segments reported %d", info.Index, len(frames), info.Bytes-SegmentHeaderLen)
+		}
+		recs, err := ScanSegment(append(synthHeader(), frames...))
+		if err != nil {
+			t.Fatalf("decode segment %d: %v", info.Index, err)
+		}
+		all = append(all, recs...)
+	}
+	if len(all) != n {
+		t.Fatalf("decoded %d records across segments, want %d", len(all), n)
+	}
+	for i := range all {
+		if want := fmt.Sprintf("j%d", i+1); all[i].JobID != want {
+			t.Errorf("record %d JobID = %q, want %q", i, all[i].JobID, want)
+		}
+	}
+
+	// Reading at or past the committed end is empty, not an error.
+	last := segs[len(segs)-1]
+	if b, err := s.ReadFrom(last.Index, last.Bytes); err != nil || len(b) != 0 {
+		t.Fatalf("ReadFrom at end = (%d bytes, %v), want empty", len(b), err)
+	}
+}
+
+func TestReadFromAfterCompactionSegmentGone(t *testing.T) {
+	s := testOpen(t, t.TempDir(), Options{MaxSegmentBytes: 128})
+	for i := 1; i <= 20; i++ {
+		if err := s.Append(submitRec(fmt.Sprintf("j%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, cursor, err := s.Segments()
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("Segments = (%d segs, %v), want >= 2", len(segs), err)
+	}
+	sealed := segs[0].Index
+
+	if err := s.Compact([]Record{submitRec("j20")}); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	// The sealed segment a reader was cursored on is gone; the reader
+	// must see ErrSegmentGone and restart its resync from Segments().
+	if _, err := s.ReadFrom(sealed, SegmentHeaderLen); !errors.Is(err, ErrSegmentGone) {
+		t.Fatalf("ReadFrom(compacted segment) = %v, want ErrSegmentGone", err)
+	}
+	// Compaction rewrites bytes but assigns no new sequence numbers:
+	// the replication cursor stays valid.
+	segs2, cursor2, err := s.Segments()
+	if err != nil {
+		t.Fatalf("Segments after Compact: %v", err)
+	}
+	if cursor2 != cursor {
+		t.Errorf("cursor moved across Compact: %d -> %d", cursor, cursor2)
+	}
+	if len(segs2) != 1 || !segs2[0].Active {
+		t.Errorf("segments after Compact = %+v, want single active", segs2)
+	}
+	frames, err := s.ReadFrom(segs2[0].Index, SegmentHeaderLen)
+	if err != nil {
+		t.Fatalf("ReadFrom after Compact: %v", err)
+	}
+	recs, err := ScanSegment(append(synthHeader(), frames...))
+	if err != nil || len(recs) != 1 || recs[0].JobID != "j20" {
+		t.Fatalf("post-compaction segment decodes to %+v (%v), want [j20]", recs, err)
+	}
+}

@@ -113,6 +113,13 @@ type Options struct {
 	// OnAppend observes the number of journal bytes committed per
 	// Append (metrics hook). May be nil.
 	OnAppend func(n int)
+	// OnAppendFrame observes every committed record as its raw CRC
+	// frame together with its sequence number (1-based, counting every
+	// record in the journal including those replayed at Open). It is
+	// called under the store lock, in append order, after the frame is
+	// durable — the replication tail hook. The frame slice is freshly
+	// allocated per record and may be retained. May be nil.
+	OnAppendFrame func(seq uint64, frame []byte)
 	// Logf receives recovery diagnostics (torn-tail truncation,
 	// compaction). May be nil.
 	Logf func(format string, args ...any)
@@ -143,12 +150,24 @@ type Store struct {
 	segBytes int64
 	closed   bool
 
+	// seq is the sequence number of the last record in the journal:
+	// replayed records take 1..n at Open, every append increments it.
+	// Compaction rewrites bytes but assigns no new numbers, so seq is
+	// a stable cursor for replication.
+	seq     uint64
 	records []Record
 	replay  ReplayStats
 }
 
 // ErrClosed is returned by operations on a closed Store.
 var ErrClosed = errors.New("store: closed")
+
+// ErrSegmentGone is returned by ReadFrom for a segment that no longer
+// exists — compaction deleted it out from under the reader. Compaction
+// assumes it is the only long-lived reader of segment files; any other
+// reader (the replication resync path) must treat this error as a lost
+// cursor and restart its scan from Segments().
+var ErrSegmentGone = errors.New("store: segment removed by compaction")
 
 func (o Options) segmentBytes() int64 {
 	if o.MaxSegmentBytes <= 0 {
@@ -217,6 +236,7 @@ func Open(dir string, opt Options) (*Store, error) {
 	}
 	s.replay.Segments = len(segs)
 	s.replay.Records = len(s.records)
+	s.seq = uint64(len(s.records))
 
 	if len(segs) == 0 {
 		if err := s.openSegment(1); err != nil {
@@ -390,19 +410,78 @@ func (s *Store) syncDir() error {
 	return nil
 }
 
-// Append journals one record. On return the record is durable (framed,
-// written, fsynced); any error means the record must be treated as not
-// written.
-func (s *Store) Append(r Record) error {
+// buildFrame encodes a record as one journal frame (length + CRC32 +
+// JSON payload).
+func buildFrame(r Record) ([]byte, error) {
 	payload, err := json.Marshal(r)
 	if err != nil {
-		return fmt.Errorf("store: encode record: %w", err)
+		return nil, fmt.Errorf("store: encode record: %w", err)
 	}
 	frame := make([]byte, frameHeaderLen+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
 	copy(frame[frameHeaderLen:], payload)
+	return frame, nil
+}
 
+// Append journals one record. On return the record is durable (framed,
+// written, fsynced); any error means the record must be treated as not
+// written.
+func (s *Store) Append(r Record) error {
+	_, err := s.AppendSeq(r)
+	return err
+}
+
+// AppendSeq is Append returning the record's journal sequence number —
+// the cursor a semisync submitter waits on for the follower's ack.
+func (s *Store) AppendSeq(r Record) (uint64, error) {
+	frame, err := buildFrame(r)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if s.opt.Faults != nil {
+		if err := s.opt.Faults.Check(fault.JournalAppend); err != nil {
+			return 0, fmt.Errorf("store: journal append: %w", err)
+		}
+	}
+	if _, err := s.seg.Write(frame); err != nil {
+		return 0, fmt.Errorf("store: journal write: %w", err)
+	}
+	if err := s.sync(s.seg); err != nil {
+		return 0, err
+	}
+	s.commitLocked(r, frame)
+	s.maybeRotateLocked()
+	return s.seq, nil
+}
+
+// AppendBatch journals several records with a single fsync — the
+// follower-side apply path, where a replicated batch must become
+// durable as a unit without paying one sync per record. Either every
+// record is committed or (on error) none may be trusted.
+func (s *Store) AppendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	frames := make([][]byte, len(recs))
+	total := 0
+	for i, r := range recs {
+		f, err := buildFrame(r)
+		if err != nil {
+			return err
+		}
+		frames[i] = f
+		total += len(f)
+	}
+	buf := make([]byte, 0, total)
+	for _, f := range frames {
+		buf = append(buf, f...)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -413,16 +492,35 @@ func (s *Store) Append(r Record) error {
 			return fmt.Errorf("store: journal append: %w", err)
 		}
 	}
-	if _, err := s.seg.Write(frame); err != nil {
+	if _, err := s.seg.Write(buf); err != nil {
 		return fmt.Errorf("store: journal write: %w", err)
 	}
 	if err := s.sync(s.seg); err != nil {
 		return err
 	}
+	for i, r := range recs {
+		s.commitLocked(r, frames[i])
+	}
+	s.maybeRotateLocked()
+	return nil
+}
+
+// commitLocked does the post-durability bookkeeping for one record:
+// sequence number, live record list, byte accounting, hooks. Caller
+// holds s.mu and has already written and synced the frame.
+func (s *Store) commitLocked(r Record, frame []byte) {
 	s.segBytes += int64(len(frame))
+	s.seq++
+	s.records = append(s.records, r)
 	if s.opt.OnAppend != nil {
 		s.opt.OnAppend(len(frame))
 	}
+	if s.opt.OnAppendFrame != nil {
+		s.opt.OnAppendFrame(s.seq, frame)
+	}
+}
+
+func (s *Store) maybeRotateLocked() {
 	if s.segBytes >= s.opt.segmentBytes() {
 		if err := s.openSegment(s.segIdx + 1); err != nil {
 			// The record itself is committed; rotation failure only
@@ -430,21 +528,35 @@ func (s *Store) Append(r Record) error {
 			s.logf("store: segment rotation failed: %v", err)
 		}
 	}
-	return nil
 }
 
-// Replay returns the records recovered at Open (in journal order) and
-// the replay statistics. The returned slice is shared; callers must
-// not mutate it.
+// Replay returns every record currently in the journal (those replayed
+// at Open plus everything appended since, in journal order) and the
+// Open-time replay statistics. The returned slice is shared; callers
+// must not mutate it.
 func (s *Store) Replay() ([]Record, ReplayStats) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.records, s.replay
 }
 
+// Seq returns the sequence number of the last record in the journal
+// (0 when empty).
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
 // Compact rewrites the journal to exactly the live records, dropping
 // all history for settled jobs, then deletes the superseded segments.
 // Appends continue into the freshly written segment.
+//
+// Compaction is destructive to concurrent segment readers: every
+// pre-compaction segment is deleted, so a replication cursor held
+// across a Compact is invalidated (ReadFrom reports ErrSegmentGone)
+// and the reader must full-resync. No new sequence numbers are
+// assigned — the journal's seq cursor survives compaction unchanged.
 func (s *Store) Compact(live []Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -456,19 +568,16 @@ func (s *Store) Compact(live []Record) error {
 		return err
 	}
 	for _, r := range live {
-		payload, err := json.Marshal(r)
+		frame, err := buildFrame(r)
 		if err != nil {
-			return fmt.Errorf("store: encode record: %w", err)
+			return err
 		}
-		frame := make([]byte, frameHeaderLen+len(payload))
-		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-		copy(frame[frameHeaderLen:], payload)
 		if _, err := s.seg.Write(frame); err != nil {
 			return fmt.Errorf("store: compaction write: %w", err)
 		}
 		s.segBytes += int64(len(frame))
 	}
+	s.records = append([]Record(nil), live...)
 	if err := s.sync(s.seg); err != nil {
 		return err
 	}
@@ -530,5 +639,96 @@ func ScanSegment(data []byte) ([]Record, error) {
 	recs, _, err := scanSegment(data)
 	return recs, err
 }
+
+// SegmentInfo describes one journal segment on disk.
+type SegmentInfo struct {
+	// Index is the segment's rotation index (segName order).
+	Index int
+	// Bytes is the committed size of the segment file, including the
+	// 8-byte header. For the active segment this is the append
+	// position, not the file's eventual size.
+	Bytes int64
+	// Active marks the segment currently receiving appends; all other
+	// segments are sealed and immutable (until compaction deletes
+	// them).
+	Active bool
+}
+
+// Segments enumerates the journal's segment files in rotation order
+// (active segment last) together with the journal's current sequence
+// cursor, atomically with respect to appends. The pair is the starting
+// point of a replication resync: ship every listed segment's frames,
+// then tail records with sequence numbers above cursor. Records
+// appended after Segments returns may appear both in a late segment
+// read and in the tail — journal records fold idempotently, so
+// double-apply is harmless; a vanished segment (ErrSegmentGone from
+// ReadFrom) is not, and restarts the resync.
+func (s *Store) Segments() (segs []SegmentInfo, cursor uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, ErrClosed
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: scan segments: %w", err)
+	}
+	var idxs []int
+	for _, e := range entries {
+		if idx := segIndex(e.Name()); idx >= 0 {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		if idx == s.segIdx {
+			segs = append(segs, SegmentInfo{Index: idx, Bytes: s.segBytes, Active: true})
+			continue
+		}
+		st, err := os.Stat(filepath.Join(s.dir, segName(idx)))
+		if err != nil {
+			return nil, 0, fmt.Errorf("store: stat segment: %w", err)
+		}
+		segs = append(segs, SegmentInfo{Index: idx, Bytes: st.Size()})
+	}
+	return segs, s.seq, nil
+}
+
+// ReadFrom returns the raw frame bytes of segment seg starting at file
+// offset off (use SegmentHeaderLen to read a whole segment's frames;
+// off must land on a frame boundary for the result to decode). Reads
+// are bounded to the committed size — bytes of an append in progress
+// on the active segment are never visible. A segment deleted by
+// compaction returns ErrSegmentGone: the reader's cursor is gone and
+// it must restart from Segments().
+func (s *Store) ReadFrom(seg int, off int64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if off < SegmentHeaderLen {
+		return nil, fmt.Errorf("store: read offset %d inside segment header", off)
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, segName(seg)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("store: segment %d: %w", seg, ErrSegmentGone)
+		}
+		return nil, fmt.Errorf("store: read segment: %w", err)
+	}
+	end := int64(len(data))
+	if seg == s.segIdx && s.segBytes < end {
+		end = s.segBytes
+	}
+	if off >= end {
+		return nil, nil
+	}
+	return append([]byte(nil), data[off:end]...), nil
+}
+
+// SegmentHeaderLen is the size of the magic/version header that opens
+// every segment file; frames start at this offset.
+const SegmentHeaderLen = segHeaderLen
 
 var _ io.Closer = (*Store)(nil)
