@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race regress chaos chaos-restart chaos-failover fuzz check bench bench-backends bench-batch bench-checkpoint bench-repl clean
+.PHONY: all build vet lint test race regress chaos chaos-restart chaos-failover fuzz check bench bench-backends bench-batch bench-checkpoint bench-formats bench-repl clean
 
 all: check
 
@@ -18,7 +18,7 @@ lint: vet
 test:
 	$(GO) test ./...
 
-race: regress chaos chaos-restart chaos-failover fuzz bench-backends bench-batch
+race: regress chaos chaos-restart chaos-failover fuzz bench-backends bench-batch bench-formats
 	$(GO) test -race -short ./...
 
 # regress pins the stats-accounting fixes under the race detector: the
@@ -32,6 +32,7 @@ regress:
 	$(GO) test -race -count=1 -run 'TestSimBackendTimingsPinned' ./internal/runtime
 	$(GO) test -race -count=1 -run 'TestBackendEquivalence|TestBackendsMatchBaselineSpMV' .
 	$(GO) test -race -count=1 -run 'TestBatchEquivalence|TestBatchPPRLanesDiffer' .
+	$(GO) test -race -count=1 -run 'TestFormatEquivalence' .
 
 # chaos runs the fault-injection suite under the race detector: hundreds
 # of jobs against an armed injector (panics, transient errors, latency)
@@ -59,6 +60,7 @@ chaos-failover:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseSNAP -fuzztime=10s ./internal/gen
 	$(GO) test -run='^$$' -fuzz=FuzzParseMatrixMarket -fuzztime=10s ./internal/gen
+	$(GO) test -run='^$$' -fuzz=FuzzDVCSRDecode -fuzztime=10s ./internal/matrix
 	$(GO) test -run='^$$' -fuzz=FuzzScanSegment -fuzztime=10s ./internal/store
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeCheckpoint -fuzztime=10s ./internal/runtime
 	$(GO) test -run='^$$' -fuzz=FuzzJobSubmitBody -fuzztime=10s ./internal/service
@@ -96,6 +98,15 @@ bench-batch:
 # it fails if the overhead exceeds the 5% durability budget.
 bench-checkpoint:
 	BENCH_CHECKPOINT=1 $(GO) test -count=1 -run TestBenchCheckpointOverhead -v ./internal/runtime
+
+# bench-formats compares the CSR baseline with delta-varint compressed
+# storage on a scale-16 power-law graph: resident bytes, native
+# PageRank wall-clock through the decode-at-build seam, and how many
+# graphs one memory budget admits. Results land in BENCH_formats.json;
+# the run fails under 1.5x compression, over 1.3x native slowdown, or
+# under 1.5x admitted graphs.
+bench-formats:
+	BENCH_FORMATS=1 $(GO) test -count=1 -run TestBenchFormats -v .
 
 # bench-repl measures what the semisync follower-ack costs a submit:
 # 16 concurrent clients time the submit POST against a leader with a

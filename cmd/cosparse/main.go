@@ -35,6 +35,7 @@ func main() {
 	lambda := flag.Float64("lambda", 0.01, "CF regularization")
 	seed := flag.Uint64("seed", 42, "generator seed")
 	backend := flag.String("backend", "sim", "execution backend: sim (cycle-accurate timing model) or native (goroutine-parallel host run)")
+	format := flag.String("format", "auto", "graph storage format: auto, csr, or dvcsr (delta-varint compressed)")
 	sw := flag.String("sw", "auto", "software configuration: auto, ip, op")
 	hw := flag.String("hw", "auto", "hardware configuration: auto, sc, scs, pc, ps")
 	printTrace := flag.Bool("print-trace", true, "print the per-iteration reconfiguration trace")
@@ -64,7 +65,15 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("graph: %d vertices, %d edges, density %.2e\n", g.NumVertices(), g.NumEdges(), g.Density())
+	gf, err := cosparse.ParseFormat(*format)
+	if err != nil {
+		fail(err)
+	}
+	if g, err = g.InFormat(gf); err != nil {
+		fail(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges, density %.2e, format %s (%d resident bytes)\n",
+		g.NumVertices(), g.NumEdges(), g.Density(), g.Format(), g.ResidentBytes())
 
 	be, err := cosparse.ParseBackend(*backend)
 	if err != nil {

@@ -32,6 +32,7 @@ func main() {
 	tiles := flag.Int("tiles", 4, "tiles")
 	pes := flag.Int("pes", 16, "PEs per tile")
 	backend := flag.String("backend", "sim", "execution backend: sim (trace-driven timing) or native (goroutine-parallel host run)")
+	format := flag.String("format", "auto", "matrix storage format: auto, csr, or dvcsr (delta-varint compressed)")
 	sw := flag.String("sw", "ip", "software: ip or op")
 	hw := flag.String("hw", "", "hardware: sc, scs, pc, ps (default: sc for ip, pc for op)")
 	balance := flag.Bool("balance", true, "use nnz-balanced partitioning")
@@ -61,6 +62,24 @@ func main() {
 		fail(fmt.Errorf("unknown -matrix %q", *mkind))
 	}
 	f := gen.Frontier(*n, *density, *seed+1)
+
+	// The kernels consume the matrix through the storage seam, so the
+	// same partition code runs whichever format holds the operand.
+	var st matrix.Store = coo
+	mf, err := matrix.ParseFormat(*format)
+	switch {
+	case strings.ToLower(*format) == "auto":
+		mf = matrix.AutoSelect(coo)
+	case err != nil:
+		fail(fmt.Errorf("unknown -format %q (want auto, csr, or dvcsr)", *format))
+	}
+	if mf == matrix.FormatDVCSR {
+		d, err := matrix.EncodeDVCSR(coo)
+		if err != nil {
+			fail(err)
+		}
+		st = d
+	}
 
 	useIP := strings.ToLower(*sw) == "ip"
 	hwName := strings.ToLower(*hw)
@@ -101,15 +120,15 @@ func main() {
 	var res exec.Result
 	if useIP {
 		vb := sim.NewConfig(g, sim.SCS).SPMWordsPerTile()
-		part := kernels.NewIPPartition(coo, g.TotalPEs(), vb, bal)
+		part := kernels.NewIPPartition(st, g.TotalPEs(), vb, bal)
 		_, res = be.IP(cfg, part, f.ToDense(0), op)
 	} else {
-		part := kernels.NewOPPartition(coo.ToCSC(), g.Tiles, bal)
+		part := kernels.NewOPPartition(matrix.CSCOf(st), g.Tiles, bal)
 		_, res = be.OP(cfg, part, f, op)
 	}
 
-	fmt.Printf("matrix: %s n=%d nnz=%d (density %.2e); frontier density %g (%d active)\n",
-		*mkind, coo.R, coo.NNZ(), coo.Density(), *density, f.NNZ())
+	fmt.Printf("matrix: %s n=%d nnz=%d (density %.2e) stored as %s (%d bytes); frontier density %g (%d active)\n",
+		*mkind, coo.R, coo.NNZ(), coo.Density(), st.Format(), st.ResidentBytes(), *density, f.NNZ())
 	fmt.Printf("config: %s %s %s, %s, %s backend\n", g, strings.ToUpper(*sw), hwc, bal, be.Name())
 	if !be.Simulated() {
 		// The native backend has no cycle model: the kernel ran for real

@@ -58,27 +58,116 @@ func (v ValueMode) gen() gen.ValueMode {
 	return gen.Pattern
 }
 
+// Format selects the resident storage layout of a Graph's matrix.
+// Whatever the format, every algorithm produces bit-identical results
+// on both backends: the engine decodes the store into the exact same
+// partition layouts at build time, so only the resident footprint (and
+// therefore how many graphs fit a node's memory budget) changes.
+type Format int
+
+const (
+	// AutoFormat picks per graph: DVCSRFormat when the density/degree-
+	// skew heuristic predicts a worthwhile saving, CSRFormat otherwise.
+	AutoFormat Format = iota
+	// CSRFormat is the uncompressed baseline (row-major triple store).
+	CSRFormat
+	// DVCSRFormat is delta-varint compressed sparse row: column gaps as
+	// varints, values elided on unit-weight graphs.
+	DVCSRFormat
+)
+
+// String returns the format's flag/metric spelling.
+func (f Format) String() string {
+	switch f {
+	case CSRFormat:
+		return "csr"
+	case DVCSRFormat:
+		return "dvcsr"
+	}
+	return "auto"
+}
+
+// ParseFormat parses a -format flag or register-request value. The
+// empty string selects auto.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return AutoFormat, nil
+	case "csr":
+		return CSRFormat, nil
+	case "dvcsr":
+		return DVCSRFormat, nil
+	}
+	return 0, fmt.Errorf("cosparse: unknown format %q (want \"auto\", \"csr\" or \"dvcsr\")", s)
+}
+
 // Graph is an immutable graph bound to the CoSPARSE storage convention
 // (the transposed adjacency matrix, ready for f_next = SpMV(G.T, f)).
+// Its matrix lives behind the format seam: see InFormat.
 type Graph struct {
-	m *matrix.COO
+	st matrix.Store
 }
 
 // NumVertices returns |V|.
-func (g *Graph) NumVertices() int { return g.m.R }
+func (g *Graph) NumVertices() int { r, _ := g.st.Dims(); return r }
 
 // NumEdges returns the number of stored edges.
-func (g *Graph) NumEdges() int { return g.m.NNZ() }
+func (g *Graph) NumEdges() int { return g.st.NNZ() }
 
 // Density returns |E| / |V|².
-func (g *Graph) Density() float64 { return g.m.Density() }
+func (g *Graph) Density() float64 {
+	r, c := g.st.Dims()
+	if r == 0 || c == 0 {
+		return 0
+	}
+	return float64(g.st.NNZ()) / (float64(r) * float64(c))
+}
+
+// Format returns the resident storage format ("csr" or "dvcsr").
+func (g *Graph) Format() string { return g.st.Format().String() }
+
+// ResidentBytes returns the measured footprint of the resident matrix
+// arrays — the figure the service's admission controller charges.
+func (g *Graph) ResidentBytes() int64 { return g.st.ResidentBytes() }
+
+// InFormat returns the same graph re-encoded in the requested resident
+// format (the graph itself when the format already matches).
+// AutoFormat applies the density/degree-skew selection heuristic.
+func (g *Graph) InFormat(f Format) (*Graph, error) {
+	m, err := g.st.ToCOO()
+	if err != nil {
+		return nil, fmt.Errorf("cosparse: %w", err)
+	}
+	if f == AutoFormat {
+		if matrix.AutoSelect(m) == matrix.FormatDVCSR {
+			f = DVCSRFormat
+		} else {
+			f = CSRFormat
+		}
+	}
+	if f == DVCSRFormat {
+		if g.st.Format() == matrix.FormatDVCSR {
+			return g, nil
+		}
+		d, err := matrix.EncodeDVCSR(m)
+		if err != nil {
+			return nil, fmt.Errorf("cosparse: %w", err)
+		}
+		return &Graph{st: d}, nil
+	}
+	if g.st.Format() == matrix.FormatCSR {
+		return g, nil
+	}
+	return &Graph{st: m}, nil
+}
 
 // OutDegree returns the out-degree of vertex v.
 func (g *Graph) OutDegree(v int32) int32 {
-	if v < 0 || int(v) >= g.m.C {
+	_, c := g.st.Dims()
+	if v < 0 || int(v) >= c {
 		return 0
 	}
-	return g.m.OutDegrees()[v]
+	return matrix.OutDegreesOf(g.st)[v]
 }
 
 // NewGraph builds a graph with n vertices from an edge list. Duplicate
@@ -97,7 +186,7 @@ func NewGraph(n int, edges []Edge) (*Graph, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cosparse: %w", err)
 	}
-	return &Graph{m: m}, nil
+	return &Graph{st: m}, nil
 }
 
 // LoadEdgeList reads a SNAP-style "src dst [weight]" edge list
@@ -107,12 +196,16 @@ func LoadEdgeList(r io.Reader, undirected bool) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{m: m}, nil
+	return &Graph{st: m}, nil
 }
 
 // WriteEdgeList writes the graph as a SNAP-style edge list.
 func (g *Graph) WriteEdgeList(w io.Writer, header string) error {
-	return gen.WriteEdgeList(w, g.m, header)
+	m, err := g.st.ToCOO()
+	if err != nil {
+		return fmt.Errorf("cosparse: %w", err)
+	}
+	return gen.WriteEdgeList(w, m, header)
 }
 
 // GenerateUniform creates an n-vertex graph with ~edges uniformly
@@ -121,7 +214,7 @@ func GenerateUniform(n, edges int, mode ValueMode, seed uint64) (*Graph, error) 
 	if n <= 0 || edges < 0 {
 		return nil, fmt.Errorf("cosparse: invalid size %d/%d", n, edges)
 	}
-	return &Graph{m: gen.Uniform(n, edges, mode.gen(), seed)}, nil
+	return &Graph{st: gen.Uniform(n, edges, mode.gen(), seed)}, nil
 }
 
 // GeneratePowerLaw creates an n-vertex graph with ~edges edges whose
@@ -131,7 +224,7 @@ func GeneratePowerLaw(n, edges int, mode ValueMode, seed uint64) (*Graph, error)
 	if n <= 0 || edges < 0 {
 		return nil, fmt.Errorf("cosparse: invalid size %d/%d", n, edges)
 	}
-	return &Graph{m: gen.PowerLaw(n, edges, 0.55, mode.gen(), seed)}, nil
+	return &Graph{st: gen.PowerLaw(n, edges, 0.55, mode.gen(), seed)}, nil
 }
 
 // GenerateSuite creates the named stand-in from the paper's Table III
@@ -142,7 +235,7 @@ func GenerateSuite(name string, scale int, mode ValueMode, seed uint64) (*Graph,
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{m: spec.Build(scale, mode.gen(), seed)}, nil
+	return &Graph{st: spec.Build(scale, mode.gen(), seed)}, nil
 }
 
 // System is the simulated machine geometry, written Tiles×PEsPerTile in
@@ -354,7 +447,7 @@ func New(g *Graph, sys System, opts ...Option) (*Engine, error) {
 	for _, fn := range opts {
 		fn(&o)
 	}
-	fw, err := runtime.New(g.m, o)
+	fw, err := runtime.NewFromStore(g.st, o)
 	if err != nil {
 		return nil, err
 	}
@@ -653,11 +746,12 @@ func (e *Engine) Decide(frontierSize int) (software, hardware string) {
 // Edges returns a copy of the graph's edge list (source, destination,
 // weight), in destination-major order.
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, g.m.NNZ())
-	for k := range g.m.Val {
+	r, _ := g.st.Dims()
+	out := make([]Edge, 0, g.st.NNZ())
+	g.st.DecodeRows(0, int32(r), func(row, col int32, val float32) {
 		// Stored transposed: row = destination, col = source.
-		out[k] = Edge{Src: g.m.Col[k], Dst: g.m.Row[k], Weight: g.m.Val[k]}
-	}
+		out = append(out, Edge{Src: col, Dst: row, Weight: val})
+	})
 	return out
 }
 

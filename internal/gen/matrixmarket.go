@@ -72,6 +72,15 @@ func ReadMatrixMarket(r io.Reader) (*matrix.COO, error) {
 	if nnz < 0 {
 		return nil, fmt.Errorf("gen: MatrixMarket: negative entry count %d", nnz)
 	}
+	// Element indices are int32 in the matrix package; a symmetric
+	// matrix expands to up to 2·nnz stored entries.
+	maxEntries := math.MaxInt32
+	if symmetry == "symmetric" {
+		maxEntries = math.MaxInt32 / 2
+	}
+	if nnz > maxEntries {
+		return nil, fmt.Errorf("gen: MatrixMarket: %d entries exceed 32-bit index space", nnz)
+	}
 
 	// The size line is untrusted: cap the pre-allocation so a forged
 	// entry count can't allocate unboundedly — append grows as needed.

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -19,14 +20,20 @@ import (
 func ReadEdgeList(r io.Reader, undirected bool) (*matrix.COO, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	// Vertex ids and edge indices are int32 throughout the matrix
+	// package; past MaxInt32 interning would wrap and silently alias
+	// vertices, so the parser rejects instead.
 	ids := make(map[int64]int32)
-	intern := func(raw int64) int32 {
+	intern := func(raw int64) (int32, error) {
 		if v, ok := ids[raw]; ok {
-			return v
+			return v, nil
+		}
+		if len(ids) >= math.MaxInt32 {
+			return 0, fmt.Errorf("gen: edge list has more than %d distinct vertices (32-bit index space)", math.MaxInt32)
 		}
 		v := int32(len(ids))
 		ids[raw] = v
-		return v
+		return v, nil
 	}
 	var elems []matrix.Coord
 	line := 0
@@ -56,7 +63,17 @@ func ReadEdgeList(r io.Reader, undirected bool) (*matrix.COO, error) {
 			}
 			w = float32(f)
 		}
-		s, d := intern(src), intern(dst)
+		s, err := intern(src)
+		if err != nil {
+			return nil, fmt.Errorf("gen: edge list line %d: %w", line, err)
+		}
+		d, err := intern(dst)
+		if err != nil {
+			return nil, fmt.Errorf("gen: edge list line %d: %w", line, err)
+		}
+		if len(elems) >= math.MaxInt32-1 {
+			return nil, fmt.Errorf("gen: edge list line %d: more than %d edges (32-bit index space)", line, math.MaxInt32-1)
+		}
 		// Transposed adjacency: row = destination, col = source.
 		elems = append(elems, matrix.Coord{Row: d, Col: s, Val: w})
 		if undirected {

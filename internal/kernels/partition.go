@@ -39,18 +39,6 @@ func (b Balancing) String() string {
 	return "w/o partition"
 }
 
-// rowPtr builds the CSR-style row prefix of a row-major COO matrix.
-func rowPtr(m *matrix.COO) []int32 {
-	ptr := make([]int32, m.R+1)
-	for _, r := range m.Row {
-		ptr[r+1]++
-	}
-	for i := 0; i < m.R; i++ {
-		ptr[i+1] += ptr[i]
-	}
-	return ptr
-}
-
 // cutRows splits [0, rows) into `parts` contiguous ranges. With
 // BalanceNNZ the cut points equalize stored elements (at row
 // granularity, so no output races between partitions); with BalanceRows
@@ -104,14 +92,22 @@ type IPPartition struct {
 // NewIPPartition builds the IP layout for a machine with totalPEs
 // processing elements and the given vblock width in vector words
 // (usually Config.SPMWordsPerTile(); pass 0 to disable blocking).
-func NewIPPartition(m *matrix.COO, totalPEs, vblockWords int, b Balancing) *IPPartition {
+//
+// It is the format seam's consumer: any matrix.Store works. Each PE's
+// row chunk is decoded through Store.DecodeRows into the same
+// row-major element stream the COO baseline holds, then bucketed by
+// vblock exactly as before — so the resulting layout (and therefore
+// every kernel's operand order, results, and sim timings) is
+// byte-identical whatever the resident format was.
+func NewIPPartition(m matrix.Store, totalPEs, vblockWords int, b Balancing) *IPPartition {
 	if totalPEs < 1 {
 		panic("kernels: totalPEs must be >= 1")
 	}
-	ptr := rowPtr(m)
-	bounds := cutRows(ptr, m.R, totalPEs, b)
+	rows, cols := m.Dims()
+	ptr := m.RowPtr()
+	bounds := cutRows(ptr, rows, totalPEs, b)
 	p := &IPPartition{
-		R: m.R, C: m.C,
+		R: rows, C: cols,
 		NumPEs:      totalPEs,
 		VBlockWords: vblockWords,
 		NumVBlocks:  1,
@@ -123,7 +119,7 @@ func NewIPPartition(m *matrix.COO, totalPEs, vblockWords int, b Balancing) *IPPa
 		RowBounds:   bounds,
 	}
 	if vblockWords > 0 {
-		p.NumVBlocks = (m.C + vblockWords - 1) / vblockWords
+		p.NumVBlocks = (cols + vblockWords - 1) / vblockWords
 	}
 	vbOf := func(col int32) int32 {
 		if vblockWords <= 0 {
@@ -131,37 +127,49 @@ func NewIPPartition(m *matrix.COO, totalPEs, vblockWords int, b Balancing) *IPPa
 		}
 		return col / int32(vblockWords)
 	}
+	// Scratch for one PE's decoded row chunk, reused across PEs.
+	var cRow, cCol []int32
+	var cVal []float32
 	for pe := 0; pe < totalPEs; pe++ {
-		lo, hi := ptr[bounds[pe]], ptr[bounds[pe+1]]
+		n := int(ptr[bounds[pe+1]] - ptr[bounds[pe]])
+		cRow, cCol, cVal = cRow[:0], cCol[:0], cVal[:0]
+		m.DecodeRows(bounds[pe], bounds[pe+1], func(row, col int32, val float32) {
+			cRow = append(cRow, row)
+			cCol = append(cCol, col)
+			cVal = append(cVal, val)
+		})
+		if len(cVal) != n {
+			panic(fmt.Sprintf("kernels: PE %d decoded %d elements, RowPtr promises %d", pe, len(cVal), n))
+		}
 		// Bucket the PE's (already row-major) element range by vblock,
 		// preserving row-major order inside each bucket.
 		counts := make([]int32, p.NumVBlocks+1)
-		for k := lo; k < hi; k++ {
-			counts[vbOf(m.Col[k])+1]++
+		for k := 0; k < n; k++ {
+			counts[vbOf(cCol[k])+1]++
 		}
 		for v := 0; v < p.NumVBlocks; v++ {
 			counts[v+1] += counts[v]
 		}
 		base := int32(len(p.Row))
-		p.Row = append(p.Row, make([]int32, hi-lo)...)
-		p.Col = append(p.Col, make([]int32, hi-lo)...)
-		p.Val = append(p.Val, make([]float32, hi-lo)...)
+		p.Row = append(p.Row, make([]int32, n)...)
+		p.Col = append(p.Col, make([]int32, n)...)
+		p.Val = append(p.Val, make([]float32, n)...)
 		next := make([]int32, p.NumVBlocks)
 		copy(next, counts[:p.NumVBlocks])
-		for k := lo; k < hi; k++ {
-			v := vbOf(m.Col[k])
+		for k := 0; k < n; k++ {
+			v := vbOf(cCol[k])
 			at := base + next[v]
 			next[v]++
-			p.Row[at] = m.Row[k]
-			p.Col[at] = m.Col[k]
-			p.Val[at] = m.Val[k]
+			p.Row[at] = cRow[k]
+			p.Col[at] = cCol[k]
+			p.Val[at] = cVal[k]
 		}
 		for v := 0; v < p.NumVBlocks; v++ {
 			if counts[v+1] > counts[v] {
 				p.Segs[pe] = append(p.Segs[pe], Seg{VB: int32(v), Lo: base + counts[v], Hi: base + counts[v+1]})
 			}
 		}
-		p.PEPtr[pe+1] = base + (hi - lo)
+		p.PEPtr[pe+1] = base + int32(n)
 	}
 	return p
 }

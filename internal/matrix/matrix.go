@@ -18,6 +18,7 @@ package matrix
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -80,6 +81,14 @@ func NewCOO(r, c int, elems []Coord) (*COO, error) {
 	if r < 0 || c < 0 {
 		return nil, fmt.Errorf("matrix: negative dimension %dx%d", r, c)
 	}
+	// Row/Col/RowPtr are int32 throughout the kernels; anything past
+	// MaxInt32 would wrap silently in the compressed prefixes.
+	if r > math.MaxInt32 || c > math.MaxInt32 {
+		return nil, fmt.Errorf("matrix: dimensions %dx%d outside 32-bit index space", r, c)
+	}
+	if len(elems) > math.MaxInt32 {
+		return nil, fmt.Errorf("matrix: %d elements exceed 32-bit index space", len(elems))
+	}
 	for _, e := range elems {
 		if e.Row < 0 || int(e.Row) >= r || e.Col < 0 || int(e.Col) >= c {
 			return nil, fmt.Errorf("matrix: coordinate (%d,%d) outside %dx%d", e.Row, e.Col, r, c)
@@ -122,6 +131,12 @@ func MustCOO(r, c int, elems []Coord) *COO {
 func (m *COO) Validate() error {
 	if len(m.Row) != len(m.Col) || len(m.Col) != len(m.Val) {
 		return fmt.Errorf("matrix: COO slice lengths disagree: %d/%d/%d", len(m.Row), len(m.Col), len(m.Val))
+	}
+	if m.R > math.MaxInt32 || m.C > math.MaxInt32 {
+		return fmt.Errorf("matrix: dimensions %dx%d outside 32-bit index space", m.R, m.C)
+	}
+	if len(m.Val) > math.MaxInt32 {
+		return fmt.Errorf("matrix: %d elements exceed 32-bit index space", len(m.Val))
 	}
 	for k := range m.Row {
 		if m.Row[k] < 0 || int(m.Row[k]) >= m.R || m.Col[k] < 0 || int(m.Col[k]) >= m.C {

@@ -88,7 +88,7 @@ func (f *Framework) newLane(ctx context.Context, name string, ring semiring.Semi
 	l.cc = CheckpointFromContext(ctx)
 	if l.cc != nil && l.cc.Resume != nil {
 		cp := l.cc.Resume
-		n := f.coo.R
+		n := f.n
 		if cp.Algo != name {
 			l.fail(fmt.Errorf("runtime: checkpoint was taken by %q, cannot resume %s", cp.Algo, name))
 			return l
@@ -180,7 +180,7 @@ func (f *Framework) runLanes(name string, ring semiring.Semiring, lanes []*laneS
 		}
 	}()
 
-	n := f.coo.R
+	n := f.n
 	for {
 		var round []*pendIter
 		for _, l := range lanes {

@@ -163,12 +163,15 @@ type Options struct {
 	IterHook func(iter int) error
 }
 
-// Framework is a CoSPARSE instance bound to one graph: it owns the two
-// matrix copies (COO for IP, CSC for OP, §III-D2), their partitions,
-// and the decision policy.
+// Framework is a CoSPARSE instance bound to one graph: it holds the
+// resident store (any matrix.Format behind the format seam), the IP/OP
+// partitions decoded from it (§III-D2 keeps both dataflows' layouts
+// resident so reconfiguration never pays a conversion), and the
+// decision policy.
 type Framework struct {
-	coo  *matrix.COO
-	csc  *matrix.CSC
+	st   matrix.Store
+	n    int // vertices (the adjacency matrix is square)
+	nnz  int
 	deg  []int32
 	opts Options
 
@@ -183,8 +186,17 @@ type Framework struct {
 // New builds a Framework for the transposed adjacency matrix m
 // (element (dst, src) = edge src→dst).
 func New(m *matrix.COO, opts Options) (*Framework, error) {
-	if m.R != m.C {
-		return nil, fmt.Errorf("runtime: adjacency matrix must be square, got %dx%d", m.R, m.C)
+	return NewFromStore(m, opts)
+}
+
+// NewFromStore builds a Framework over any resident matrix store. The
+// partitions are decoded per-PE/tile chunk through the Store seam into
+// the exact layouts the COO baseline produces, so results and sim
+// timings do not depend on the resident format.
+func NewFromStore(st matrix.Store, opts Options) (*Framework, error) {
+	r, c := st.Dims()
+	if r != c {
+		return nil, fmt.Errorf("runtime: adjacency matrix must be square, got %dx%d", r, c)
 	}
 	if opts.Params.WordBytes == 0 {
 		opts.Params = sim.DefaultParams()
@@ -193,7 +205,7 @@ func New(m *matrix.COO, opts Options) (*Framework, error) {
 		opts.Policy = DefaultPolicy()
 	}
 	if opts.MaxIters == 0 {
-		opts.MaxIters = 4*m.R + 8
+		opts.MaxIters = 4*r + 8
 	}
 	if opts.Backend == nil {
 		opts.Backend = exec.Sim()
@@ -202,20 +214,22 @@ func New(m *matrix.COO, opts Options) (*Framework, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	f := &Framework{coo: m, csc: m.ToCSC(), deg: m.OutDegrees(), opts: opts}
+	f := &Framework{st: st, n: r, nnz: st.NNZ(), deg: matrix.OutDegreesOf(st), opts: opts}
 	// One IP layout, vblocked to the SCS scratchpad capacity, shared by
 	// both SC and SCS: the paper notes the vertical partition "is not
 	// required for the SC mode but can still be beneficial" (§III-B),
 	// and our calibration confirms SC with blocked locality is the
 	// baseline that reproduces Fig. 5's gain envelope.
 	scs := sim.Config{Geometry: opts.Geometry, HW: sim.SCS, Params: opts.Params}
-	f.ipPart = kernels.NewIPPartition(m, opts.Geometry.TotalPEs(), scs.SPMWordsPerTile(), opts.Balancing)
-	f.opPart = kernels.NewOPPartition(f.csc, opts.Geometry.Tiles, opts.Balancing)
+	f.ipPart = kernels.NewIPPartition(st, opts.Geometry.TotalPEs(), scs.SPMWordsPerTile(), opts.Balancing)
+	// The OP kernel's CSC is a per-tile slicing; the full CSC here is a
+	// build-time scratch conversion, not part of the resident footprint.
+	f.opPart = kernels.NewOPPartition(matrix.CSCOf(st), opts.Geometry.Tiles, opts.Balancing)
 	return f, nil
 }
 
 // N returns the number of vertices.
-func (f *Framework) N() int { return f.coo.R }
+func (f *Framework) N() int { return f.n }
 
 // Degrees returns the out-degree array (shared, do not mutate).
 func (f *Framework) Degrees() []int32 { return f.deg }
@@ -246,7 +260,7 @@ func (f *Framework) Decide(nnzF int) Decision {
 	g := f.opts.Geometry
 	pol := f.opts.Policy
 	par := f.opts.Params
-	density := float64(nnzF) / float64(f.coo.C)
+	density := float64(nnzF) / float64(f.n)
 
 	useIP := density >= pol.CVD(g.PEsPerTile)
 	switch f.opts.SW {
@@ -265,7 +279,7 @@ func (f *Framework) Decide(nnzF int) Decision {
 		// (b) the frontier is dense enough that the matrix stream and
 		// output traffic would evict SC's cached vector lines (Fig. 5:
 		// SCS gains grow with vector density).
-		perWordReuse := float64(f.coo.NNZ()) / (float64(f.coo.C) * float64(g.Tiles))
+		perWordReuse := float64(f.nnz) / (float64(f.n) * float64(g.Tiles))
 		if perWordReuse >= pol.SCSReuseFloor && density >= pol.SCSMinDensity {
 			hw = sim.SCS
 		} else {
@@ -309,7 +323,7 @@ func (f *Framework) Decide(nnzF int) Decision {
 func (f *Framework) decideNative(nnzF int) Decision {
 	g := f.opts.Geometry
 	pol := f.opts.Policy
-	density := float64(nnzF) / float64(f.coo.C)
+	density := float64(nnzF) / float64(f.n)
 
 	useIP := density >= pol.NativeCrossover
 	if !useIP && pol.NativeHeapBytes > 0 {
@@ -435,7 +449,7 @@ func (f *Framework) driver(ctx context.Context, name string, ring semiring.Semir
 		op.Deg = f.deg
 	}
 
-	n := f.coo.R
+	n := f.n
 	var fDense matrix.Dense                             // persistent IP frontier buffer
 	var lastSet *matrix.SparseVec                       // what is currently scattered into fDense
 	prev := Decision{UseIP: true, HW: sim.HWConfig(-1)} // sentinel: first iteration always "reconfigures" freely

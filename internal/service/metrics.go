@@ -144,7 +144,10 @@ type Metrics struct {
 	JobsQueued   atomic.Int64 // jobs waiting in the queue right now
 	JobsRunning  atomic.Int64 // jobs executing right now
 	WorkersAlive atomic.Int64 // live worker goroutines (drops only on drain/close)
-	GraphBytes   atomic.Int64 // estimated resident bytes of registered graphs
+	// Measured resident bytes of registered graphs, by storage format
+	// (the cosparsed_graph_bytes{format=...} series).
+	GraphBytesCSR   atomic.Int64
+	GraphBytesDVCSR atomic.Int64
 
 	// Graph registry.
 	GraphsRegistered atomic.Int64 // gauge: graphs currently held
@@ -296,7 +299,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	gauge("cosparsed_queue_depth", "Jobs waiting in the queue.", m.JobsQueued.Load())
 	gauge("cosparsed_jobs_running", "Jobs currently executing.", m.JobsRunning.Load())
 	gauge("cosparsed_workers", "Live worker goroutines.", m.WorkersAlive.Load())
-	gauge("cosparsed_graph_bytes", "Estimated resident bytes of registered graphs.", m.GraphBytes.Load())
+	fmt.Fprintf(w, "# HELP cosparsed_graph_bytes Measured resident bytes of registered graphs, by storage format.\n# TYPE cosparsed_graph_bytes gauge\n")
+	fmt.Fprintf(w, "cosparsed_graph_bytes{format=\"csr\"} %d\n", m.GraphBytesCSR.Load())
+	fmt.Fprintf(w, "cosparsed_graph_bytes{format=\"dvcsr\"} %d\n", m.GraphBytesDVCSR.Load())
 	gauge("cosparsed_graphs_registered", "Graphs currently held in the registry.", m.GraphsRegistered.Load())
 	counter("cosparsed_graphs_created_total", "Graph registrations ever accepted.", m.GraphsCreated.Load())
 	counter("cosparsed_engine_cache_hits_total", "Prepared-engine cache hits.", m.EngineCacheHits.Load())

@@ -33,10 +33,28 @@ type GraphSpec struct {
 	// kind=edgelist; Undirected mirrors every edge.
 	EdgeList   string `json:"edge_list,omitempty"`
 	Undirected bool   `json:"undirected,omitempty"`
+	// Format selects the resident storage format: "csr", "dvcsr", or
+	// "auto" (the default) to pick per graph by the density/degree-skew
+	// heuristic. Results are bit-identical whatever the format; only
+	// the resident footprint charged to the memory budget changes.
+	Format string `json:"format,omitempty"`
 }
 
-// Build materializes the spec, enforcing the registry's size limits.
+// Build materializes the spec in its requested storage format,
+// enforcing the registry's size limits.
 func (s GraphSpec) Build(maxVertices, maxEdges int) (*cosparse.Graph, error) {
+	f, err := cosparse.ParseFormat(s.Format)
+	if err != nil {
+		return nil, err
+	}
+	g, err := s.buildRaw(maxVertices, maxEdges)
+	if err != nil {
+		return nil, err
+	}
+	return g.InFormat(f)
+}
+
+func (s GraphSpec) buildRaw(maxVertices, maxEdges int) (*cosparse.Graph, error) {
 	mode := cosparse.Unweighted
 	if s.Weighted {
 		mode = cosparse.Weighted
@@ -102,19 +120,49 @@ type GraphEntry struct {
 	Graph *cosparse.Graph
 
 	refs  int   // running/queued jobs holding the graph
-	bytes int64 // EstimateGraphBytes at registration, charged to the budget
+	bytes int64 // GraphBytes measured at registration — the exact figure charged to the budget, released by Delete
 }
 
-// EstimateGraphBytes models the steady-state resident footprint of
-// serving one graph, from its CSR/CSC-level dimensions alone: the COO
-// copy (row + col + val, 12 B/edge), the out-degree array (4 B/vertex),
-// one prepared engine's CSC copy (row + val, 8 B/edge, plus a 4-byte
-// column pointer per vertex), and IP/OP partition metadata (~8 B/vertex).
-// Admission control compares this estimate — computable before any
-// allocation happens — against the configured budget.
+// GraphBytes is the resident footprint admission control charges for a
+// materialized graph: the measured bytes of its storage-format arrays
+// (12 B/edge for the CSR baseline, typically 1–3 B/edge for DVCSR on
+// unweighted graphs) plus per-vertex serving state — the out-degree
+// array (4 B) and registry/partition metadata (~12 B). Unlike the old
+// uniform EstimateGraphBytes model, this is measured per format, which
+// is what lets compression multiply the graphs resident per node.
+func GraphBytes(g *cosparse.Graph) int64 {
+	return g.ResidentBytes() + int64(g.NumVertices())*16
+}
+
+// EstimateGraphBytes is the a-priori model of GraphBytes for a graph in
+// the uncompressed CSR baseline, computable from the declared
+// dimensions alone: 12 B/edge of COO triples plus 16 B/vertex of
+// serving state. Registrations that pin format "csr" reserve this much
+// before building.
 func EstimateGraphBytes(vertices, edges int) int64 {
-	v, e := int64(vertices), int64(edges)
-	return e*12 + v*4 + (e*8 + (v+1)*4) + v*8
+	return int64(edges)*12 + int64(vertices)*16
+}
+
+// MinGraphBytes is the floor of GraphBytes across storage formats for
+// the declared dimensions: no format stores an edge in under one byte
+// (the delta-varint lower bound), and the per-vertex serving state is
+// format-independent. Registrations that may compress ("auto" or
+// "dvcsr") reserve this floor — reserving the uncompressed model
+// instead would refuse builds that their measured footprint admits.
+func MinGraphBytes(vertices, edges int) int64 {
+	return int64(edges) + int64(vertices)*16
+}
+
+// reserveBytes is the admission reservation a spec takes before its
+// graph is built, from the declared dimensions: the full CSR model
+// when the spec pins the uncompressed format, the cross-format floor
+// otherwise. The reservation is released in full once the build
+// settles and replaced by the measured GraphBytes figure.
+func (s GraphSpec) reserveBytes(vertices, edges int) int64 {
+	if f, err := cosparse.ParseFormat(s.Format); err == nil && f == cosparse.CSRFormat {
+		return EstimateGraphBytes(vertices, edges)
+	}
+	return MinGraphBytes(vertices, edges)
 }
 
 // BudgetError is an admission-control rejection: registering the graph
@@ -141,6 +189,10 @@ type GraphInfo struct {
 	Edges    int    `json:"edges"`
 	Weighted bool   `json:"weighted"`
 	Refs     int    `json:"active_jobs"`
+	// Format is the resident storage format ("csr" or "dvcsr") and
+	// ResidentBytes the measured footprint charged to the memory budget.
+	Format        string `json:"format"`
+	ResidentBytes int64  `json:"resident_bytes"`
 }
 
 // engineEntry is one prepared engine in the LRU cache. runMu serializes
@@ -176,10 +228,13 @@ type Registry struct {
 	building   int
 	buildLimit int
 
-	// budgetBytes caps the estimated resident footprint of all
-	// registered graphs (0 = unlimited); usedBytes is the current sum.
-	budgetBytes int64
-	usedBytes   int64
+	// budgetBytes caps the resident footprint of all registered graphs
+	// (0 = unlimited). usedBytes is the current sum of measured charges
+	// plus in-flight build reservations; usedByFormat breaks the
+	// measured charges down by storage format for /metrics.
+	budgetBytes  int64
+	usedBytes    int64
+	usedByFormat map[string]int64
 
 	maxVertices, maxEdges int
 	inject                *fault.Injector
@@ -209,15 +264,16 @@ func NewRegistry(maxGraphs, maxEngines, maxVertices, maxEdges int, m *Metrics) *
 		m = NewMetrics()
 	}
 	return &Registry{
-		graphs:      make(map[string]*GraphEntry),
-		maxGraphs:   maxGraphs,
-		engines:     make(map[string]*engineEntry),
-		lru:         list.New(),
-		maxEngine:   maxEngines,
-		buildLimit:  maxEngines,
-		maxVertices: maxVertices,
-		maxEdges:    maxEdges,
-		m:           m,
+		graphs:       make(map[string]*GraphEntry),
+		usedByFormat: make(map[string]int64),
+		maxGraphs:    maxGraphs,
+		engines:      make(map[string]*engineEntry),
+		lru:          list.New(),
+		maxEngine:    maxEngines,
+		buildLimit:   maxEngines,
+		maxVertices:  maxVertices,
+		maxEdges:     maxEdges,
+		m:            m,
 	}
 }
 
@@ -268,40 +324,62 @@ func (r *Registry) admitLocked(est int64) error {
 	return nil
 }
 
+// publishBytesLocked pushes the per-format byte breakdown to the
+// metrics gauges (r.mu held).
+func (r *Registry) publishBytesLocked() {
+	r.m.GraphBytesCSR.Store(r.usedByFormat["csr"])
+	r.m.GraphBytesDVCSR.Store(r.usedByFormat["dvcsr"])
+}
+
 // Register materializes spec and stores it under a fresh id ("g1",
-// "g2", ...). Admission control runs twice: against the declared
-// dimensions before building (so an over-budget generate request never
-// allocates), and against the materialized graph before storing.
+// "g2", ...). Admission accounting is reserve-then-reconcile: specs
+// with declared dimensions reserve their format's byte floor before
+// building (so an over-budget generate request never allocates, and
+// concurrent builds cannot collectively blow the budget), the
+// reservation is released in full once the build settles — success or
+// failure — and the measured GraphBytes figure is what final admission
+// checks and charges. Entry.bytes records that exact charge; Delete
+// releases it. Header-claimed and parsed sizes disagreeing (lying
+// headers, generator dedup) can therefore never leak or over-release
+// budget: every figure added to usedBytes is subtracted once, and only
+// the measured figure persists.
 func (r *Registry) Register(spec GraphSpec) (*GraphEntry, error) {
 	if err := r.inject.Check(fault.GraphBuild); err != nil {
 		return nil, err
 	}
+	var reserved int64
 	if v, e, ok := spec.declaredSize(); ok {
+		reserved = spec.reserveBytes(v, e)
 		r.mu.Lock()
-		err := r.admitLocked(EstimateGraphBytes(v, e))
-		r.mu.Unlock()
-		if err != nil {
+		if err := r.admitLocked(reserved); err != nil {
+			r.mu.Unlock()
 			return nil, err
 		}
+		r.usedBytes += reserved
+		r.mu.Unlock()
 	}
 	g, err := spec.Build(r.maxVertices, r.maxEdges)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Release exactly the reservation taken above, on every path —
+	// including build failure.
+	r.usedBytes -= reserved
 	if err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if len(r.graphs) >= r.maxGraphs {
 		return nil, fmt.Errorf("registry full: %d graphs registered (limit %d); delete one first", len(r.graphs), r.maxGraphs)
 	}
-	est := EstimateGraphBytes(g.NumVertices(), g.NumEdges())
-	if err := r.admitLocked(est); err != nil {
+	real := GraphBytes(g)
+	if err := r.admitLocked(real); err != nil {
 		return nil, err
 	}
 	r.nextID++
-	e := &GraphEntry{ID: fmt.Sprintf("g%d", r.nextID), Spec: spec, Graph: g, bytes: est}
+	e := &GraphEntry{ID: fmt.Sprintf("g%d", r.nextID), Spec: spec, Graph: g, bytes: real}
 	r.graphs[e.ID] = e
-	r.usedBytes += est
-	r.m.GraphBytes.Store(r.usedBytes)
+	r.usedBytes += real
+	r.usedByFormat[g.Format()] += real
+	r.publishBytesLocked()
 	r.m.GraphsRegistered.Store(int64(len(r.graphs)))
 	r.m.GraphsCreated.Add(1)
 	return e, nil
@@ -325,18 +403,19 @@ func (r *Registry) Restore(id string, spec GraphSpec) error {
 	if len(r.graphs) >= r.maxGraphs {
 		return fmt.Errorf("registry full restoring %s (limit %d)", id, r.maxGraphs)
 	}
-	est := EstimateGraphBytes(g.NumVertices(), g.NumEdges())
-	if err := r.admitLocked(est); err != nil {
+	real := GraphBytes(g)
+	if err := r.admitLocked(real); err != nil {
 		return fmt.Errorf("restore graph %s: %w", id, err)
 	}
 	var n int
 	if _, err := fmt.Sscanf(id, "g%d", &n); err == nil && n > r.nextID {
 		r.nextID = n
 	}
-	e := &GraphEntry{ID: id, Spec: spec, Graph: g, bytes: est}
+	e := &GraphEntry{ID: id, Spec: spec, Graph: g, bytes: real}
 	r.graphs[id] = e
-	r.usedBytes += est
-	r.m.GraphBytes.Store(r.usedBytes)
+	r.usedBytes += real
+	r.usedByFormat[g.Format()] += real
+	r.publishBytesLocked()
 	r.m.GraphsRegistered.Store(int64(len(r.graphs)))
 	r.m.GraphsCreated.Add(1)
 	return nil
@@ -375,13 +454,15 @@ func (r *Registry) Info(id string) (GraphInfo, bool) {
 
 func (r *Registry) infoLocked(e *GraphEntry) GraphInfo {
 	return GraphInfo{
-		ID:       e.ID,
-		Name:     e.Spec.Name,
-		Kind:     strings.ToLower(e.Spec.Kind),
-		Vertices: e.Graph.NumVertices(),
-		Edges:    e.Graph.NumEdges(),
-		Weighted: e.Spec.Weighted,
-		Refs:     e.refs,
+		ID:            e.ID,
+		Name:          e.Spec.Name,
+		Kind:          strings.ToLower(e.Spec.Kind),
+		Vertices:      e.Graph.NumVertices(),
+		Edges:         e.Graph.NumEdges(),
+		Weighted:      e.Spec.Weighted,
+		Refs:          e.refs,
+		Format:        e.Graph.Format(),
+		ResidentBytes: e.bytes,
 	}
 }
 
@@ -420,8 +501,10 @@ func (r *Registry) Delete(id string) error {
 		return fmt.Errorf("graph %q has %d active jobs", id, e.refs)
 	}
 	delete(r.graphs, id)
+	// Release the exact figure recorded at admission.
 	r.usedBytes -= e.bytes
-	r.m.GraphBytes.Store(r.usedBytes)
+	r.usedByFormat[e.Graph.Format()] -= e.bytes
+	r.publishBytesLocked()
 	r.m.GraphsRegistered.Store(int64(len(r.graphs)))
 	prefix := id + "/"
 	for k, ee := range r.engines {
@@ -436,13 +519,14 @@ func (r *Registry) Delete(id string) error {
 
 // engineKey identifies one prepared engine. Beyond (graph, system) it
 // folds in every run-shaping option the build bakes into the engine —
-// execution backend, trace cap, and whether the iteration fault hook
-// was armed — so a config change (e.g. arming fault injection, or a
-// job asking for the native backend) can never be satisfied by a stale
-// cached engine built under different options. Delete relies on the
-// `id + "/"` prefix.
-func engineKey(id string, sys cosparse.System, backend cosparse.Backend, traceCap int, hooked bool) string {
-	return fmt.Sprintf("%s/%s/%s/cap=%d/hook=%t", id, sys.String(), backend.String(), traceCap, hooked)
+// execution backend, the graph's storage format, trace cap, and
+// whether the iteration fault hook was armed — so a config change
+// (e.g. arming fault injection, a job asking for the native backend,
+// or a graph re-registered under a different format) can never be
+// satisfied by a stale cached engine built under different inputs.
+// Delete relies on the `id + "/"` prefix.
+func engineKey(id string, sys cosparse.System, backend cosparse.Backend, format string, traceCap int, hooked bool) string {
+	return fmt.Sprintf("%s/%s/%s/fmt=%s/cap=%d/hook=%t", id, sys.String(), backend.String(), format, traceCap, hooked)
 }
 
 // Engine returns a prepared engine for (graph, system, backend),
@@ -456,7 +540,7 @@ func engineKey(id string, sys cosparse.System, backend cosparse.Backend, traceCa
 // retries it with backoff.
 func (r *Registry) Engine(ge *GraphEntry, sys cosparse.System, backend cosparse.Backend) (*engineEntry, error) {
 	hooked := r.inject.Armed(fault.Iteration)
-	key := engineKey(ge.ID, sys, backend, r.traceCap, hooked)
+	key := engineKey(ge.ID, sys, backend, ge.Graph.Format(), r.traceCap, hooked)
 	r.mu.Lock()
 	if ee, ok := r.engines[key]; ok {
 		r.lru.MoveToFront(ee.elem)

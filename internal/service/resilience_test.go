@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"strings"
 	"testing"
@@ -150,21 +151,56 @@ func TestBodyLimit413(t *testing.T) {
 	}
 }
 
-// TestMemoryBudget413 checks graph admission control: registrations
-// that would exceed the configured budget are refused with 413 before
-// any allocation, and deleting a graph refunds its estimate.
+// TestMemoryBudget413 checks graph admission control under measured
+// per-format accounting: registrations whose reservation would exceed
+// the configured budget are refused with 413 before any allocation,
+// and deleting a graph refunds exactly the figure it was charged.
 func TestMemoryBudget413(t *testing.T) {
-	one := EstimateGraphBytes(300, 1500)
+	// Measure what the first graph actually charges (powerlaw dedup
+	// makes the parsed edge count differ from the declared 1500, and
+	// the charge is the measured figure, not the header model).
+	pinned := GraphSpec{Kind: "powerlaw", Vertices: 300, Edges: 1500, Seed: 81, Format: "csr"}
+	g, err := pinned.Build(1<<22, 1<<26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := GraphBytes(g)
+	dvSpec := pinned
+	dvSpec.Format = "dvcsr"
+	dvSpec.Seed = 82
+	gDV, err := dvSpec.Build(1<<22, 1<<26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneDV := GraphBytes(gDV)
+	if oneDV >= one {
+		t.Fatalf("dvcsr charge %d not below csr charge %d", oneDV, one)
+	}
+	// The a-priori csr reservation models the declared (pre-dedup) edge
+	// count, so it must exceed what a compressed graph really needs —
+	// that gap is what the budget below exploits.
+	if est := EstimateGraphBytes(300, 1500); est <= oneDV {
+		t.Fatalf("csr estimate %d not above dvcsr charge %d", est, oneDV)
+	}
 	svc, ts := newTestService(t, Config{
 		Workers: 1, QueueDepth: 4,
-		MemoryBudgetBytes: one + one/2, // room for one graph, not two
+		// Room for the first csr graph plus one compressed graph, but
+		// not for a second csr reservation.
+		MemoryBudgetBytes: one + oneDV,
 	})
 
-	gid := registerGraph(t, ts.URL, 81)
+	var info GraphInfo
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", pinned, &info); code != http.StatusCreated {
+		t.Fatalf("register graph: status %d", code)
+	}
+	if info.Format != "csr" || info.ResidentBytes != one {
+		t.Fatalf("registered graph: format %q resident %d, want csr/%d", info.Format, info.ResidentBytes, one)
+	}
+	gid := info.ID
 
 	var e errorBody
 	code := doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", GraphSpec{
-		Kind: "powerlaw", Vertices: 300, Edges: 1500, Seed: 82,
+		Kind: "powerlaw", Vertices: 300, Edges: 1500, Seed: 82, Format: "csr",
 	}, &e)
 	if code != http.StatusRequestEntityTooLarge {
 		t.Fatalf("over-budget register: status %d (%+v), want 413", code, e)
@@ -175,16 +211,34 @@ func TestMemoryBudget413(t *testing.T) {
 	if got := svc.m.AdmissionRejected.Load(); got != 1 {
 		t.Fatalf("admission rejections = %d, want 1", got)
 	}
-	if !strings.Contains(scrapeMetrics(t, ts.URL), "cosparsed_admission_rejected_total 1") {
+	metrics := scrapeMetrics(t, ts.URL)
+	if !strings.Contains(metrics, "cosparsed_admission_rejected_total 1") {
 		t.Error("metrics missing admission counter")
 	}
+	if !strings.Contains(metrics, fmt.Sprintf("cosparsed_graph_bytes{format=\"csr\"} %d", one)) {
+		t.Error("metrics missing per-format graph bytes")
+	}
 
-	// Deleting the resident graph frees budget; the retry fits.
+	// A compressed registration of the same graph fits in the remaining
+	// budget that the csr one could not: admission charges measured
+	// per-format bytes, not a uniform model.
+	code = doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", dvSpec, &info)
+	if code != http.StatusCreated {
+		t.Fatalf("compressed register: status %d, want 201", code)
+	}
+	if info.Format != "dvcsr" || info.ResidentBytes != oneDV {
+		t.Fatalf("compressed graph: format %q charged %d, want dvcsr/%d", info.Format, info.ResidentBytes, oneDV)
+	}
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/graphs/"+info.ID, nil, nil); code != http.StatusOK {
+		t.Fatalf("delete compressed: %d", code)
+	}
+
+	// Deleting the resident graph refunds its exact charge; the retry fits.
 	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/graphs/"+gid, nil, nil); code != http.StatusOK {
 		t.Fatalf("delete: %d", code)
 	}
 	code = doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", GraphSpec{
-		Kind: "powerlaw", Vertices: 300, Edges: 1500, Seed: 82,
+		Kind: "powerlaw", Vertices: 300, Edges: 1500, Seed: 82, Format: "csr",
 	}, nil)
 	if code != http.StatusCreated {
 		t.Fatalf("register after delete: status %d, want 201", code)

@@ -47,6 +47,9 @@ type Config struct {
 	// DefaultBackend is the execution backend used when a job names
 	// none: "sim" (the default) or "native".
 	DefaultBackend string
+	// DefaultFormat is the graph storage format used when a register
+	// request names none: "auto" (the default), "csr", or "dvcsr".
+	DefaultFormat string
 	// DefaultTimeout / MaxTimeout bound per-job deadlines
 	// (defaults 30s / 5m).
 	DefaultTimeout time.Duration
@@ -576,6 +579,12 @@ func (s *Service) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 		writeDecodeError(w, "bad graph spec", err)
 		return
 	}
+	if strings.TrimSpace(spec.Format) == "" {
+		// Resolve the server default into the spec before registering so
+		// the journaled record replays identically after a restart even
+		// if the daemon's -format default changes in between.
+		spec.Format = s.cfg.DefaultFormat
+	}
 	e, err := s.reg.Register(spec)
 	if err != nil {
 		var be *BudgetError
@@ -608,6 +617,8 @@ func (s *Service) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 		slog.String("kind", info.Kind),
 		slog.Int("vertices", info.Vertices),
 		slog.Int("edges", info.Edges),
+		slog.String("format", info.Format),
+		slog.Int64("resident_bytes", info.ResidentBytes),
 	)
 	writeJSON(w, http.StatusCreated, info)
 }
