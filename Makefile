@@ -61,6 +61,8 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseSNAP -fuzztime=10s ./internal/gen
 	$(GO) test -run='^$$' -fuzz=FuzzParseMatrixMarket -fuzztime=10s ./internal/gen
 	$(GO) test -run='^$$' -fuzz=FuzzDVCSRDecode -fuzztime=10s ./internal/matrix
+	$(GO) test -run='^$$' -fuzz=FuzzBBCSRDecode -fuzztime=10s ./internal/matrix
+	$(GO) test -run='^$$' -fuzz=FuzzDVCCSCDecode -fuzztime=10s ./internal/matrix
 	$(GO) test -run='^$$' -fuzz=FuzzScanSegment -fuzztime=10s ./internal/store
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeCheckpoint -fuzztime=10s ./internal/runtime
 	$(GO) test -run='^$$' -fuzz=FuzzJobSubmitBody -fuzztime=10s ./internal/service
@@ -99,12 +101,15 @@ bench-batch:
 bench-checkpoint:
 	BENCH_CHECKPOINT=1 $(GO) test -count=1 -run TestBenchCheckpointOverhead -v ./internal/runtime
 
-# bench-formats compares the CSR baseline with delta-varint compressed
-# storage on a scale-16 power-law graph: resident bytes, native
-# PageRank wall-clock through the decode-at-build seam, and how many
-# graphs one memory budget admits. Results land in BENCH_formats.json;
-# the run fails under 1.5x compression, over 1.3x native slowdown, or
-# under 1.5x admitted graphs.
+# bench-formats compares the CSR baseline with delta-varint (dvcsr)
+# and bitmap-block (bbcsr) compressed storage on a scale-16 power-law
+# graph: resident bytes, native PageRank wall-clock through the
+# decode-at-build seam, how many graphs one memory budget admits, and
+# a decode-PE sim leg recording per-format decode cycles vs HBM lines
+# saved. Results land in BENCH_formats.json; the run fails under 1.5x
+# dvcsr compression, over 1.3x native slowdown, under 1.5x admitted
+# graphs, if decode-off sim cycles drift from the CSR baseline, or if
+# a >= 1.25x-compressible format fails to cut HBM matrix traffic.
 bench-formats:
 	BENCH_FORMATS=1 $(GO) test -count=1 -run TestBenchFormats -v .
 

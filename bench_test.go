@@ -108,7 +108,7 @@ func BenchmarkSimOPKernel(b *testing.B) {
 	_, csc := benchMatrix()
 	g := sim.Geometry{Tiles: 4, PEsPerTile: 8}
 	cfg := sim.NewConfig(g, sim.PS)
-	part := kernels.NewOPPartition(csc, g.Tiles, kernels.BalanceNNZ)
+	part := kernels.NewOPPartitionCSC(csc, g.Tiles, kernels.BalanceNNZ)
 	f := gen.Frontier(csc.C, 0.02, 9)
 	op := kernels.Operand{Ring: semiring.SpMV()}
 	b.ResetTimer()
@@ -132,7 +132,7 @@ func BenchmarkOPPartitionBuild(b *testing.B) {
 	_, csc := benchMatrix()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = kernels.NewOPPartition(csc, 8, kernels.BalanceNNZ)
+		_ = kernels.NewOPPartitionCSC(csc, 8, kernels.BalanceNNZ)
 	}
 }
 

@@ -74,6 +74,11 @@ const (
 	// DVCSRFormat is delta-varint compressed sparse row: column gaps as
 	// varints, values elided on unit-weight graphs.
 	DVCSRFormat
+	// BBCSRFormat is bitmap-block compressed sparse row: each row's
+	// populated 64-column blocks as (gap varint, 64-bit bitmap) pairs —
+	// the win on graphs with near-dense tiles, where DVCSR's one varint
+	// per element costs more than one bit per element.
+	BBCSRFormat
 )
 
 // String returns the format's flag/metric spelling.
@@ -83,6 +88,8 @@ func (f Format) String() string {
 		return "csr"
 	case DVCSRFormat:
 		return "dvcsr"
+	case BBCSRFormat:
+		return "bbcsr"
 	}
 	return "auto"
 }
@@ -97,8 +104,10 @@ func ParseFormat(s string) (Format, error) {
 		return CSRFormat, nil
 	case "dvcsr":
 		return DVCSRFormat, nil
+	case "bbcsr":
+		return BBCSRFormat, nil
 	}
-	return 0, fmt.Errorf("cosparse: unknown format %q (want \"auto\", \"csr\" or \"dvcsr\")", s)
+	return 0, fmt.Errorf("cosparse: unknown format %q (want \"auto\", \"csr\", \"dvcsr\" or \"bbcsr\")", s)
 }
 
 // Graph is an immutable graph bound to the CoSPARSE storage convention
@@ -123,7 +132,8 @@ func (g *Graph) Density() float64 {
 	return float64(g.st.NNZ()) / (float64(r) * float64(c))
 }
 
-// Format returns the resident storage format ("csr" or "dvcsr").
+// Format returns the resident storage format ("csr", "dvcsr" or
+// "bbcsr").
 func (g *Graph) Format() string { return g.st.Format().String() }
 
 // ResidentBytes returns the measured footprint of the resident matrix
@@ -132,31 +142,47 @@ func (g *Graph) ResidentBytes() int64 { return g.st.ResidentBytes() }
 
 // InFormat returns the same graph re-encoded in the requested resident
 // format (the graph itself when the format already matches).
-// AutoFormat applies the density/degree-skew selection heuristic.
+// AutoFormat applies the exact-size selection over all candidate
+// formats. The re-encode streams directly from the resident store —
+// converting a compressed graph never materializes an intermediate
+// uncompressed copy, so peak memory stays at source + destination.
 func (g *Graph) InFormat(f Format) (*Graph, error) {
-	m, err := g.st.ToCOO()
-	if err != nil {
-		return nil, fmt.Errorf("cosparse: %w", err)
-	}
 	if f == AutoFormat {
-		if matrix.AutoSelect(m) == matrix.FormatDVCSR {
+		switch matrix.AutoSelectStore(g.st) {
+		case matrix.FormatDVCSR:
 			f = DVCSRFormat
-		} else {
+		case matrix.FormatBBCSR:
+			f = BBCSRFormat
+		default:
 			f = CSRFormat
 		}
 	}
-	if f == DVCSRFormat {
+	switch f {
+	case DVCSRFormat:
 		if g.st.Format() == matrix.FormatDVCSR {
 			return g, nil
 		}
-		d, err := matrix.EncodeDVCSR(m)
+		d, err := matrix.EncodeDVCSRStore(g.st)
 		if err != nil {
 			return nil, fmt.Errorf("cosparse: %w", err)
 		}
 		return &Graph{st: d}, nil
+	case BBCSRFormat:
+		if g.st.Format() == matrix.FormatBBCSR {
+			return g, nil
+		}
+		b, err := matrix.EncodeBBCSR(g.st)
+		if err != nil {
+			return nil, fmt.Errorf("cosparse: %w", err)
+		}
+		return &Graph{st: b}, nil
 	}
 	if g.st.Format() == matrix.FormatCSR {
 		return g, nil
+	}
+	m, err := g.st.ToCOO()
+	if err != nil {
+		return nil, fmt.Errorf("cosparse: %w", err)
 	}
 	return &Graph{st: m}, nil
 }
@@ -199,13 +225,11 @@ func LoadEdgeList(r io.Reader, undirected bool) (*Graph, error) {
 	return &Graph{st: m}, nil
 }
 
-// WriteEdgeList writes the graph as a SNAP-style edge list.
+// WriteEdgeList writes the graph as a SNAP-style edge list, streaming
+// row by row from the resident store — no uncompressed copy of a
+// compressed graph is ever materialized.
 func (g *Graph) WriteEdgeList(w io.Writer, header string) error {
-	m, err := g.st.ToCOO()
-	if err != nil {
-		return fmt.Errorf("cosparse: %w", err)
-	}
-	return gen.WriteEdgeList(w, m, header)
+	return gen.WriteEdgeListStore(w, g.st, header)
 }
 
 // GenerateUniform creates an n-vertex graph with ~edges uniformly
@@ -365,6 +389,17 @@ func WithoutBalancing() Option {
 	return func(o *runtime.Options) { o.Balancing = kernels.BalanceRows }
 }
 
+// WithDecodePEs models per-PE decode units on the sim backend: when
+// the resident format is compressed, matrix streams are charged from
+// HBM at their compressed line counts plus decode-pipe cycles, instead
+// of pretending the raw operand arrays were resident (§III-B's
+// bandwidth argument carried into the compressed domain). A no-op on
+// uncompressed graphs and on the native backend; with the option
+// absent, sim timings are bit-identical to an engine without it.
+func WithDecodePEs() Option {
+	return func(o *runtime.Options) { o.DecodePEs = true }
+}
+
 // WithMaxIterations bounds traversal algorithms.
 func WithMaxIterations(n int) Option {
 	return func(o *runtime.Options) { o.MaxIters = n }
@@ -477,6 +512,12 @@ type IterationStat struct {
 	// stalled on memory and HBM lines read.
 	StallCycles int64 `json:",omitempty"`
 	HBMLines    int64 `json:",omitempty"`
+	// Compressed-domain signals (WithDecodePEs on a compressed graph):
+	// decode-pipe cycles charged and HBM lines saved versus streaming
+	// the raw operand arrays (negative when the compressed gather cost
+	// more than the raw slices).
+	DecodeCycles  int64 `json:",omitempty"`
+	HBMSavedLines int64 `json:",omitempty"`
 
 	// Wall-clock durations (nanoseconds in JSON), filled by the native
 	// backend instead of the cycle fields above; Wall is the iteration
@@ -506,6 +547,12 @@ type MemoryStats struct {
 	Writebacks           int64
 	StallCycles          int64
 	ReconfigCycles       int64
+
+	// Compressed-domain rollup (zero unless WithDecodePEs ran against a
+	// compressed graph on the sim backend).
+	DecodeCycles       int64 `json:",omitempty"`
+	HBMCompressedLines int64 `json:",omitempty"`
+	HBMSavedLines      int64 `json:",omitempty"`
 }
 
 // Report summarizes an algorithm run on the simulated hardware.
@@ -630,6 +677,9 @@ func (e *Engine) report(rep *runtime.Report) *Report {
 			Writebacks:           b.Writebacks,
 			StallCycles:          b.StallCycles,
 			ReconfigCycles:       b.ReconfigCycles,
+			DecodeCycles:         b.DecodeCycles,
+			HBMCompressedLines:   b.HBMCompressedLines,
+			HBMSavedLines:        b.HBMSavedLines,
 		}
 	}
 	for _, it := range rep.Iters {
@@ -638,23 +688,25 @@ func (e *Engine) report(rep *runtime.Report) *Report {
 			sw = "IP"
 		}
 		out.Iterations = append(out.Iterations, IterationStat{
-			Iter:         it.Iter,
-			FrontierSize: it.FrontierNNZ,
-			Density:      it.Density,
-			Software:     sw,
-			Hardware:     it.Decision.HW.String(),
-			Reconfigured: it.Reconfig,
-			Cycles:       it.TotalCycles,
-			EnergyJ:      it.EnergyJ,
-			KernelCycles: it.KernelCycles,
-			MergeCycles:  it.MergeCycles,
-			ConvCycles:   it.ConvCycles,
-			StallCycles:  it.Stats.StallCycles,
-			HBMLines:     it.Stats.HBMLines,
-			Wall:         it.TotalWall,
-			KernelWall:   it.KernelWall,
-			MergeWall:    it.MergeWall,
-			ConvWall:     it.ConvWall,
+			Iter:          it.Iter,
+			FrontierSize:  it.FrontierNNZ,
+			Density:       it.Density,
+			Software:      sw,
+			Hardware:      it.Decision.HW.String(),
+			Reconfigured:  it.Reconfig,
+			Cycles:        it.TotalCycles,
+			EnergyJ:       it.EnergyJ,
+			KernelCycles:  it.KernelCycles,
+			MergeCycles:   it.MergeCycles,
+			ConvCycles:    it.ConvCycles,
+			StallCycles:   it.Stats.StallCycles,
+			HBMLines:      it.Stats.HBMLines,
+			DecodeCycles:  it.Stats.DecodeCycles,
+			HBMSavedLines: it.Stats.HBMSavedLines,
+			Wall:          it.TotalWall,
+			KernelWall:    it.KernelWall,
+			MergeWall:     it.MergeWall,
+			ConvWall:      it.ConvWall,
 		})
 	}
 	return out

@@ -23,7 +23,7 @@ func spmvCycles(cfg sim.Config, coo *matrix.COO, csc *matrix.CSC, f *matrix.Spar
 		_, res := kernels.RunIP(cfg, part, f.ToDense(0), op)
 		return res.Cycles
 	}
-	part := kernels.NewOPPartition(csc, cfg.Geometry.Tiles, kernels.BalanceNNZ)
+	part := kernels.NewOPPartitionCSC(csc, cfg.Geometry.Tiles, kernels.BalanceNNZ)
 	_, res := kernels.RunOP(cfg, part, f, op)
 	return res.Cycles
 }

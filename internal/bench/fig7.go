@@ -122,10 +122,10 @@ func Fig7(s Scale) (*Fig7Result, *Table) {
 		plCSC := pl.ToCSC()
 		for _, hw := range []sim.HWConfig{sim.PC, sim.PS} {
 			cfg := sim.Config{Geometry: g, HW: hw, Params: par}
-			uniPart := kernels.NewOPPartition(uniCSC, g.Tiles, kernels.BalanceNNZ)
+			uniPart := kernels.NewOPPartitionCSC(uniCSC, g.Tiles, kernels.BalanceNNZ)
 			_, uniRes := kernels.RunOP(cfg, uniPart, fOP, op)
 			for _, b := range []kernels.Balancing{kernels.BalanceRows, kernels.BalanceNNZ} {
-				plPart := kernels.NewOPPartition(plCSC, g.Tiles, b)
+				plPart := kernels.NewOPPartitionCSC(plCSC, g.Tiles, b)
 				_, plRes := kernels.RunOP(cfg, plPart, fOP, op)
 				cell := Fig7Cell{
 					Matrix: mspec.Name, Config: hw, Balancing: b,

@@ -108,3 +108,32 @@ func WriteEdgeList(w io.Writer, m *matrix.COO, header string) error {
 	}
 	return bw.Flush()
 }
+
+// WriteEdgeListStore is WriteEdgeList over the storage seam: it streams
+// rows straight out of the resident store, so writing a compressed
+// graph never materializes an uncompressed copy. Output is byte-
+// identical to WriteEdgeList of the store's COO decoding.
+func WriteEdgeListStore(w io.Writer, st matrix.Store, header string) error {
+	bw := bufio.NewWriter(w)
+	if header != "" {
+		if _, err := fmt.Fprintf(bw, "# %s\n", header); err != nil {
+			return err
+		}
+	}
+	r, _ := st.Dims()
+	if _, err := fmt.Fprintf(bw, "# vertices: %d edges: %d\n", r, st.NNZ()); err != nil {
+		return err
+	}
+	var werr error
+	st.DecodeRows(0, int32(r), func(row, col int32, val float32) {
+		if werr != nil {
+			return
+		}
+		// Row is destination, Col is source.
+		_, werr = fmt.Fprintf(bw, "%d\t%d\t%g\n", col, row, val)
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}

@@ -115,6 +115,7 @@ func RunIP(cfg sim.Config, part *IPPartition, x matrix.Dense, op Operand) (matri
 	if len(x) != part.C {
 		panic("kernels: RunIP frontier length mismatch")
 	}
+	part.Materialize()
 	m := sim.MustMachine(cfg)
 	par := cfg.Params
 	arena := sim.NewArena(par)
@@ -145,5 +146,6 @@ func RunIP(cfg sim.Config, part *IPPartition, x matrix.Dense, op Operand) (matri
 	}}
 
 	res := m.Run(prog)
+	applyDecodePEs(cfg, ipDecodeUnits(part), 1, &res)
 	return out, res
 }

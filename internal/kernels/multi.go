@@ -110,6 +110,7 @@ func RunIPMulti(cfg sim.Config, part *IPPartition, xs []matrix.Dense, ops []Oper
 			panic("kernels: RunIPMulti frontier length mismatch")
 		}
 	}
+	part.Materialize()
 	m := sim.MustMachine(cfg)
 	arena := sim.NewArena(cfg.Params)
 	matAddr := arena.Alloc(3 * len(part.Val))
@@ -149,5 +150,6 @@ func RunIPMulti(cfg sim.Config, part *IPPartition, xs []matrix.Dense, ops []Oper
 	}}
 
 	res := m.Run(prog)
+	applyDecodePEs(cfg, ipDecodeUnits(part), int64((k+LaneBlock-1)/LaneBlock), &res)
 	return outs, res
 }

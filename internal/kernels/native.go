@@ -55,6 +55,7 @@ func NativeIP(part *IPPartition, x matrix.Dense, op Operand) matrix.Dense {
 	if len(x) != part.C {
 		panic("kernels: NativeIP frontier length mismatch")
 	}
+	part.Materialize()
 	out := make(matrix.Dense, part.R)
 	for i := range out {
 		out[i] = op.Ring.Identity
@@ -76,6 +77,7 @@ func NativeOP(part *OPPartition, f *matrix.SparseVec, op Operand, pesPerTile int
 	if f.N != part.C {
 		panic("kernels: NativeOP frontier length mismatch")
 	}
+	part.Materialize()
 	if pesPerTile < 1 {
 		pesPerTile = 1
 	}

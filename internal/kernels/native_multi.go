@@ -28,6 +28,7 @@ func NativeIPMulti(part *IPPartition, xs []matrix.Dense, ops []Operand) []matrix
 			panic("kernels: NativeIPMulti frontier length mismatch")
 		}
 	}
+	part.Materialize()
 	outs := make([]matrix.Dense, k)
 	for l := range outs {
 		outs[l] = make(matrix.Dense, part.R)
@@ -114,6 +115,7 @@ func NativeOPMulti(part *OPPartition, fs []*matrix.SparseVec, ops []Operand, pes
 	if pesPerTile < 1 {
 		pesPerTile = 1
 	}
+	part.Materialize()
 	peColsPerLane := make([][]int32, k)
 	for l := range fs {
 		if fs[l].N != part.C {

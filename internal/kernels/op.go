@@ -180,6 +180,7 @@ func RunOP(cfg sim.Config, part *OPPartition, f *matrix.SparseVec, op Operand) (
 	if f.N != part.C {
 		panic("kernels: RunOP frontier length mismatch")
 	}
+	part.Materialize()
 	m := sim.MustMachine(cfg)
 	par := cfg.Params
 	arena := sim.NewArena(par)
@@ -280,6 +281,7 @@ func RunOP(cfg sim.Config, part *OPPartition, f *matrix.SparseVec, op Operand) (
 	}
 
 	res := m.Run(prog)
+	applyDecodePEs(cfg, opDecodeUnits(part, f, peCols), 1, &res)
 
 	// Tiles own ascending disjoint row ranges, so concatenation is the
 	// sorted sparse result.

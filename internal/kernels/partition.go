@@ -14,6 +14,7 @@ package kernels
 
 import (
 	"fmt"
+	"sync"
 
 	"cosparse/internal/matrix"
 )
@@ -87,18 +88,31 @@ type IPPartition struct {
 	PEPtr       []int32 // per-PE element range: elements of PE p are [PEPtr[p], PEPtr[p+1])
 	Segs        [][]Seg // per PE, ordered by vblock
 	RowBounds   []int32 // the row cuts, exposed for tests
+	// SrcFormat is the resident format of the store the partition was
+	// cut from, and PEStreamBytes the encoded byte length of each PE's
+	// row chunk in that store (nil for uncompressed sources) — the
+	// per-stream fetch sizes the decode-PE sim model charges.
+	SrcFormat     matrix.Format
+	PEStreamBytes []int64
+
+	src matrix.Store
+	ptr []int32 // the source's row prefix, for lazy decode
+	mat sync.Once
 }
 
 // NewIPPartition builds the IP layout for a machine with totalPEs
 // processing elements and the given vblock width in vector words
 // (usually Config.SPMWordsPerTile(); pass 0 to disable blocking).
 //
-// It is the format seam's consumer: any matrix.Store works. Each PE's
-// row chunk is decoded through Store.DecodeRows into the same
-// row-major element stream the COO baseline holds, then bucketed by
-// vblock exactly as before — so the resulting layout (and therefore
-// every kernel's operand order, results, and sim timings) is
-// byte-identical whatever the resident format was.
+// It is the format seam's consumer: any matrix.Store works. Only the
+// row cuts and per-PE element ranges are computed here (from the row
+// prefix — no decode); each PE's row chunk is decoded lazily through
+// Store.DecodeRows on first kernel use, into the same row-major
+// element stream the COO baseline holds, then bucketed by vblock
+// exactly as before — so the resulting layout (and therefore every
+// kernel's operand order, results, and sim timings) is byte-identical
+// whatever the resident format was, and a partition that is never run
+// never decodes the graph.
 func NewIPPartition(m matrix.Store, totalPEs, vblockWords int, b Balancing) *IPPartition {
 	if totalPEs < 1 {
 		panic("kernels: totalPEs must be >= 1")
@@ -111,35 +125,60 @@ func NewIPPartition(m matrix.Store, totalPEs, vblockWords int, b Balancing) *IPP
 		NumPEs:      totalPEs,
 		VBlockWords: vblockWords,
 		NumVBlocks:  1,
-		Row:         make([]int32, 0, m.NNZ()),
-		Col:         make([]int32, 0, m.NNZ()),
-		Val:         make([]float32, 0, m.NNZ()),
 		PEPtr:       make([]int32, totalPEs+1),
 		Segs:        make([][]Seg, totalPEs),
 		RowBounds:   bounds,
+		SrcFormat:   m.Format(),
+		src:         m,
+		ptr:         ptr,
 	}
 	if vblockWords > 0 {
 		p.NumVBlocks = (cols + vblockWords - 1) / vblockWords
 	}
+	for pe := 0; pe < totalPEs; pe++ {
+		p.PEPtr[pe+1] = ptr[bounds[pe+1]]
+	}
+	return p
+}
+
+// Materialize decodes the partition's element arrays from the source
+// store if they have not been decoded yet. Every kernel entry point
+// calls it; it is idempotent and safe for concurrent use.
+func (p *IPPartition) Materialize() { p.mat.Do(p.materialize) }
+
+func (p *IPPartition) materialize() {
+	m, ptr := p.src, p.ptr
+	nnz := int(ptr[p.RowBounds[p.NumPEs]])
+	p.Row = make([]int32, 0, nnz)
+	p.Col = make([]int32, 0, nnz)
+	p.Val = make([]float32, 0, nnz)
+	sizer, _ := m.(interface{ EncodedRowBytes(lo, hi int32) int64 })
+	if sizer != nil && p.SrcFormat != matrix.FormatCSR {
+		p.PEStreamBytes = make([]int64, p.NumPEs)
+	}
 	vbOf := func(col int32) int32 {
-		if vblockWords <= 0 {
+		if p.VBlockWords <= 0 {
 			return 0
 		}
-		return col / int32(vblockWords)
+		return col / int32(p.VBlockWords)
 	}
 	// Scratch for one PE's decoded row chunk, reused across PEs.
 	var cRow, cCol []int32
 	var cVal []float32
-	for pe := 0; pe < totalPEs; pe++ {
-		n := int(ptr[bounds[pe+1]] - ptr[bounds[pe]])
+	for pe := 0; pe < p.NumPEs; pe++ {
+		lo, hi := p.RowBounds[pe], p.RowBounds[pe+1]
+		n := int(ptr[hi] - ptr[lo])
 		cRow, cCol, cVal = cRow[:0], cCol[:0], cVal[:0]
-		m.DecodeRows(bounds[pe], bounds[pe+1], func(row, col int32, val float32) {
+		m.DecodeRows(lo, hi, func(row, col int32, val float32) {
 			cRow = append(cRow, row)
 			cCol = append(cCol, col)
 			cVal = append(cVal, val)
 		})
 		if len(cVal) != n {
 			panic(fmt.Sprintf("kernels: PE %d decoded %d elements, RowPtr promises %d", pe, len(cVal), n))
+		}
+		if p.PEStreamBytes != nil {
+			p.PEStreamBytes[pe] = sizer.EncodedRowBytes(lo, hi)
 		}
 		// Bucket the PE's (already row-major) element range by vblock,
 		// preserving row-major order inside each bucket.
@@ -169,15 +208,14 @@ func NewIPPartition(m matrix.Store, totalPEs, vblockWords int, b Balancing) *IPP
 				p.Segs[pe] = append(p.Segs[pe], Seg{VB: int32(v), Lo: base + counts[v], Hi: base + counts[v+1]})
 			}
 		}
-		p.PEPtr[pe+1] = base + int32(n)
 	}
-	return p
 }
 
 // Validate checks the partition invariants: every source element
 // appears exactly once, segments are disjoint and vblock-local, and
 // rows do not cross PE boundaries.
 func (p *IPPartition) Validate(m *matrix.COO) error {
+	p.Materialize()
 	if len(p.Val) != m.NNZ() {
 		return fmt.Errorf("kernels: partition has %d elements, matrix %d", len(p.Val), m.NNZ())
 	}
@@ -232,10 +270,44 @@ type OPPartition struct {
 	ColPtr    [][]int32 // per tile, length C+1
 	Row       [][]int32
 	Val       [][]float32
+	// SrcFormat is the resident format of the row store the partition
+	// was cut from. ColBytes, present only when the column store is
+	// compressed (DVCCSC), is the encoded byte length of every column —
+	// the per-column fetch sizes the decode-PE sim model charges when
+	// the OP kernel gathers frontier columns.
+	SrcFormat matrix.Format
+	ColBytes  []int32
+
+	cs  matrix.ColStore
+	mat sync.Once
 }
 
-// NewOPPartition builds per-tile CSC slices from the full CSC matrix.
-func NewOPPartition(m *matrix.CSC, tiles int, b Balancing) *OPPartition {
+// NewOPPartition builds per-tile CSC slices for the OP kernel from any
+// matrix.Store. Uncompressed stores convert to plain CSC; compressed
+// ones re-encode into the compressed column store (DVCCSC) so no
+// uncompressed whole-graph CSC is ever materialized. Only the row cuts
+// are computed here; the tile slices decode lazily on first kernel
+// use, column by column, into exactly the layout the eager builder
+// produced — results and sim timings are byte-identical whatever the
+// resident format was.
+func NewOPPartition(m matrix.Store, tiles int, b Balancing) *OPPartition {
+	if tiles < 1 {
+		panic("kernels: tiles must be >= 1")
+	}
+	rows, cols := m.Dims()
+	bounds := cutRows(m.RowPtr(), rows, tiles, b)
+	return &OPPartition{
+		R: rows, C: cols,
+		Tiles:     tiles,
+		RowBounds: bounds,
+		SrcFormat: m.Format(),
+		cs:        matrix.ColStoreOf(m),
+	}
+}
+
+// NewOPPartitionCSC builds the partition directly from an existing CSC
+// matrix (benchmark drivers that already hold one).
+func NewOPPartitionCSC(m *matrix.CSC, tiles int, b Balancing) *OPPartition {
 	if tiles < 1 {
 		panic("kernels: tiles must be >= 1")
 	}
@@ -248,38 +320,71 @@ func NewOPPartition(m *matrix.CSC, tiles int, b Balancing) *OPPartition {
 		ptr[i+1] += ptr[i]
 	}
 	bounds := cutRows(ptr, m.R, tiles, b)
-
-	p := &OPPartition{
+	return &OPPartition{
 		R: m.R, C: m.C,
 		Tiles:     tiles,
 		RowBounds: bounds,
-		ColPtr:    make([][]int32, tiles),
-		Row:       make([][]int32, tiles),
-		Val:       make([][]float32, tiles),
+		SrcFormat: matrix.FormatCSR,
+		cs:        m,
 	}
-	for t := 0; t < tiles; t++ {
-		lo, hi := bounds[t], bounds[t+1]
-		colPtr := make([]int32, m.C+1)
-		var rows []int32
-		var vals []float32
-		for j := 0; j < m.C; j++ {
-			for q := m.ColPtr[j]; q < m.ColPtr[j+1]; q++ {
-				if r := m.Row[q]; r >= lo && r < hi {
-					rows = append(rows, r)
-					vals = append(vals, m.Val[q])
-				}
+}
+
+// Materialize decodes the per-tile CSC slices from the column store if
+// they have not been decoded yet. Every kernel entry point calls it;
+// it is idempotent and safe for concurrent use.
+func (p *OPPartition) Materialize() { p.mat.Do(p.materialize) }
+
+func (p *OPPartition) materialize() {
+	cs := p.cs
+	p.ColPtr = make([][]int32, p.Tiles)
+	p.Row = make([][]int32, p.Tiles)
+	p.Val = make([][]float32, p.Tiles)
+	for t := 0; t < p.Tiles; t++ {
+		p.ColPtr[t] = make([]int32, p.C+1)
+	}
+	// One streaming pass over the column store: each element lands in
+	// the tile owning its row (column-major order is preserved per
+	// tile), and per-tile column boundaries close as the stream
+	// advances to a new column — the same slices the old per-tile
+	// column-filter loop built, in one pass instead of Tiles.
+	cur := int32(-1) // highest ColPtr index already closed
+	closeTo := func(j int32) {
+		for x := cur + 1; x <= j; x++ {
+			for t := 0; t < p.Tiles; t++ {
+				p.ColPtr[t][x] = int32(len(p.Row[t]))
 			}
-			colPtr[j+1] = int32(len(rows))
 		}
-		p.ColPtr[t] = colPtr
-		p.Row[t] = rows
-		p.Val[t] = vals
+		cur = j
 	}
-	return p
+	if d, ok := cs.(*matrix.DVCCSC); ok {
+		p.ColBytes = d.ColStreamBytes()
+	}
+	bounds := p.RowBounds
+	lastT := 0
+	cs.DecodeCols(0, int32(p.C), func(row, col int32, val float32) {
+		if col > cur {
+			// ColPtr[t][x] for x <= col counts only complete columns, so
+			// close them before this column's first element lands.
+			closeTo(col)
+		}
+		// Rows ascend within a column, so the owning tile only moves
+		// forward from the previous element's; empty tiles (duplicate
+		// bounds) are skipped because their half-open range is empty.
+		if row < bounds[lastT] {
+			lastT = 0
+		}
+		for row >= bounds[lastT+1] {
+			lastT++
+		}
+		p.Row[lastT] = append(p.Row[lastT], row)
+		p.Val[lastT] = append(p.Val[lastT], val)
+	})
+	closeTo(int32(p.C))
 }
 
 // Validate checks that the tile slices exactly tile the matrix.
 func (p *OPPartition) Validate(m *matrix.CSC) error {
+	p.Materialize()
 	total := 0
 	for t := 0; t < p.Tiles; t++ {
 		total += len(p.Val[t])
@@ -303,7 +408,10 @@ func (p *OPPartition) Validate(m *matrix.CSC) error {
 }
 
 // NNZOfTile returns the elements assigned to one tile.
-func (p *OPPartition) NNZOfTile(t int) int { return len(p.Val[t]) }
+func (p *OPPartition) NNZOfTile(t int) int {
+	p.Materialize()
+	return len(p.Val[t])
+}
 
 // splitEven splits n items into `parts` contiguous chunks whose sizes
 // differ by at most one; returns parts+1 boundaries. This is the LCP's

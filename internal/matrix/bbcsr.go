@@ -1,0 +1,449 @@
+package matrix
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// BBlockCols is the column width of one BBCSR bitmap block: one 64-bit
+// word covers this many consecutive columns.
+const BBlockCols = 64
+
+// BBCSR is bitmap-block compressed sparse row: per row, the populated
+// 64-column blocks in ascending order, each as an unsigned-varint block
+// gap (the first block index absolute, then strictly positive gaps)
+// followed by the block's 8-byte little-endian occupancy bitmap. Where
+// DVCSR's per-element gap varints lose — near-dense tiles whose gaps
+// are mostly 1, costing a full byte per element — BBCSR amortizes to
+// one bit per populated column, so it wins once blocks average more
+// than ~9 elements. The row element counts live in Ptr (the decoder
+// stops a row once the accumulated popcount reaches them), the value
+// array is elided for unit weights exactly like DVCSR, and ChunkOff
+// gives the same every-ChunkRows seek index.
+type BBCSR struct {
+	R, C      int
+	Ptr       []int32 // element prefix, length R+1
+	Data      []byte  // concatenated per-row (block gap varint + bitmap) streams
+	ChunkRows int     // rows per ChunkOff entry
+	ChunkOff  []int64 // byte offset of row i*ChunkRows's stream
+	Val       []float32
+	// Weighted records whether Val is present; when false every stored
+	// element has value 1 and Val is nil.
+	Weighted bool
+}
+
+// NNZ returns the number of stored elements.
+func (b *BBCSR) NNZ() int {
+	if len(b.Ptr) != b.R+1 || b.R < 0 {
+		return 0
+	}
+	return int(b.Ptr[b.R])
+}
+
+// Dims implements Store.
+func (b *BBCSR) Dims() (int, int) { return b.R, b.C }
+
+// Format implements Store.
+func (b *BBCSR) Format() Format { return FormatBBCSR }
+
+// ResidentBytes implements Store: the measured footprint of the
+// backing arrays.
+func (b *BBCSR) ResidentBytes() int64 {
+	return int64(len(b.Data)) + 4*int64(len(b.Ptr)) + 8*int64(len(b.ChunkOff)) + 4*int64(len(b.Val))
+}
+
+// RowPtr implements Store (the prefix is stored, not recomputed).
+func (b *BBCSR) RowPtr() []int32 { return b.Ptr }
+
+// EncodeBBCSR compresses any store's element stream into bitmap blocks
+// without materializing an intermediate COO. It fails on streams that
+// violate the canonical row-major, column-ascending order rather than
+// encode an undecodable stream.
+func EncodeBBCSR(st Store) (*BBCSR, error) {
+	r, c := st.Dims()
+	if r < 0 || c < 0 || r > math.MaxInt32 || c > math.MaxInt32 {
+		return nil, fmt.Errorf("matrix: bbcsr: dimensions %dx%d outside 32-bit index space", r, c)
+	}
+	if st.NNZ() > math.MaxInt32 {
+		return nil, fmt.Errorf("matrix: bbcsr: %d elements exceed 32-bit index space", st.NNZ())
+	}
+	b := &BBCSR{
+		R:         r,
+		C:         c,
+		Ptr:       st.RowPtr(),
+		ChunkRows: DefaultChunkRows,
+	}
+	nchunks := (r + b.ChunkRows - 1) / b.ChunkRows
+	b.ChunkOff = make([]int64, nchunks)
+	b.Data = make([]byte, 0, estimateBBCSRDataBytes(st))
+	vals := make([]float32, 0, st.NNZ())
+	var (
+		cur     = int32(-1) // row currently open
+		prevCol = int32(-1) // last column seen in cur
+		blk     = int32(-1) // block currently open in cur
+		prevBlk = int32(-1) // last flushed block in cur
+		bm      uint64
+		encErr  error
+	)
+	flush := func() {
+		if blk < 0 {
+			return
+		}
+		if prevBlk < 0 {
+			b.Data = binary.AppendUvarint(b.Data, uint64(blk))
+		} else {
+			b.Data = binary.AppendUvarint(b.Data, uint64(blk-prevBlk))
+		}
+		b.Data = binary.LittleEndian.AppendUint64(b.Data, bm)
+		prevBlk, blk, bm = blk, -1, 0
+	}
+	st.DecodeRows(0, int32(r), func(row, col int32, val float32) {
+		if encErr != nil {
+			return
+		}
+		if row < cur || col < 0 || int(col) >= c {
+			encErr = fmt.Errorf("matrix: bbcsr: stream not canonical at (%d,%d)", row, col)
+			return
+		}
+		if row != cur {
+			flush()
+			for rr := cur + 1; rr <= row; rr++ {
+				if rr%int32(b.ChunkRows) == 0 {
+					b.ChunkOff[rr/int32(b.ChunkRows)] = int64(len(b.Data))
+				}
+			}
+			cur, prevCol, prevBlk = row, -1, -1
+		} else if col <= prevCol {
+			encErr = fmt.Errorf("matrix: bbcsr: row %d not canonical at column %d", row, col)
+			return
+		}
+		prevCol = col
+		if blockOf := col / BBlockCols; blockOf != blk {
+			flush()
+			blk = blockOf
+		}
+		bm |= 1 << uint(col%BBlockCols)
+		if val != 1 {
+			b.Weighted = true
+		}
+		vals = append(vals, val)
+	})
+	if encErr != nil {
+		return nil, encErr
+	}
+	flush()
+	for rr := cur + 1; int(rr) < r; rr++ {
+		if rr%int32(b.ChunkRows) == 0 {
+			b.ChunkOff[rr/int32(b.ChunkRows)] = int64(len(b.Data))
+		}
+	}
+	if b.Weighted {
+		b.Val = vals
+	}
+	return b, nil
+}
+
+// estimateBBCSRDataBytes computes the exact size of the Data stream
+// EncodeBBCSR would produce, without allocating it: one varint block
+// gap plus an 8-byte bitmap per populated 64-column block.
+func estimateBBCSRDataBytes(st Store) int64 {
+	var (
+		bytes   int64
+		cur     = int32(-1)
+		blk     = int32(-1)
+		prevBlk = int32(-1)
+	)
+	r, _ := st.Dims()
+	st.DecodeRows(0, int32(r), func(row, col int32, _ float32) {
+		if row != cur {
+			cur, blk, prevBlk = row, -1, -1
+		}
+		if b := col / BBlockCols; b != blk {
+			if prevBlk < 0 {
+				bytes += int64(uvarintLen(uint64(b))) + 8
+			} else {
+				bytes += int64(uvarintLen(uint64(b-prevBlk))) + 8
+			}
+			prevBlk, blk = b, b
+		}
+	})
+	return bytes
+}
+
+// EstimateBBCSRBytes returns the exact resident footprint EncodeBBCSR
+// would produce for the store's element stream, without building it.
+func EstimateBBCSRBytes(st Store) int64 {
+	r, _ := st.Dims()
+	valBytes := int64(0)
+	if weightedOf(st) {
+		valBytes = 4 * int64(st.NNZ())
+	}
+	nchunks := int64(0)
+	if r > 0 {
+		nchunks = int64((r + DefaultChunkRows - 1) / DefaultChunkRows)
+	}
+	return estimateBBCSRDataBytes(st) + 4*int64(r+1) + 8*nchunks + valBytes
+}
+
+// Validate checks every structural invariant of the compressed stream,
+// decoding it end to end with full bounds checks: shape and length
+// consistency, chunk offsets that match the actual stream positions,
+// strictly ascending in-range blocks with non-empty bitmaps, popcounts
+// that land exactly on the row element counts, no bits past column C,
+// and exact byte consumption. It is safe on arbitrary hostile bytes
+// and is the screen every untrusted BBCSR must pass before DecodeRows
+// may be used.
+func (b *BBCSR) Validate() error {
+	if b.R < 0 || b.C < 0 || b.R > math.MaxInt32 || b.C > math.MaxInt32 {
+		return fmt.Errorf("matrix: bbcsr: dimensions %dx%d outside 32-bit index space", b.R, b.C)
+	}
+	if len(b.Ptr) != b.R+1 {
+		return fmt.Errorf("matrix: bbcsr: RowPtr length %d, want %d", len(b.Ptr), b.R+1)
+	}
+	if b.Ptr[0] != 0 {
+		return fmt.Errorf("matrix: bbcsr: RowPtr starts at %d, want 0", b.Ptr[0])
+	}
+	for i := 0; i < b.R; i++ {
+		if b.Ptr[i] > b.Ptr[i+1] {
+			return fmt.Errorf("matrix: bbcsr: RowPtr not monotone at row %d", i)
+		}
+	}
+	nnz := int(b.Ptr[b.R])
+	if nnz < 0 {
+		return fmt.Errorf("matrix: bbcsr: negative element count %d", nnz)
+	}
+	if b.Weighted && len(b.Val) != nnz {
+		return fmt.Errorf("matrix: bbcsr: %d values for %d elements", len(b.Val), nnz)
+	}
+	if !b.Weighted && len(b.Val) != 0 {
+		return fmt.Errorf("matrix: bbcsr: unweighted stream carries %d values", len(b.Val))
+	}
+	if b.ChunkRows < 1 {
+		return fmt.Errorf("matrix: bbcsr: ChunkRows %d, want >= 1", b.ChunkRows)
+	}
+	wantChunks := 0
+	if b.R > 0 {
+		wantChunks = (b.R + b.ChunkRows - 1) / b.ChunkRows
+	}
+	if len(b.ChunkOff) != wantChunks {
+		return fmt.Errorf("matrix: bbcsr: %d chunk offsets, want %d", len(b.ChunkOff), wantChunks)
+	}
+	pos := 0
+	for i := 0; i < b.R; i++ {
+		if i%b.ChunkRows == 0 {
+			if off := b.ChunkOff[i/b.ChunkRows]; off != int64(pos) {
+				return fmt.Errorf("matrix: bbcsr: chunk %d offset %d, stream is at %d", i/b.ChunkRows, off, pos)
+			}
+		}
+		var err error
+		pos, err = b.scanRow(i, pos, nil)
+		if err != nil {
+			return err
+		}
+	}
+	if pos != len(b.Data) {
+		return fmt.Errorf("matrix: bbcsr: stream ends at byte %d, Data has %d", pos, len(b.Data))
+	}
+	return nil
+}
+
+// scanRow decodes row i's block stream starting at byte pos, returning
+// the position after the row. emit, when non-nil, receives each decoded
+// column in ascending order. Every read is bounds-checked so hostile or
+// truncated streams fail with an error, never a panic or overflow.
+func (b *BBCSR) scanRow(i, pos int, emit func(col int32)) (int, error) {
+	rem := int(b.Ptr[i+1] - b.Ptr[i])
+	nblocks := (int64(b.C) + BBlockCols - 1) / BBlockCols
+	blk := int64(-1)
+	for rem > 0 {
+		if pos >= len(b.Data) {
+			return 0, fmt.Errorf("matrix: bbcsr: truncated stream in row %d (%d elements missing)", i, rem)
+		}
+		v, n := binary.Uvarint(b.Data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("matrix: bbcsr: malformed varint in row %d at byte %d", i, pos)
+		}
+		pos += n
+		if v > math.MaxInt32 {
+			return 0, fmt.Errorf("matrix: bbcsr: block gap %d in row %d outside 32-bit index space", v, i)
+		}
+		if blk < 0 {
+			blk = int64(v)
+		} else {
+			if v == 0 {
+				return 0, fmt.Errorf("matrix: bbcsr: zero block gap in row %d (duplicate block)", i)
+			}
+			blk += int64(v)
+		}
+		if blk >= nblocks {
+			return 0, fmt.Errorf("matrix: bbcsr: block %d in row %d outside %d blocks", blk, i, nblocks)
+		}
+		if pos+8 > len(b.Data) {
+			return 0, fmt.Errorf("matrix: bbcsr: truncated bitmap in row %d at byte %d", i, pos)
+		}
+		bm := binary.LittleEndian.Uint64(b.Data[pos:])
+		pos += 8
+		if bm == 0 {
+			return 0, fmt.Errorf("matrix: bbcsr: empty bitmap for block %d in row %d", blk, i)
+		}
+		base := blk * BBlockCols
+		if tail := int64(b.C) - base; tail < BBlockCols && bm>>uint(tail) != 0 {
+			return 0, fmt.Errorf("matrix: bbcsr: bitmap bits past column %d in row %d", b.C, i)
+		}
+		pc := bits.OnesCount64(bm)
+		if pc > rem {
+			return 0, fmt.Errorf("matrix: bbcsr: row %d decodes more than its %d elements", i, b.Ptr[i+1]-b.Ptr[i])
+		}
+		rem -= pc
+		if emit != nil {
+			for m := bm; m != 0; m &= m - 1 {
+				emit(int32(base) + int32(bits.TrailingZeros64(m)))
+			}
+		}
+	}
+	return pos, nil
+}
+
+// decodeRange streams the elements of rows [lo, hi) with full bounds
+// checking, seeking via the chunk index and skipping rows before lo.
+func (b *BBCSR) decodeRange(lo, hi int32, emit func(row, col int32, val float32)) error {
+	if lo < 0 {
+		lo = 0
+	}
+	if int(hi) > b.R {
+		hi = int32(b.R)
+	}
+	if lo >= hi {
+		return nil
+	}
+	if len(b.Ptr) != b.R+1 || b.ChunkRows < 1 {
+		return fmt.Errorf("matrix: bbcsr: malformed header (RowPtr %d for %d rows, ChunkRows %d)", len(b.Ptr), b.R, b.ChunkRows)
+	}
+	chunk := int(lo) / b.ChunkRows
+	if chunk >= len(b.ChunkOff) {
+		return fmt.Errorf("matrix: bbcsr: row %d beyond the chunk index", lo)
+	}
+	off := b.ChunkOff[chunk]
+	if off < 0 || off > int64(len(b.Data)) {
+		return fmt.Errorf("matrix: bbcsr: chunk %d offset %d outside %d data bytes", chunk, off, len(b.Data))
+	}
+	pos := int(off)
+	for i := chunk * b.ChunkRows; i < int(lo); i++ {
+		var err error
+		pos, err = b.scanRow(i, pos, nil)
+		if err != nil {
+			return err
+		}
+	}
+	for i := int(lo); i < int(hi); i++ {
+		row := int32(i)
+		k := b.Ptr[i]
+		// A non-monotone prefix could promise more elements than the
+		// value array holds; reject before the lookup can run past it.
+		if b.Weighted && (k < 0 || int(b.Ptr[i+1]) > len(b.Val)) {
+			return fmt.Errorf("matrix: bbcsr: row %d elements [%d,%d) outside %d values", i, k, b.Ptr[i+1], len(b.Val))
+		}
+		var err error
+		pos, err = b.scanRow(i, pos, func(col int32) {
+			v := float32(1)
+			if b.Weighted {
+				v = b.Val[k]
+			}
+			k++
+			emit(row, col, v)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeRows implements Store. The store must be trusted (built by
+// EncodeBBCSR) or have passed Validate; corruption discovered
+// mid-stream panics, matching the package's other impossible paths.
+func (b *BBCSR) DecodeRows(lo, hi int32, emit func(row, col int32, val float32)) {
+	if err := b.decodeRange(lo, hi, emit); err != nil {
+		panic(err)
+	}
+}
+
+// ToCOO implements Store, materializing the canonical row-major COO.
+// The decode enforces the stream invariants, so the result satisfies
+// COO.Validate by construction.
+func (b *BBCSR) ToCOO() (*COO, error) {
+	if len(b.Ptr) != b.R+1 {
+		return nil, fmt.Errorf("matrix: bbcsr: RowPtr length %d, want %d", len(b.Ptr), b.R+1)
+	}
+	nnz := b.NNZ()
+	if nnz < 0 || (b.Weighted && len(b.Val) != nnz) {
+		return nil, fmt.Errorf("matrix: bbcsr: inconsistent element count %d (%d values)", nnz, len(b.Val))
+	}
+	// The row prefix is untrusted here: cap the pre-allocation so a
+	// forged element count can't allocate unboundedly — append grows as
+	// the stream actually delivers.
+	prealloc := nnz
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	out := &COO{
+		R:   b.R,
+		C:   b.C,
+		Row: make([]int32, 0, prealloc),
+		Col: make([]int32, 0, prealloc),
+		Val: make([]float32, 0, prealloc),
+	}
+	err := b.decodeRange(0, int32(b.R), func(row, col int32, val float32) {
+		out.Row = append(out.Row, row)
+		out.Col = append(out.Col, col)
+		out.Val = append(out.Val, val)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(out.Val) != nnz {
+		return nil, fmt.Errorf("matrix: bbcsr: decoded %d elements, RowPtr promises %d", len(out.Val), nnz)
+	}
+	return out, nil
+}
+
+// EncodedRowBytes returns the length in bytes of the compressed stream
+// holding rows [lo, hi) — what a decode PE would fetch to produce that
+// row range. The store must be trusted or validated.
+func (b *BBCSR) EncodedRowBytes(lo, hi int32) int64 {
+	start, err := b.rowOffset(lo)
+	if err != nil {
+		panic(err)
+	}
+	end, err := b.rowOffset(hi)
+	if err != nil {
+		panic(err)
+	}
+	return int64(end - start)
+}
+
+// rowOffset returns the byte offset of row i's stream (len(Data) for
+// i >= R), seeking via the chunk index.
+func (b *BBCSR) rowOffset(i int32) (int, error) {
+	if i < 0 {
+		i = 0
+	}
+	if int(i) >= b.R {
+		return len(b.Data), nil
+	}
+	chunk := int(i) / b.ChunkRows
+	if chunk >= len(b.ChunkOff) {
+		return 0, fmt.Errorf("matrix: bbcsr: row %d beyond the chunk index", i)
+	}
+	pos := int(b.ChunkOff[chunk])
+	for r := chunk * b.ChunkRows; r < int(i); r++ {
+		var err error
+		pos, err = b.scanRow(r, pos, nil)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return pos, nil
+}

@@ -1,0 +1,146 @@
+package matrix
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"cosparse/internal/rng"
+)
+
+// FuzzBBCSRDecode throws hostile bytes at the BBCSR screen: an
+// arbitrary header plus raw (block gap, bitmap) stream must never panic
+// or overflow in Validate or ToCOO, and any stream Validate accepts
+// must decode to a matrix that itself validates and re-encodes to the
+// identical bytes. The header slices are reconstructed from
+// fuzzer-controlled bytes so every structural invariant is attackable.
+func FuzzBBCSRDecode(f *testing.F) {
+	seedCase := func(rows, cols, n int, unit bool, seed uint64) []byte {
+		r := rng.New(seed)
+		var elems []Coord
+		if unit {
+			elems = unitCoords(r, rows, cols, n)
+		} else {
+			elems = randomCoords(r, rows, cols, n)
+		}
+		b, err := EncodeBBCSR(MustCOO(rows, cols, elems))
+		if err != nil {
+			f.Fatal(err)
+		}
+		var hdr []byte
+		for _, p := range b.Ptr {
+			hdr = binary.AppendVarint(hdr, int64(p))
+		}
+		var off []byte
+		for _, o := range b.ChunkOff {
+			off = binary.AppendVarint(off, o)
+		}
+		in := binary.AppendUvarint(nil, uint64(b.R))
+		in = binary.AppendUvarint(in, uint64(b.C))
+		in = binary.AppendUvarint(in, uint64(b.ChunkRows))
+		in = binary.AppendUvarint(in, uint64(len(hdr)))
+		in = append(in, hdr...)
+		in = binary.AppendUvarint(in, uint64(len(off)))
+		in = append(in, off...)
+		w := byte(0)
+		if b.Weighted {
+			w = 1
+		}
+		in = append(in, w)
+		return append(in, b.Data...)
+	}
+	f.Add(seedCase(3, 500, 40, false, 1))
+	f.Add(seedCase(700, 700, 900, true, 2))
+	f.Add(seedCase(5, 63, 80, true, 3))
+	f.Add([]byte{0, 0, 1, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		readUvarint := func() (uint64, bool) {
+			v, n := binary.Uvarint(in)
+			if n <= 0 {
+				return 0, false
+			}
+			in = in[n:]
+			return v, true
+		}
+		r, ok := readUvarint()
+		if !ok {
+			return
+		}
+		c, ok := readUvarint()
+		if !ok {
+			return
+		}
+		chunkRows, ok := readUvarint()
+		if !ok {
+			return
+		}
+		b := &BBCSR{R: int(r % 2048), C: int(c % 4096), ChunkRows: int(chunkRows % 512)}
+		hdrLen, ok := readUvarint()
+		if !ok || hdrLen > uint64(len(in)) {
+			return
+		}
+		hdr := in[:hdrLen]
+		in = in[hdrLen:]
+		for len(hdr) > 0 {
+			v, n := binary.Varint(hdr)
+			if n <= 0 {
+				return
+			}
+			hdr = hdr[n:]
+			b.Ptr = append(b.Ptr, int32(v))
+		}
+		offLen, ok := readUvarint()
+		if !ok || offLen > uint64(len(in)) {
+			return
+		}
+		off := in[:offLen]
+		in = in[offLen:]
+		for len(off) > 0 {
+			v, n := binary.Varint(off)
+			if n <= 0 {
+				return
+			}
+			off = off[n:]
+			b.ChunkOff = append(b.ChunkOff, v)
+		}
+		if len(in) == 0 {
+			return
+		}
+		weighted := in[0] != 0
+		b.Data = in[1:]
+		if weighted && len(b.Ptr) == b.R+1 && b.R >= 0 {
+			if nnz := b.Ptr[b.R]; nnz >= 0 && nnz < 1<<16 {
+				b.Weighted = true
+				b.Val = make([]float32, nnz)
+				for i := range b.Val {
+					b.Val[i] = float32(i%7) + 0.5
+				}
+			}
+		}
+
+		// ToCOO must be hostile-safe with or without the Validate screen.
+		if _, err := b.ToCOO(); err != nil && b.Validate() == nil {
+			t.Fatalf("Validate accepted a stream ToCOO rejects: %v", err)
+		}
+		if err := b.Validate(); err != nil {
+			return
+		}
+		m, err := b.ToCOO()
+		if err != nil {
+			t.Fatalf("validated stream failed to decode: %v", err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("decoded matrix invalid: %v", err)
+		}
+		re, err := EncodeBBCSR(m)
+		if err != nil {
+			t.Fatalf("decoded matrix failed to re-encode: %v", err)
+		}
+		if string(re.Data) != string(b.Data) {
+			t.Fatalf("re-encode differs: %d bytes vs %d", len(re.Data), len(b.Data))
+		}
+		if re.NNZ() != b.NNZ() {
+			t.Fatalf("re-encode nnz %d, want %d", re.NNZ(), b.NNZ())
+		}
+	})
+}

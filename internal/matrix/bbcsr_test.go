@@ -1,0 +1,229 @@
+package matrix
+
+import (
+	"strings"
+	"testing"
+
+	"cosparse/internal/rng"
+)
+
+// mustBBCSR encodes or fails the test.
+func mustBBCSR(t *testing.T, st Store) *BBCSR {
+	t.Helper()
+	b, err := EncodeBBCSR(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// denseBlockCoords builds rows of consecutive runs — the near-dense
+// tile shape where bitmap blocks amortize to about a bit per element.
+func denseBlockCoords(rows, runLen int) []Coord {
+	var elems []Coord
+	for i := 0; i < rows; i++ {
+		start := (i * 17) % 64
+		for j := 0; j < runLen; j++ {
+			elems = append(elems, Coord{Row: int32(i), Col: int32(start + j), Val: 1})
+		}
+	}
+	return elems
+}
+
+func TestBBCSRRoundTrip(t *testing.T) {
+	r := rng.New(71)
+	shapes := []struct{ rows, cols, n int }{
+		{1, 1, 0},       // empty
+		{1, 1, 1},       // single element
+		{3, 500, 40},    // wide rows, sparse blocks
+		{40, 40, 600},   // dense-ish
+		{700, 700, 900}, // spans multiple chunk-index entries
+		{5, 63, 80},     // C not a multiple of the block width
+	}
+	for _, weighted := range []bool{false, true} {
+		for _, s := range shapes {
+			var elems []Coord
+			if weighted {
+				elems = randomCoords(r, s.rows, s.cols, s.n)
+			} else {
+				elems = unitCoords(r, s.rows, s.cols, s.n)
+			}
+			m := MustCOO(s.rows, s.cols, elems)
+			b := mustBBCSR(t, m)
+			if err := b.Validate(); err != nil {
+				t.Fatalf("%dx%d weighted=%t: encoded stream invalid: %v", s.rows, s.cols, weighted, err)
+			}
+			got, err := b.ToCOO()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertEqualCOO(t, m, got)
+			if b.NNZ() != m.NNZ() {
+				t.Fatalf("nnz %d, want %d", b.NNZ(), m.NNZ())
+			}
+		}
+	}
+}
+
+// The value array must be elided exactly when every value is 1, and
+// the estimate must predict the encoded footprint byte-for-byte.
+func TestBBCSRWeightElisionAndEstimate(t *testing.T) {
+	r := rng.New(73)
+	unit := MustCOO(200, 200, unitCoords(r, 200, 200, 2000))
+	bu := mustBBCSR(t, unit)
+	if bu.Weighted || bu.Val != nil {
+		t.Fatalf("unit-weight matrix kept a value array (%d entries)", len(bu.Val))
+	}
+	weighted := MustCOO(200, 200, randomCoords(r, 200, 200, 2000))
+	bw := mustBBCSR(t, weighted)
+	if !bw.Weighted || len(bw.Val) != weighted.NNZ() {
+		t.Fatalf("weighted matrix: Weighted=%t, %d values for %d elements", bw.Weighted, len(bw.Val), weighted.NNZ())
+	}
+	for _, m := range []*COO{unit, weighted} {
+		b := mustBBCSR(t, m)
+		if est := EstimateBBCSRBytes(m); est != b.ResidentBytes() {
+			t.Fatalf("estimate %d, encoded %d", est, b.ResidentBytes())
+		}
+	}
+}
+
+// DecodeRows through the chunk index must match the COO reference for
+// every subrange, including ranges that start mid-chunk, and
+// EncodedRowBytes must tile the stream exactly.
+func TestBBCSRDecodeRowsMatchesCOO(t *testing.T) {
+	r := rng.New(79)
+	m := MustCOO(600, 600, randomCoords(r, 600, 600, 5000))
+	b := mustBBCSR(t, m)
+	type elem struct {
+		row, col int32
+		val      float32
+	}
+	collect := func(st Store, lo, hi int32) []elem {
+		var out []elem
+		st.DecodeRows(lo, hi, func(row, col int32, val float32) {
+			out = append(out, elem{row, col, val})
+		})
+		return out
+	}
+	ranges := [][2]int32{{0, 600}, {0, 1}, {599, 600}, {100, 300}, {255, 257}, {256, 512}, {300, 300}, {-5, 9000}}
+	for _, rg := range ranges {
+		want := collect(m, rg[0], rg[1])
+		got := collect(b, rg[0], rg[1])
+		if len(got) != len(want) {
+			t.Fatalf("rows [%d,%d): %d elements, want %d", rg[0], rg[1], len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("rows [%d,%d) element %d: %+v, want %+v", rg[0], rg[1], i, got[i], want[i])
+			}
+		}
+	}
+	var sum int64
+	for _, rg := range [][2]int32{{0, 150}, {150, 400}, {400, 600}} {
+		sum += b.EncodedRowBytes(rg[0], rg[1])
+	}
+	if sum != int64(len(b.Data)) {
+		t.Fatalf("EncodedRowBytes tiles to %d bytes, stream has %d", sum, len(b.Data))
+	}
+}
+
+// The tri-format selector must route near-dense block structure to
+// BBCSR, skewed sparse unit-weight graphs to DVCSR, and incompressible
+// scatter to CSR.
+func TestAutoSelectStoreTriFormat(t *testing.T) {
+	blocky := MustCOO(256, 256, denseBlockCoords(256, 128))
+	if got := AutoSelectStore(blocky); got != FormatBBCSR {
+		t.Fatalf("dense-block matrix selected %v, want bbcsr", got)
+	}
+	r := rng.New(83)
+	clustered := MustCOO(500, 500, unitCoords(r, 500, 500, 8000))
+	if got := AutoSelectStore(clustered); got != FormatDVCSR {
+		t.Fatalf("clustered unit-weight matrix selected %v, want dvcsr", got)
+	}
+	wide := MustCOO(4, 1<<30, []Coord{
+		{0, 1 << 29, 0.5}, {1, 1<<29 + 7, 0.25}, {2, 1 << 28, 0.125}, {3, 1<<30 - 1, 0.75},
+	})
+	if got := AutoSelectStore(wide); got != FormatCSR {
+		t.Fatalf("incompressible matrix selected %v, want csr", got)
+	}
+	// The Store-seam selector must agree with itself when handed the
+	// already-compressed resident form of the same graph.
+	if got := AutoSelectStore(mustBBCSR(t, blocky)); got != FormatBBCSR {
+		t.Fatalf("re-selection over resident bbcsr picked %v", got)
+	}
+}
+
+func TestEncodeBBCSRRejectsNonCanonical(t *testing.T) {
+	dup := &COO{R: 2, C: 4, Row: []int32{0, 0}, Col: []int32{2, 2}, Val: []float32{1, 1}}
+	unsorted := &COO{R: 1, C: 4, Row: []int32{0, 0}, Col: []int32{3, 1}, Val: []float32{1, 1}}
+	oob := &COO{R: 1, C: 4, Row: []int32{0}, Col: []int32{9}, Val: []float32{1}}
+	for name, m := range map[string]*COO{"duplicate": dup, "unsorted": unsorted, "out-of-range": oob} {
+		if _, err := EncodeBBCSR(m); err == nil {
+			t.Errorf("%s columns encoded without error", name)
+		}
+	}
+}
+
+func TestBBCSRValidateRejectsCorruption(t *testing.T) {
+	r := rng.New(89)
+	m := MustCOO(600, 600, unitCoords(r, 600, 600, 4000))
+	fresh := func() *BBCSR { return mustBBCSR(t, m) }
+	cases := []struct {
+		name    string
+		corrupt func(b *BBCSR)
+		want    string
+	}{
+		{"truncated data", func(b *BBCSR) { b.Data = b.Data[:len(b.Data)-1] }, ""},
+		{"trailing bytes", func(b *BBCSR) { b.Data = append(b.Data, 0x01) }, "stream ends"},
+		{"ptr not monotone", func(b *BBCSR) { b.Ptr[10] = b.Ptr[11] + 5 }, "monotone"},
+		{"ptr wrong start", func(b *BBCSR) { b.Ptr[0] = 1 }, "starts at"},
+		{"ptr wrong length", func(b *BBCSR) { b.Ptr = b.Ptr[:b.R] }, "length"},
+		{"chunk offset skew", func(b *BBCSR) { b.ChunkOff[1]++ }, "chunk"},
+		{"chunk index short", func(b *BBCSR) { b.ChunkOff = b.ChunkOff[:1] }, "chunk offsets"},
+		{"bad chunk rows", func(b *BBCSR) { b.ChunkRows = 0 }, "ChunkRows"},
+		{"phantom values", func(b *BBCSR) { b.Val = make([]float32, 3) }, "values"},
+		{"zero bitmap", func(b *BBCSR) {
+			// Zero out the first row's first bitmap: the 8 bytes after its
+			// leading block-index varint.
+			if b.Ptr[1] == 0 {
+				t.Fatal("test wants a non-empty row 0")
+			}
+			first := 0
+			for b.Data[first]&0x80 != 0 {
+				first++
+			}
+			for k := 1; k <= 8; k++ {
+				b.Data[first+k] = 0
+			}
+		}, ""},
+	}
+	for _, tc := range cases {
+		b := fresh()
+		tc.corrupt(b)
+		err := b.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted corrupt stream", tc.name)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if err := fresh().Validate(); err != nil {
+		t.Fatalf("pristine stream rejected: %v", err)
+	}
+}
+
+// A bitmap with bits past column C must be rejected even though the
+// popcount math would otherwise balance.
+func TestBBCSRValidateRejectsBitsPastC(t *testing.T) {
+	m := MustCOO(1, 63, []Coord{{0, 62, 1}})
+	b := mustBBCSR(t, m)
+	// Flip bit 63 (column 63 of a 63-column matrix) and bump the count
+	// so popcount accounting alone would accept it.
+	b.Data[len(b.Data)-1] |= 0x80
+	b.Ptr[1]++
+	if err := b.Validate(); err == nil || !strings.Contains(err.Error(), "past column") {
+		t.Fatalf("bitmap bit past C validated: %v", err)
+	}
+}

@@ -1,0 +1,156 @@
+package matrix
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"cosparse/internal/rng"
+)
+
+// FuzzDVCCSCDecode throws hostile bytes at the DVCCSC screen: an
+// arbitrary header plus raw varint stream must never panic or overflow
+// in Validate or ToCSC, and any stream Validate accepts must decode to
+// a matrix that re-encodes to the identical bytes — the column-major
+// mirror of FuzzDVCSRDecode.
+func FuzzDVCCSCDecode(f *testing.F) {
+	seedCase := func(rows, cols, n int, unit bool, seed uint64) []byte {
+		r := rng.New(seed)
+		var elems []Coord
+		if unit {
+			elems = unitCoords(r, rows, cols, n)
+		} else {
+			elems = randomCoords(r, rows, cols, n)
+		}
+		d, err := EncodeDVCCSC(MustCOO(rows, cols, elems))
+		if err != nil {
+			f.Fatal(err)
+		}
+		var hdr []byte
+		for _, p := range d.Ptr {
+			hdr = binary.AppendVarint(hdr, int64(p))
+		}
+		var off []byte
+		for _, o := range d.ChunkOff {
+			off = binary.AppendVarint(off, o)
+		}
+		in := binary.AppendUvarint(nil, uint64(d.R))
+		in = binary.AppendUvarint(in, uint64(d.C))
+		in = binary.AppendUvarint(in, uint64(d.ChunkCols))
+		in = binary.AppendUvarint(in, uint64(len(hdr)))
+		in = append(in, hdr...)
+		in = binary.AppendUvarint(in, uint64(len(off)))
+		in = append(in, off...)
+		w := byte(0)
+		if d.Weighted {
+			w = 1
+		}
+		in = append(in, w)
+		return append(in, d.Data...)
+	}
+	f.Add(seedCase(500, 3, 40, false, 1))
+	f.Add(seedCase(700, 700, 900, true, 2))
+	f.Add(seedCase(1, 1, 0, true, 3))
+	f.Add([]byte{0, 0, 1, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		readUvarint := func() (uint64, bool) {
+			v, n := binary.Uvarint(in)
+			if n <= 0 {
+				return 0, false
+			}
+			in = in[n:]
+			return v, true
+		}
+		r, ok := readUvarint()
+		if !ok {
+			return
+		}
+		c, ok := readUvarint()
+		if !ok {
+			return
+		}
+		chunkCols, ok := readUvarint()
+		if !ok {
+			return
+		}
+		d := &DVCCSC{R: int(r % 4096), C: int(c % 2048), ChunkCols: int(chunkCols % 512)}
+		hdrLen, ok := readUvarint()
+		if !ok || hdrLen > uint64(len(in)) {
+			return
+		}
+		hdr := in[:hdrLen]
+		in = in[hdrLen:]
+		for len(hdr) > 0 {
+			v, n := binary.Varint(hdr)
+			if n <= 0 {
+				return
+			}
+			hdr = hdr[n:]
+			d.Ptr = append(d.Ptr, int32(v))
+		}
+		offLen, ok := readUvarint()
+		if !ok || offLen > uint64(len(in)) {
+			return
+		}
+		off := in[:offLen]
+		in = in[offLen:]
+		for len(off) > 0 {
+			v, n := binary.Varint(off)
+			if n <= 0 {
+				return
+			}
+			off = off[n:]
+			d.ChunkOff = append(d.ChunkOff, v)
+		}
+		if len(in) == 0 {
+			return
+		}
+		weighted := in[0] != 0
+		d.Data = in[1:]
+		if weighted && len(d.Ptr) == d.C+1 && d.C >= 0 {
+			if nnz := d.Ptr[d.C]; nnz >= 0 && nnz < 1<<16 {
+				d.Weighted = true
+				d.Val = make([]float32, nnz)
+				for i := range d.Val {
+					d.Val[i] = float32(i%7) + 0.5
+				}
+			}
+		}
+
+		// ToCSC must be hostile-safe with or without the Validate screen.
+		if _, err := d.ToCSC(); err != nil && d.Validate() == nil {
+			t.Fatalf("Validate accepted a stream ToCSC rejects: %v", err)
+		}
+		if err := d.Validate(); err != nil {
+			return
+		}
+		csc, err := d.ToCSC()
+		if err != nil {
+			t.Fatalf("validated stream failed to decode: %v", err)
+		}
+		// Rebuild the row-major matrix from the decoded columns; a
+		// validated stream holds distinct in-range coordinates, so the
+		// COO constructor must accept them.
+		var elems []Coord
+		d.DecodeCols(0, int32(d.C), func(row, col int32, val float32) {
+			elems = append(elems, Coord{Row: row, Col: col, Val: val})
+		})
+		m, err := NewCOO(d.R, d.C, elems)
+		if err != nil {
+			t.Fatalf("decoded columns rejected by NewCOO: %v", err)
+		}
+		if m.NNZ() != len(csc.Val) {
+			t.Fatalf("column decode found %d elements, ToCSC %d", m.NNZ(), len(csc.Val))
+		}
+		re, err := EncodeDVCCSC(m)
+		if err != nil {
+			t.Fatalf("decoded matrix failed to re-encode: %v", err)
+		}
+		if string(re.Data) != string(d.Data) {
+			t.Fatalf("re-encode differs: %d bytes vs %d", len(re.Data), len(d.Data))
+		}
+		if re.NNZ() != d.NNZ() {
+			t.Fatalf("re-encode nnz %d, want %d", re.NNZ(), d.NNZ())
+		}
+	})
+}

@@ -246,6 +246,7 @@ func TestParseFormat(t *testing.T) {
 		{"", FormatCSR, false},
 		{"csr", FormatCSR, false},
 		{" DVCSR ", FormatDVCSR, false},
+		{"bbcsr", FormatBBCSR, false},
 		{"zstd", FormatCSR, true},
 	} {
 		got, err := ParseFormat(tc.in)

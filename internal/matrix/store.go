@@ -3,6 +3,7 @@ package matrix
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Format names a resident storage layout for a graph's matrix — the
@@ -18,12 +19,20 @@ const (
 	// unsigned varints, values elided entirely for unit-weight graphs —
 	// typically 1–3 bytes per edge on graph-shaped matrices.
 	FormatDVCSR
+	// FormatBBCSR is bitmap-block CSR: per-row populated 64-column
+	// blocks as a varint block gap plus an occupancy bitmap — one bit
+	// per element where DVCSR's gap varints cost a byte, so it wins on
+	// near-dense tiles and loses on sparse scattered rows.
+	FormatBBCSR
 )
 
 // String returns the format's flag/metric/JSON spelling.
 func (f Format) String() string {
-	if f == FormatDVCSR {
+	switch f {
+	case FormatDVCSR:
 		return "dvcsr"
+	case FormatBBCSR:
+		return "bbcsr"
 	}
 	return "csr"
 }
@@ -37,8 +46,10 @@ func ParseFormat(s string) (Format, error) {
 		return FormatCSR, nil
 	case "dvcsr":
 		return FormatDVCSR, nil
+	case "bbcsr":
+		return FormatBBCSR, nil
 	}
-	return 0, fmt.Errorf("matrix: unknown format %q (want \"csr\" or \"dvcsr\")", s)
+	return 0, fmt.Errorf("matrix: unknown format %q (want \"csr\", \"dvcsr\", or \"bbcsr\")", s)
 }
 
 // Store is the format seam: the resident storage of one sparse matrix,
@@ -159,7 +170,7 @@ func CSCOf(st Store) *CSC {
 	for j := 0; j < c; j++ {
 		out.ColPtr[j+1] += out.ColPtr[j]
 	}
-	next := make([]int32, c)
+	next := getInt32Scratch(c)
 	copy(next, out.ColPtr[:c])
 	st.DecodeRows(0, int32(r), func(row, col int32, val float32) {
 		p := next[col]
@@ -167,5 +178,175 @@ func CSCOf(st Store) *CSC {
 		out.Val[p] = val
 		next[col] = p + 1
 	})
+	putInt32Scratch(next)
 	return out
+}
+
+// ColStore is the column-major side of the format seam: the resident
+// storage the OP (pull) kernel's partition builder consumes, streaming
+// elements in column-major, row-ascending order. The uncompressed CSC
+// and the compressed DVCCSC both implement it.
+type ColStore interface {
+	// Dims returns the matrix dimensions (rows, cols).
+	Dims() (r, c int)
+	// NNZ returns the number of stored elements.
+	NNZ() int
+	// ResidentBytes is the measured steady-state footprint of this
+	// store's backing arrays.
+	ResidentBytes() int64
+	// ColPrefix returns the CSC-style column prefix (length C+1). The
+	// slice may be shared with the store; callers must not mutate it.
+	ColPrefix() []int32
+	// DecodeCols streams the stored elements of columns [lo, hi) in
+	// column-major, row-ascending order. Trusted-store corruption
+	// panics, exactly like Store.DecodeRows.
+	DecodeCols(lo, hi int32, emit func(row, col int32, val float32))
+}
+
+// Dims implements ColStore.
+func (m *CSC) Dims() (int, int) { return m.R, m.C }
+
+// ResidentBytes implements ColStore: 8 bytes per stored element plus
+// the column prefix.
+func (m *CSC) ResidentBytes() int64 {
+	return 4*int64(len(m.ColPtr)) + 4*int64(len(m.Row)) + 4*int64(len(m.Val))
+}
+
+// ColPrefix implements ColStore.
+func (m *CSC) ColPrefix() []int32 { return m.ColPtr }
+
+// DecodeCols implements ColStore by walking the stored column slices.
+func (m *CSC) DecodeCols(lo, hi int32, emit func(row, col int32, val float32)) {
+	if lo < 0 {
+		lo = 0
+	}
+	if int(hi) > m.C {
+		hi = int32(m.C)
+	}
+	for j := lo; j < hi; j++ {
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			emit(m.Row[p], j, m.Val[p])
+		}
+	}
+}
+
+// ColStoreOf builds the column-major store the OP kernel partitions
+// from: uncompressed row stores convert to plain CSC, compressed ones
+// re-encode into DVCCSC so the column side stays in the compressed
+// domain end to end (no uncompressed CSC scratch for a compressed
+// resident graph).
+func ColStoreOf(st Store) ColStore {
+	if st.Format() == FormatCSR {
+		return CSCOf(st)
+	}
+	cs, err := EncodeDVCCSC(st)
+	if err != nil {
+		// Impossible for a trusted store: dimensions and element counts
+		// were 32-bit-screened when the store was built.
+		panic(err)
+	}
+	return cs
+}
+
+// TransposeOf returns the transposed matrix in canonical COO form,
+// streaming two decode passes (count, place) instead of materializing
+// the source as COO first — the counting placement is stable and the
+// row-major decode order makes transposed rows come out column-sorted,
+// so the result is bit-identical to ToCOO().Transpose() at roughly a
+// third of the peak memory for compressed stores.
+func TransposeOf(st Store) *COO {
+	if m, ok := st.(*COO); ok {
+		return m.Transpose()
+	}
+	r, c := st.Dims()
+	nnz := st.NNZ()
+	out := &COO{
+		R:   c,
+		C:   r,
+		Row: make([]int32, nnz),
+		Col: make([]int32, nnz),
+		Val: make([]float32, nnz),
+	}
+	ptr := make([]int32, c+1)
+	st.DecodeRows(0, int32(r), func(_, col int32, _ float32) {
+		ptr[col+1]++
+	})
+	for j := 0; j < c; j++ {
+		ptr[j+1] += ptr[j]
+	}
+	next := getInt32Scratch(c)
+	copy(next, ptr[:c])
+	st.DecodeRows(0, int32(r), func(row, col int32, val float32) {
+		p := next[col]
+		out.Row[p] = col
+		out.Col[p] = row
+		out.Val[p] = val
+		next[col] = p + 1
+	})
+	putInt32Scratch(next)
+	return out
+}
+
+// weightedOf reports whether any stored value differs from 1 (i.e.
+// whether a compressed encoding must carry the value array). The
+// compressed stores answer from their header without decoding.
+func weightedOf(st Store) bool {
+	switch s := st.(type) {
+	case *COO:
+		for _, v := range s.Val {
+			if v != 1 {
+				return true
+			}
+		}
+		return false
+	case *DVCSR:
+		return s.Weighted
+	case *BBCSR:
+		return s.Weighted
+	}
+	r, _ := st.Dims()
+	weighted := false
+	st.DecodeRows(0, int32(r), func(_, _ int32, v float32) {
+		if v != 1 {
+			weighted = true
+		}
+	})
+	return weighted
+}
+
+// int32Scratch and int64Scratch pool the per-column fill cursors the
+// conversion paths (CSCOf, ToCSC, TransposeOf, EncodeDVCCSC) burn
+// through: these run on the engine-build retry path under memory
+// pressure, where a fresh O(C) allocation per attempt is exactly the
+// wrong time to allocate. Callers must overwrite the returned slice
+// before reading it — pooled contents are stale.
+var (
+	int32Scratch sync.Pool
+	int64Scratch sync.Pool
+)
+
+func getInt32Scratch(n int) []int32 {
+	if p, _ := int32Scratch.Get().(*[]int32); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]int32, n)
+}
+
+func putInt32Scratch(s []int32) {
+	if cap(s) > 0 {
+		int32Scratch.Put(&s)
+	}
+}
+
+func getInt64Scratch(n int) []int64 {
+	if p, _ := int64Scratch.Get().(*[]int64); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]int64, n)
+}
+
+func putInt64Scratch(s []int64) {
+	if cap(s) > 0 {
+		int64Scratch.Put(&s)
+	}
 }

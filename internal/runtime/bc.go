@@ -187,14 +187,14 @@ func (f *Framework) BCContext(ctx context.Context, src int32) (matrix.Dense, *Re
 
 	// ---- Phase 3: dependencies δ (backward, reversed graph) ----
 	if f.rev == nil {
-		// Materialize the store as COO to reverse it; the transposed
-		// framework is transient scratch for the backward sweep, so it
-		// stays in the uncompressed baseline regardless of f's format.
-		m, err := f.st.ToCOO()
-		if err != nil {
-			return nil, nil, err
-		}
-		rev, err := New(m.Transpose(), f.opts)
+		// Stream-transpose the store (two DecodeRows passes, counting
+		// placement) instead of materializing it as COO first: same
+		// bit-identical reversed matrix, without holding compressed +
+		// full COO + transposed COO simultaneously at the peak. The
+		// transposed framework is transient scratch for the backward
+		// sweep, so it stays in the uncompressed baseline regardless of
+		// f's format.
+		rev, err := New(matrix.TransposeOf(f.st), f.opts)
 		if err != nil {
 			return nil, nil, err
 		}

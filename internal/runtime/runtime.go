@@ -144,6 +144,14 @@ type Options struct {
 	// goroutine-parallel on the host and reports wall-clock durations.
 	Backend exec.Backend
 
+	// DecodePEs turns on the sim backend's compressed-domain execution
+	// model (sim.Params.DecodePEs) without the caller having to build a
+	// full Params: decode cycles are charged per compressed line and
+	// matrix HBM traffic is re-charged at compressed line counts. It
+	// only changes reported timings — never values — and only when the
+	// resident store is compressed.
+	DecodePEs bool
+
 	// TraceCap bounds Report.Iters: runs longer than the cap keep only
 	// the most recent entries (Report.DroppedIters counts the rest).
 	// 0 means DefaultTraceCap; negative means unbounded.
@@ -201,6 +209,15 @@ func NewFromStore(st matrix.Store, opts Options) (*Framework, error) {
 	if opts.Params.WordBytes == 0 {
 		opts.Params = sim.DefaultParams()
 	}
+	if opts.DecodePEs {
+		opts.Params.DecodePEs = true
+		if opts.Params.DecodeCyclesPerLine == 0 {
+			opts.Params.DecodeCyclesPerLine = sim.DefaultParams().DecodeCyclesPerLine
+		}
+		if opts.Params.DecodeFillCycles == 0 {
+			opts.Params.DecodeFillCycles = sim.DefaultParams().DecodeFillCycles
+		}
+	}
 	if opts.Policy == (Policy{}) {
 		opts.Policy = DefaultPolicy()
 	}
@@ -222,9 +239,10 @@ func NewFromStore(st matrix.Store, opts Options) (*Framework, error) {
 	// baseline that reproduces Fig. 5's gain envelope.
 	scs := sim.Config{Geometry: opts.Geometry, HW: sim.SCS, Params: opts.Params}
 	f.ipPart = kernels.NewIPPartition(st, opts.Geometry.TotalPEs(), scs.SPMWordsPerTile(), opts.Balancing)
-	// The OP kernel's CSC is a per-tile slicing; the full CSC here is a
-	// build-time scratch conversion, not part of the resident footprint.
-	f.opPart = kernels.NewOPPartition(matrix.CSCOf(st), opts.Geometry.Tiles, opts.Balancing)
+	// The OP layout is cut straight from the store: compressed stores
+	// re-encode column-major (DVCCSC) and the per-tile slices decode
+	// lazily on first use — no uncompressed whole-graph CSC scratch.
+	f.opPart = kernels.NewOPPartition(st, opts.Geometry.Tiles, opts.Balancing)
 	return f, nil
 }
 

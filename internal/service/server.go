@@ -48,7 +48,8 @@ type Config struct {
 	// none: "sim" (the default) or "native".
 	DefaultBackend string
 	// DefaultFormat is the graph storage format used when a register
-	// request names none: "auto" (the default), "csr", or "dvcsr".
+	// request names none: "auto" (the default), "csr", "dvcsr", or
+	// "bbcsr".
 	DefaultFormat string
 	// DefaultTimeout / MaxTimeout bound per-job deadlines
 	// (defaults 30s / 5m).
