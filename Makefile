@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race regress chaos chaos-restart chaos-failover fuzz check bench bench-backends bench-batch bench-checkpoint bench-formats bench-repl clean
+.PHONY: all build vet lint test race regress chaos chaos-restart chaos-failover fuzz check bench bench-backends bench-batch bench-checkpoint bench-formats bench-repl bench-service clean
 
 all: check
 
@@ -11,14 +11,17 @@ vet:
 	$(GO) vet ./...
 
 # lint is vet plus a failing gofmt check (gofmt -l output means a file
-# is unformatted; fail loudly instead of silently listing it).
+# is unformatted; fail loudly instead of silently listing it), plus
+# staticcheck when the binary is on PATH — the container image does not
+# ship it, so its absence is a skip, not a failure.
 lint: vet
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then 		staticcheck ./...; 	else 		echo "staticcheck not installed; skipping"; 	fi
 
 test:
 	$(GO) test ./...
 
-race: regress chaos chaos-restart chaos-failover fuzz bench-backends bench-batch bench-formats
+race: regress chaos chaos-restart chaos-failover fuzz bench-backends bench-batch bench-formats bench-service
 	$(GO) test -race -short ./...
 
 # regress pins the stats-accounting fixes under the race detector: the
@@ -35,10 +38,12 @@ regress:
 	$(GO) test -race -count=1 -run 'TestFormatEquivalence' .
 
 # chaos runs the fault-injection suite under the race detector: hundreds
-# of jobs against an armed injector (panics, transient errors, latency)
-# plus the graceful-drain paths.
+# of jobs against an armed injector (panics, transient errors, latency),
+# the graceful-drain paths, and the overload suite (CoDel shedding,
+# tenant fairness/eviction, retry budget, brownout, and a four-tenant
+# flood with one hostile tenant under injected faults).
 chaos:
-	$(GO) test -race -run 'TestChaos|TestDrain' -count=1 ./internal/service
+	$(GO) test -race -run 'TestChaos|TestDrain|TestOverload' -count=1 ./internal/service
 
 # chaos-restart is the durability end-to-end: a real cosparsed child is
 # SIGKILLed mid-PageRank and restarted on the same data dir; the
@@ -112,6 +117,16 @@ bench-checkpoint:
 # a >= 1.25x-compressible format fails to cut HBM matrix traffic.
 bench-formats:
 	BENCH_FORMATS=1 $(GO) test -count=1 -run TestBenchFormats -v .
+
+# bench-service is the overload-robustness gate: the cosparse-bench
+# harness self-hosts a service, finds its saturation knee closed-loop,
+# then drives it open-loop at 0.5x/1x/2x the knee. Results land in
+# BENCH_service.json at the repo root; the run fails if goodput at 2x
+# overload retains less than 80% of knee goodput, or if nothing is
+# shed at 2x (admission control not engaging). Built without -race for
+# the same reason as bench-batch: the ratio is the product.
+bench-service:
+	BENCH_SERVICE=1 $(GO) test -count=1 -run TestBenchService -v -timeout 600s ./cmd/cosparse-bench
 
 # bench-repl measures what the semisync follower-ack costs a submit:
 # 16 concurrent clients time the submit POST against a leader with a

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestBenchService is the overload-robustness gate: it runs the full
+// load harness against a self-hosted service and asserts graceful
+// degradation — goodput at 2x the saturation knee must retain at least
+// 80% of goodput at the knee. Without admission control this collapses
+// (every accepted job waits past its deadline); with CoDel-style
+// shedding the excess bounces at submit and the pool keeps its
+// throughput. Gated behind BENCH_SERVICE; results land in
+// BENCH_service.json at the repo root (make bench-service).
+func TestBenchService(t *testing.T) {
+	if os.Getenv("BENCH_SERVICE") == "" {
+		t.Skip("set BENCH_SERVICE=1 to run the overload load harness")
+	}
+
+	rep, err := runBench(Options{
+		Workers:    2,
+		QueueDepth: 32,
+		Duration:   2 * time.Second,
+		Log:        testWriter{t},
+	})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+
+	if len(rep.Points) < 3 {
+		t.Fatalf("measured %d QPS points, want >= 3", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.Offered == 0 {
+			t.Fatalf("point %.1f qps offered no load", p.TargetQPS)
+		}
+		if p.Done > 0 && (p.P50Ms <= 0 || p.P99Ms < p.P50Ms) {
+			t.Fatalf("point %.1f qps: implausible latencies p50=%.2f p99=%.2f", p.TargetQPS, p.P50Ms, p.P99Ms)
+		}
+	}
+	over := rep.Points[2]
+	if over.Shed == 0 {
+		t.Fatalf("no submissions shed at 2x capacity (%.1f qps offered %d); admission control is not engaging", over.TargetQPS, over.Offered)
+	}
+	if rep.Retention < 0.8 {
+		t.Fatalf("goodput retention at 2x overload = %.2f (knee %.1f/s, overload %.1f/s), want >= 0.8",
+			rep.Retention, rep.KneeGoodputQPS, rep.OverloadGoodputQPS)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	if err := os.WriteFile("../../BENCH_service.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatalf("write BENCH_service.json: %v", err)
+	}
+	t.Logf("knee %.1f/s, overload %.1f/s, retention %.2f (shed rate at 2x: %.1f%%)",
+		rep.KneeGoodputQPS, rep.OverloadGoodputQPS, rep.Retention, over.ShedRate*100)
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}

@@ -1,0 +1,409 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"cosparse/internal/service"
+)
+
+// Options configures one load-harness run.
+type Options struct {
+	// URL targets an already-running daemon; empty self-hosts a service
+	// on a loopback listener with Workers/QueueDepth below.
+	URL        string
+	Workers    int
+	QueueDepth int
+	// Duration is the open-loop measurement window per QPS point.
+	Duration time.Duration
+	// CalibrateFor is the closed-loop window used to estimate the
+	// knee (saturation throughput) before the open-loop points run.
+	CalibrateFor time.Duration
+	// Tenants is how many tenant labels submissions rotate through.
+	Tenants int
+	// TimeoutMs is the per-job deadline; a job is goodput only if it
+	// finishes (done) — jobs that blow the deadline fail and do not
+	// count.
+	TimeoutMs int64
+	// Log receives harness progress lines.
+	Log io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 32
+	}
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.CalibrateFor <= 0 {
+		o.CalibrateFor = 1500 * time.Millisecond
+	}
+	if o.Tenants <= 0 {
+		o.Tenants = 4
+	}
+	if o.TimeoutMs <= 0 {
+		o.TimeoutMs = 1500
+	}
+	if o.Log == nil {
+		o.Log = io.Discard
+	}
+	return o
+}
+
+// Point is the measured outcome of one open-loop QPS level.
+type Point struct {
+	TargetQPS float64 `json:"target_qps"`
+	Offered   int     `json:"offered"`
+	Accepted  int     `json:"accepted"`
+	Shed      int     `json:"shed"`
+	Done      int     `json:"done"`
+	Failed    int     `json:"failed"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	// GoodputQPS counts deadline-met completions per second of the
+	// submission window.
+	GoodputQPS float64 `json:"goodput_qps"`
+	// ShedRate is shed (429) submissions over offered.
+	ShedRate float64 `json:"shed_rate"`
+}
+
+// Report is the BENCH_service.json shape.
+type Report struct {
+	Workers     int     `json:"workers"`
+	QueueDepth  int     `json:"queue_depth"`
+	DurationSec float64 `json:"duration_sec"`
+	// CapacityQPS is the closed-loop saturation throughput (the knee).
+	CapacityQPS float64 `json:"capacity_qps"`
+	Points      []Point `json:"points"`
+	// KneeGoodputQPS / OverloadGoodputQPS are the goodputs at the 1x
+	// and 2x capacity points; Retention is their ratio — the graceful-
+	// degradation headline (1.0 = overload costs nothing; a collapsing
+	// service goes to ~0).
+	KneeGoodputQPS     float64 `json:"knee_goodput_qps"`
+	OverloadGoodputQPS float64 `json:"overload_goodput_qps"`
+	Retention          float64 `json:"retention"`
+}
+
+// client is tuned for many short keep-alive requests against one host.
+var client = &http.Client{
+	Transport: &http.Transport{
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 512,
+		IdleConnTimeout:     30 * time.Second,
+	},
+	Timeout: 30 * time.Second,
+}
+
+// selfHost starts a service on a loopback listener and returns its
+// base URL and a shutdown func.
+func selfHost(opts Options) (string, func(), error) {
+	svc := service.New(service.Config{
+		Workers:    opts.Workers,
+		QueueDepth: opts.QueueDepth,
+		// Overload controls tuned for a bench-scale service: shed once
+		// queued work stands for a quarter second.
+		ShedTarget:   250 * time.Millisecond,
+		ShedInterval: 50 * time.Millisecond,
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		svc.Close()
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	stop := func() {
+		srv.Close()
+		svc.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+func postJSON(base, path string, body, out any) (int, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decode %q: %w", data, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// registerBenchGraph registers the fixed workload graph and returns
+// its id. The graph is big enough that one pr job costs a few
+// milliseconds — small enough to saturate quickly, large enough that
+// queueing dynamics are real.
+func registerBenchGraph(base string) (string, error) {
+	var info service.GraphInfo
+	code, err := postJSON(base, "/v1/graphs", service.GraphSpec{
+		Kind: "powerlaw", Vertices: 5000, Edges: 25000, Seed: 42,
+	}, &info)
+	if err != nil {
+		return "", err
+	}
+	if code != http.StatusCreated {
+		return "", fmt.Errorf("register graph: status %d", code)
+	}
+	return info.ID, nil
+}
+
+func benchJob(gid, tenant string, timeoutMs int64) service.JobRequest {
+	return service.JobRequest{
+		GraphID: gid, Algo: "pr", Iterations: 5,
+		Tenant: tenant, TimeoutMs: timeoutMs,
+	}
+}
+
+// waitTerminal polls the job until it leaves queued/running and
+// reports whether it finished done (deadline met).
+func waitTerminal(base, id string, deadline time.Time) (bool, error) {
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return false, err
+		}
+		var st service.JobStatus
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(data, &st); err != nil {
+			return false, fmt.Errorf("poll %s: decode %q: %w", id, data, err)
+		}
+		switch st.State {
+		case service.JobDone:
+			return true, nil
+		case service.JobFailed, service.JobCancelled:
+			return false, nil
+		}
+		time.Sleep(4 * time.Millisecond)
+	}
+	return false, nil
+}
+
+// calibrate measures closed-loop saturation throughput: 2x workers
+// clients submit-wait-repeat for the calibration window. The result is
+// the knee — the offered load beyond which queues only grow.
+func calibrate(base, gid string, opts Options) (float64, error) {
+	clients := opts.Workers * 2
+	stop := time.Now().Add(opts.CalibrateFor)
+	var mu sync.Mutex
+	var completed int
+	var firstErr error
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("bench-%d", c%opts.Tenants)
+			for time.Now().Before(stop) {
+				var st service.JobStatus
+				code, err := postJSON(base, "/v1/jobs", benchJob(gid, tenant, opts.TimeoutMs), &st)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				if code != http.StatusAccepted {
+					time.Sleep(2 * time.Millisecond)
+					continue
+				}
+				ok, err := waitTerminal(base, st.ID, time.Now().Add(10*time.Second))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				if ok {
+					mu.Lock()
+					completed++
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	qps := float64(completed) / opts.CalibrateFor.Seconds()
+	if qps < 1 {
+		return 0, fmt.Errorf("calibration completed %d jobs in %v; service is not making progress", completed, opts.CalibrateFor)
+	}
+	return qps, nil
+}
+
+// runPoint drives the service open-loop at target QPS for the
+// configured window: submissions fire on a fixed clock regardless of
+// how the service is coping (that is what makes overload overload),
+// then every accepted job gets its full deadline to finish.
+func runPoint(base, gid string, qps float64, opts Options) (Point, error) {
+	p := Point{TargetQPS: qps}
+	interval := time.Duration(float64(time.Second) / qps)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stop := time.Now().Add(opts.Duration)
+
+	var mu sync.Mutex
+	var latencies []float64
+	var firstErr error
+	var wg sync.WaitGroup
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	n := 0
+	for time.Now().Before(stop) {
+		<-ticker.C
+		n++
+		p.Offered++
+		tenant := fmt.Sprintf("bench-%d", n%opts.Tenants)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			var st service.JobStatus
+			code, err := postJSON(base, "/v1/jobs", benchJob(gid, tenant, opts.TimeoutMs), &st)
+			if err != nil {
+				fail(err)
+				return
+			}
+			switch {
+			case code == http.StatusAccepted:
+			case code == http.StatusTooManyRequests:
+				mu.Lock()
+				p.Shed++
+				mu.Unlock()
+				return
+			default:
+				fail(fmt.Errorf("submit: status %d", code))
+				return
+			}
+			mu.Lock()
+			p.Accepted++
+			mu.Unlock()
+			ok, err := waitTerminal(base, st.ID, t0.Add(time.Duration(opts.TimeoutMs)*time.Millisecond+5*time.Second))
+			if err != nil {
+				fail(err)
+				return
+			}
+			mu.Lock()
+			if ok {
+				p.Done++
+				latencies = append(latencies, time.Since(t0).Seconds()*1e3)
+			} else {
+				p.Failed++
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return p, firstErr
+	}
+	sort.Float64s(latencies)
+	if len(latencies) > 0 {
+		p.P50Ms = latencies[len(latencies)/2]
+		p.P99Ms = latencies[len(latencies)*99/100]
+	}
+	p.GoodputQPS = float64(p.Done) / opts.Duration.Seconds()
+	if p.Offered > 0 {
+		p.ShedRate = float64(p.Shed) / float64(p.Offered)
+	}
+	return p, nil
+}
+
+// runBench is the whole harness: self-host (or attach), calibrate the
+// knee closed-loop, then measure open-loop at 0.5x, 1x and 2x the
+// knee.
+func runBench(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	base := opts.URL
+	if base == "" {
+		var stop func()
+		var err error
+		base, stop, err = selfHost(opts)
+		if err != nil {
+			return nil, err
+		}
+		defer stop()
+	}
+	gid, err := registerBenchGraph(base)
+	if err != nil {
+		return nil, err
+	}
+
+	fmt.Fprintf(opts.Log, "calibrating against %s (%v closed-loop)...\n", base, opts.CalibrateFor)
+	capacity, err := calibrate(base, gid, opts)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(opts.Log, "knee estimate: %.1f jobs/s\n", capacity)
+
+	rep := &Report{
+		Workers:     opts.Workers,
+		QueueDepth:  opts.QueueDepth,
+		DurationSec: opts.Duration.Seconds(),
+		CapacityQPS: capacity,
+	}
+	for _, factor := range []float64{0.5, 1, 2} {
+		qps := capacity * factor
+		if qps < 1 {
+			qps = 1
+		}
+		pt, err := runPoint(base, gid, qps, opts)
+		if err != nil {
+			return nil, fmt.Errorf("point %.0f%%: %w", factor*100, err)
+		}
+		rep.Points = append(rep.Points, pt)
+		fmt.Fprintf(opts.Log,
+			"%4.0f%% capacity (%6.1f qps): goodput %6.1f/s  p50 %6.1fms  p99 %6.1fms  shed %4.1f%%\n",
+			factor*100, pt.TargetQPS, pt.GoodputQPS, pt.P50Ms, pt.P99Ms, pt.ShedRate*100)
+		// Let the queue drain (and the shedding controller disarm)
+		// before the next point so measurements stay independent.
+		time.Sleep(500 * time.Millisecond)
+	}
+	rep.KneeGoodputQPS = rep.Points[1].GoodputQPS
+	rep.OverloadGoodputQPS = rep.Points[2].GoodputQPS
+	if rep.KneeGoodputQPS > 0 {
+		rep.Retention = rep.OverloadGoodputQPS / rep.KneeGoodputQPS
+	}
+	fmt.Fprintf(opts.Log, "goodput retention at 2x overload: %.2f\n", rep.Retention)
+	return rep, nil
+}

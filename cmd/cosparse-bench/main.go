@@ -1,0 +1,64 @@
+// Command cosparse-bench is the open-loop load harness for cosparsed:
+// it estimates the service's saturation throughput (the knee) with a
+// closed-loop calibration pass, then drives it open-loop at 0.5x, 1x
+// and 2x that rate, recording p50/p99 latency, goodput (deadline-met
+// completions per second) and shed rate at each point into
+// BENCH_service.json.
+//
+// The headline number is goodput retention: goodput at 2x the knee
+// divided by goodput at the knee. A service without load shedding
+// collapses there (every job waits past its deadline, retention ~0); a
+// robust one sheds the excess at admission and keeps retention near 1.
+//
+// Usage:
+//
+//	cosparse-bench                     # self-host, defaults
+//	cosparse-bench -duration 5s -workers 4 -queue 64
+//	cosparse-bench -url http://localhost:8080   # drive a running daemon
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	url := flag.String("url", "", "base URL of a running cosparsed to drive (empty = self-host a service in-process)")
+	workers := flag.Int("workers", 2, "worker pool size for the self-hosted service")
+	queue := flag.Int("queue", 32, "queue depth for the self-hosted service")
+	duration := flag.Duration("duration", 2*time.Second, "open-loop measurement window per QPS point")
+	calibrate := flag.Duration("calibrate", 1500*time.Millisecond, "closed-loop calibration window for the knee estimate")
+	tenants := flag.Int("tenants", 4, "tenant labels submissions rotate through")
+	timeoutMs := flag.Int64("job-timeout-ms", 1500, "per-job deadline; only jobs finishing inside it count as goodput")
+	out := flag.String("out", "BENCH_service.json", "output report path")
+	flag.Parse()
+
+	rep, err := runBench(Options{
+		URL:          *url,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		Duration:     *duration,
+		CalibrateFor: *calibrate,
+		Tenants:      *tenants,
+		TimeoutMs:    *timeoutMs,
+		Log:          os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cosparse-bench: %v\n", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cosparse-bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "cosparse-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

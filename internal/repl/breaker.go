@@ -1,0 +1,142 @@
+package repl
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's phase.
+type BreakerState int
+
+const (
+	// BreakerClosed: acks flow normally; consecutive failures are
+	// counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: ack waits are skipped entirely (pure-async
+	// degradation) until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe wait is in flight; its outcome closes
+	// or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+// String renders the state for status endpoints.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a circuit breaker over the semisync follower-ack wait:
+// when Threshold consecutive waits time out (each one stalls a submit
+// for the full -semisync-timeout), the breaker opens and submits stop
+// waiting — the leader degrades to pure async replication instead of
+// serving every client at timeout speed. After Cooldown one probe wait
+// is allowed through; an acked probe closes the breaker, a timed-out
+// one re-opens it for another cooldown.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	stats     *Stats
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures (floored to 1) and probes every cooldown (default 10s).
+// stats may be nil.
+func NewBreaker(threshold int, cooldown time.Duration, stats *Stats) *Breaker {
+	if threshold <= 0 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 10 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, stats: stats}
+}
+
+func (b *Breaker) setLocked(s BreakerState) {
+	b.state = s
+	if b.stats != nil {
+		b.stats.BreakerState.Store(int64(s))
+	}
+}
+
+// Allow reports whether the caller may perform (and must then Record)
+// an ack wait. While open it returns false — except once per cooldown,
+// when it admits a single half-open probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if time.Since(b.openedAt) >= b.cooldown {
+			b.setLocked(BreakerHalfOpen)
+			return true
+		}
+		return false
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// Record feeds one wait outcome back. ok means the follower acked in
+// time; !ok means the wait fell back to async.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if ok {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.threshold {
+			b.openLocked()
+		}
+	case BreakerHalfOpen:
+		if ok {
+			b.failures = 0
+			b.setLocked(BreakerClosed)
+		} else {
+			b.openLocked()
+		}
+	default:
+		// Open: a late Record from a wait that began before the breaker
+		// tripped; nothing to update.
+	}
+}
+
+func (b *Breaker) openLocked() {
+	b.setLocked(BreakerOpen)
+	b.openedAt = time.Now()
+	if b.stats != nil {
+		b.stats.BreakerOpens.Add(1)
+	}
+}
+
+// State returns the current phase.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Reset force-closes the breaker (promotion, mode change).
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	b.failures = 0
+	b.setLocked(BreakerClosed)
+	b.mu.Unlock()
+}

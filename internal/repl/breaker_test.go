@@ -1,0 +1,107 @@
+package repl
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerOpensAfterThreshold: consecutive failures open the
+// breaker; a success along the way resets the count.
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	var stats Stats
+	b := NewBreaker(3, time.Hour, &stats)
+
+	b.Record(false)
+	b.Record(false)
+	b.Record(true) // streak broken
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after interleaved outcomes, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a wait")
+	}
+	b.Record(false) // third consecutive failure
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open after 3 consecutive failures", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a wait before cooldown")
+	}
+	if got := stats.BreakerOpens.Load(); got != 1 {
+		t.Fatalf("BreakerOpens = %d, want 1", got)
+	}
+	if got := stats.BreakerState.Load(); got != int64(BreakerOpen) {
+		t.Fatalf("BreakerState gauge = %d, want %d", got, BreakerOpen)
+	}
+}
+
+// TestBreakerHalfOpenProbe: after the cooldown exactly one probe is
+// admitted; its outcome closes or re-opens the breaker.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	var stats Stats
+	b := NewBreaker(1, 10*time.Millisecond, &stats)
+
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	time.Sleep(15 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open during the probe", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second wait admitted while a probe is in flight")
+	}
+	// Failed probe re-opens for another cooldown.
+	b.Record(false)
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatalf("state = %v after failed probe, want open and refusing", b.State())
+	}
+	if got := stats.BreakerOpens.Load(); got != 2 {
+		t.Fatalf("BreakerOpens = %d, want 2", got)
+	}
+	// Successful probe closes.
+	time.Sleep(15 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe not admitted")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatalf("state = %v after acked probe, want closed and allowing", b.State())
+	}
+	if got := stats.BreakerState.Load(); got != int64(BreakerClosed) {
+		t.Fatalf("BreakerState gauge = %d, want %d", got, BreakerClosed)
+	}
+}
+
+// TestBreakerLateRecordIgnored: a wait that began before the breaker
+// tripped may report its outcome after the open; it must not disturb
+// the open state (or its cooldown clock).
+func TestBreakerLateRecordIgnored(t *testing.T) {
+	b := NewBreaker(1, time.Hour, nil)
+	b.Record(false)
+	b.Record(true) // late success from a pre-open wait
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open (late records ignored)", b.State())
+	}
+}
+
+// TestBreakerReset force-closes an open breaker (promotion, mode
+// change).
+func TestBreakerReset(t *testing.T) {
+	var stats Stats
+	b := NewBreaker(1, time.Hour, &stats)
+	b.Record(false)
+	b.Reset()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatalf("state = %v after Reset, want closed and allowing", b.State())
+	}
+	if got := stats.BreakerState.Load(); got != int64(BreakerClosed) {
+		t.Fatalf("BreakerState gauge = %d, want %d", got, BreakerClosed)
+	}
+}

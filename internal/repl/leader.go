@@ -33,6 +33,13 @@ type LeaderConfig struct {
 	// SemisyncTimeout caps how long a submit ack waits for the
 	// follower before falling back to async (default 2s).
 	SemisyncTimeout time.Duration
+	// BreakerThreshold is how many consecutive semisync fallbacks open
+	// the ack circuit breaker (default 3); BreakerCooldown is how long
+	// the breaker stays open before admitting a probe wait (default
+	// 10s). While open, submits skip the ack wait entirely — pure
+	// async — instead of each stalling for the full SemisyncTimeout.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 	// BufferBytes bounds the in-memory ship buffer; overflow drops
 	// the buffered tail and forces a full resync on the next connect
 	// (default 8 MiB).
@@ -84,6 +91,10 @@ type Replicator struct {
 	rejected    bool
 	closed      bool
 
+	// ackBreaker trips after repeated semisync ack timeouts; owned here
+	// so a promote/restart starts it closed.
+	ackBreaker *Breaker
+
 	wg sync.WaitGroup
 }
 
@@ -113,7 +124,11 @@ func NewReplicator(cfg LeaderConfig) *Replicator {
 	if client == nil {
 		client = &http.Client{Timeout: 10 * time.Second}
 	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
 	r := &Replicator{cfg: cfg, client: client, snaps: make(map[string][]byte)}
+	r.ackBreaker = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Stats)
 	r.cond = sync.NewCond(&r.mu)
 	r.cfg.Stats.State.Store(StateIdle)
 	if url, err := LoadFollowerURL(cfg.DataDir); err == nil && url != "" {
@@ -133,6 +148,9 @@ func (r *Replicator) logf(format string, args ...any) {
 
 // SemisyncTimeout exposes the configured ack-wait budget.
 func (r *Replicator) SemisyncTimeout() time.Duration { return r.cfg.SemisyncTimeout }
+
+// AckBreaker exposes the semisync ack circuit breaker.
+func (r *Replicator) AckBreaker() *Breaker { return r.ackBreaker }
 
 // Mode exposes the configured replication mode.
 func (r *Replicator) Mode() Mode { return r.cfg.Mode }
@@ -268,7 +286,7 @@ func (r *Replicator) updateLagLocked() {
 func (r *Replicator) Status() StatusView {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return StatusView{
+	sv := StatusView{
 		Role:              "leader",
 		State:             StateName(r.cfg.Stats.State.Load()),
 		Mode:              r.cfg.Mode.String(),
@@ -281,6 +299,11 @@ func (r *Replicator) Status() StatusView {
 		BufferedBytes:     r.cfg.Stats.BufferedBytes.Load(),
 		BufferOverflows:   r.cfg.Stats.BufferOverflows.Load(),
 	}
+	if r.cfg.Mode == ModeSemiSync {
+		sv.BreakerState = r.ackBreaker.State().String()
+		sv.BreakerOpens = r.cfg.Stats.BreakerOpens.Load()
+	}
+	return sv
 }
 
 // errStaleEpoch marks a 409 caused by epoch fencing (vs. a sequence

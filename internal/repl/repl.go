@@ -119,6 +119,15 @@ type Stats struct {
 	// SemisyncFallbacks counts submits that timed out waiting for a
 	// follower ack and were acked async instead.
 	SemisyncFallbacks atomic.Int64
+	// BreakerState is the semisync ack circuit breaker's current state
+	// (0=closed 1=open 2=half-open).
+	BreakerState atomic.Int64
+	// BreakerOpens counts transitions into the open state (repeated
+	// fallbacks tripped the breaker; acks degrade to pure async).
+	BreakerOpens atomic.Int64
+	// BreakerSkipped counts semisync ack waits skipped because the
+	// breaker was open.
+	BreakerSkipped atomic.Int64
 	// SentRecords counts journal records shipped (including resync).
 	SentRecords atomic.Int64
 	// AppliedRecords counts records applied into the local journal
@@ -151,8 +160,12 @@ type StatusView struct {
 	AppliedSeq        uint64 `json:"applied_seq,omitempty"`
 	Resyncs           int64  `json:"resyncs"`
 	SemisyncFallbacks int64  `json:"semisync_fallbacks,omitempty"`
-	BufferedBytes     int64  `json:"buffered_bytes,omitempty"`
-	BufferOverflows   int64  `json:"buffer_overflows,omitempty"`
+	// BreakerState is the semisync ack breaker state ("closed",
+	// "open", "half-open"); empty when not in semisync mode.
+	BreakerState    string `json:"breaker_state,omitempty"`
+	BreakerOpens    int64  `json:"breaker_opens,omitempty"`
+	BufferedBytes   int64  `json:"buffered_bytes,omitempty"`
+	BufferOverflows int64  `json:"buffer_overflows,omitempty"`
 	// SecondsSinceHeartbeat is the follower's view of leader
 	// liveness; -1 before the first heartbeat.
 	SecondsSinceHeartbeat float64 `json:"seconds_since_heartbeat,omitempty"`

@@ -60,7 +60,8 @@ func TestChaosManyJobsUnderInjection(t *testing.T) {
 				return j
 			}
 			j.release()
-			if !errors.Is(err, ErrQueueFull) {
+			var shed *ShedError
+			if !errors.Is(err, ErrQueueFull) && !errors.As(err, &shed) {
 				t.Fatalf("submit: %v", err)
 			}
 			time.Sleep(time.Millisecond) // queue saturated; let workers drain it

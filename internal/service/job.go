@@ -12,6 +12,11 @@ import (
 type JobRequest struct {
 	// GraphID names a registered graph ("g1", ...).
 	GraphID string `json:"graph_id"`
+	// Tenant attributes the job to a client for fair queueing and
+	// per-tenant quotas; empty defaults to the graph id, so distinct
+	// graphs are isolated from each other even when clients never set
+	// the field.
+	Tenant string `json:"tenant,omitempty"`
 	// Algo is one of bfs, sssp, pr, cf (cosparse.ParseAlgo vocabulary).
 	Algo string `json:"algo"`
 	// Source is the start vertex for bfs/sssp. -1 (the default when
@@ -48,7 +53,10 @@ type JobRequest struct {
 // fuse into one multi-vector run when batching is enabled.
 type BatchJobRequest struct {
 	GraphID string `json:"graph_id"`
-	Algo    string `json:"algo"`
+	// Tenant attributes every job in the batch to one client (defaults
+	// to the graph id, like JobRequest.Tenant).
+	Tenant string `json:"tenant,omitempty"`
+	Algo   string `json:"algo"`
 	// Sources lists one start vertex per job (bfs, sssp, ppr).
 	// Duplicates are allowed; each gets its own job and lane.
 	Sources []int32 `json:"sources,omitempty"`
@@ -139,6 +147,7 @@ const (
 type JobStatus struct {
 	ID      string   `json:"id"`
 	GraphID string   `json:"graph_id"`
+	Tenant  string   `json:"tenant,omitempty"`
 	Algo    string   `json:"algo"`
 	System  string   `json:"system"`
 	State   JobState `json:"state"`
@@ -170,6 +179,16 @@ type Job struct {
 	sys     cosparse.System
 	backend cosparse.Backend
 	graph   *GraphEntry
+
+	// tenant is the fair-queueing bucket the job is charged to (the
+	// request's tenant, defaulting to the graph id). Set by buildJob
+	// before the job enters the scheduler and immutable afterwards.
+	tenant string
+	// enqueued is when SubmitJob accepted the job; the dequeue sojourn
+	// (now - enqueued) drives the CoDel-style shedding controller and
+	// the cosparsed_queue_delay_seconds histogram. Written under the
+	// scheduler mutex and read only by the dequeuing worker.
+	enqueued time.Time
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -237,6 +256,7 @@ func (j *Job) Status() JobStatus {
 	st := JobStatus{
 		ID:      j.id,
 		GraphID: j.req.GraphID,
+		Tenant:  j.tenant,
 		Algo:    j.algo.String(),
 		System:  j.sys.String(),
 		State:   j.state,

@@ -34,6 +34,16 @@ var HTTPBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10
 // run (1 = a gather window that caught nothing to fuse).
 var OccupancyBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
 
+// QueueDelayBuckets are the histogram bounds for dequeue sojourn (how
+// long a job waited in the queue): sub-millisecond on an idle daemon
+// up to the tens of seconds a standing overload queue produces.
+var QueueDelayBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// maxTenantSeries bounds the per-tenant metric cardinality; tenants
+// beyond it fold into the "_other" series so a tenant-id flood cannot
+// balloon the scrape.
+const maxTenantSeries = 64
+
 // Histogram is a fixed-bucket cumulative histogram. Observe is
 // lock-free (atomic bucket counters; the float sum is a CAS loop over
 // its bit pattern), so concurrent observers never serialize against
@@ -135,6 +145,26 @@ type Metrics struct {
 	JobsRejected  atomic.Int64 // queue-full 429s
 	JobsRetried   atomic.Int64 // transient-failure retries (backoff re-runs)
 
+	// Overload shedding, by reason (the cosparsed_jobs_shed_total
+	// series). ShedDelay/ShedDeadline/ShedQuota are admission refusals;
+	// ShedEvicted counts queued jobs pushed out for fairness;
+	// ShedExpired counts jobs whose deadline died in the queue, settled
+	// at dequeue without a worker run.
+	ShedDelay    atomic.Int64
+	ShedDeadline atomic.Int64
+	ShedQuota    atomic.Int64
+	ShedEvicted  atomic.Int64
+	ShedExpired  atomic.Int64
+	// ShedActive is 1 while the queue-delay controller is shedding.
+	ShedActive atomic.Int64
+	// RetryBudgetExhausted counts retries refused by the global retry
+	// token bucket (the job failed instead of re-running).
+	RetryBudgetExhausted atomic.Int64
+	// BrownoutActive is 1 while the service is in degraded (brownout)
+	// mode; Brownouts counts entries into it.
+	BrownoutActive atomic.Int64
+	Brownouts      atomic.Int64
+
 	// Resilience.
 	Panics            atomic.Int64 // recovered panics (workers + HTTP handlers)
 	AdmissionRejected atomic.Int64 // graph loads refused by the memory budget (413s)
@@ -183,6 +213,10 @@ type Metrics struct {
 	// compatible jobs each gather window actually coalesced.
 	BatchOccupancy *Histogram
 
+	// QueueDelay tracks dequeue sojourn — the signal behind the
+	// CoDel-style shedding controller (cosparsed_queue_delay_seconds).
+	QueueDelay *Histogram
+
 	// Simulated memory-system totals accumulated over finished jobs,
 	// split by direction (reads are demand/stream fetches, writes are
 	// dirty-line writebacks — see internal/sim).
@@ -201,14 +235,84 @@ type Metrics struct {
 	mu      sync.RWMutex
 	jobs    map[string]*jobHists // per-algorithm cycles + wall time
 	httpSer map[string]*httpHist // route\x00status → latency series
+	tenants map[string]*tenantStats
+}
+
+// tenantStats is one tenant's counter block (cosparsed_tenant_*).
+type tenantStats struct {
+	submitted atomic.Int64
+	done      atomic.Int64
+	shed      atomic.Int64 // rejected, shed, evicted, or queue-expired
+	queued    atomic.Int64 // gauge
 }
 
 // NewMetrics returns an initialized Metrics.
 func NewMetrics() *Metrics {
 	return &Metrics{
 		BatchOccupancy: NewHistogram(OccupancyBuckets),
+		QueueDelay:     NewHistogram(QueueDelayBuckets),
 		jobs:           make(map[string]*jobHists),
 		httpSer:        make(map[string]*httpHist),
+		tenants:        make(map[string]*tenantStats),
+	}
+}
+
+// tenant resolves (or creates) a tenant's counter block, folding
+// tenants beyond maxTenantSeries into "_other". The empty tenant (jobs
+// submitted below the service layer, e.g. direct scheduler tests) gets
+// no series.
+func (m *Metrics) tenant(name string) *tenantStats {
+	if name == "" {
+		return nil
+	}
+	m.mu.RLock()
+	ts, ok := m.tenants[name]
+	m.mu.RUnlock()
+	if ok {
+		return ts
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ts, ok = m.tenants[name]; ok {
+		return ts
+	}
+	if len(m.tenants) >= maxTenantSeries {
+		name = "_other"
+		if ts, ok = m.tenants[name]; ok {
+			return ts
+		}
+	}
+	ts = &tenantStats{}
+	m.tenants[name] = ts
+	return ts
+}
+
+// TenantSubmitted counts one accepted job for the tenant.
+func (m *Metrics) TenantSubmitted(name string) {
+	if ts := m.tenant(name); ts != nil {
+		ts.submitted.Add(1)
+	}
+}
+
+// TenantDone counts one successfully finished job for the tenant.
+func (m *Metrics) TenantDone(name string) {
+	if ts := m.tenant(name); ts != nil {
+		ts.done.Add(1)
+	}
+}
+
+// TenantShed counts one job the tenant lost to overload control
+// (rejected at submit, shed, evicted, or expired in the queue).
+func (m *Metrics) TenantShed(name string) {
+	if ts := m.tenant(name); ts != nil {
+		ts.shed.Add(1)
+	}
+}
+
+// TenantQueuedAdd moves the tenant's queue-depth gauge.
+func (m *Metrics) TenantQueuedAdd(name string, d int64) {
+	if ts := m.tenant(name); ts != nil {
+		ts.queued.Add(d)
 	}
 }
 
@@ -294,6 +398,16 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("cosparsed_jobs_cancelled_total", "Jobs cancelled by the client.", m.JobsCancelled.Load())
 	counter("cosparsed_jobs_rejected_total", "Job submissions rejected because the queue was full.", m.JobsRejected.Load())
 	counter("cosparsed_job_retries_total", "Job re-runs after a transient failure (retry with backoff).", m.JobsRetried.Load())
+	fmt.Fprintf(w, "# HELP cosparsed_jobs_shed_total Jobs refused or abandoned by overload control, by reason.\n# TYPE cosparsed_jobs_shed_total counter\n")
+	fmt.Fprintf(w, "cosparsed_jobs_shed_total{reason=%q} %d\n", ShedQueueDelay, m.ShedDelay.Load())
+	fmt.Fprintf(w, "cosparsed_jobs_shed_total{reason=%q} %d\n", ShedDeadline, m.ShedDeadline.Load())
+	fmt.Fprintf(w, "cosparsed_jobs_shed_total{reason=%q} %d\n", ShedTenantQuota, m.ShedQuota.Load())
+	fmt.Fprintf(w, "cosparsed_jobs_shed_total{reason=%q} %d\n", ShedFairnessEvict, m.ShedEvicted.Load())
+	fmt.Fprintf(w, "cosparsed_jobs_shed_total{reason=%q} %d\n", ShedExpired, m.ShedExpired.Load())
+	gauge("cosparsed_shedding", "1 while the queue-delay controller is shedding new submissions.", m.ShedActive.Load())
+	counter("cosparsed_retry_budget_exhausted_total", "Retries refused by the global retry token bucket.", m.RetryBudgetExhausted.Load())
+	gauge("cosparsed_brownout_active", "1 while the service is running degraded (brownout).", m.BrownoutActive.Load())
+	counter("cosparsed_brownouts_total", "Times the service entered brownout (degraded) mode.", m.Brownouts.Load())
 	counter("cosparsed_panics_total", "Panics recovered in workers and HTTP handlers.", m.Panics.Load())
 	counter("cosparsed_admission_rejected_total", "Graph registrations refused by the memory budget.", m.AdmissionRejected.Load())
 	counter("cosparsed_engine_pressure_total", "Engine builds refused because the build-concurrency limit was reached.", m.EnginePressure.Load())
@@ -330,6 +444,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		gauge("cosparsed_repl_lag_records", "Journal records the replication peer has not acknowledged.", m.Repl.LagRecords.Load())
 		counter("cosparsed_repl_resyncs_total", "Full segment resyncs started.", m.Repl.Resyncs.Load())
 		counter("cosparsed_repl_semisync_fallbacks_total", "Semisync submits acked without a follower ack (timeout fallback to async).", m.Repl.SemisyncFallbacks.Load())
+		gauge("cosparsed_repl_semisync_breaker_state", "Semisync ack circuit breaker (0=closed 1=open 2=half-open).", m.Repl.BreakerState.Load())
+		counter("cosparsed_repl_semisync_breaker_opens_total", "Times the semisync ack breaker opened after repeated fallbacks.", m.Repl.BreakerOpens.Load())
+		counter("cosparsed_repl_semisync_skipped_total", "Semisync ack waits skipped because the breaker was open (pure-async degradation).", m.Repl.BreakerSkipped.Load())
 		counter("cosparsed_repl_sent_records_total", "Journal records shipped to the follower (tail batches plus resyncs).", m.Repl.SentRecords.Load())
 		counter("cosparsed_repl_applied_records_total", "Replicated journal records applied locally (follower side).", m.Repl.AppliedRecords.Load())
 		gauge("cosparsed_repl_buffered_bytes", "Leader ship-buffer occupancy.", m.Repl.BufferedBytes.Load())
@@ -351,9 +468,35 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		httpKeys = append(httpKeys, k)
 		httpSer[k] = hh
 	}
+	tenantKeys := make([]string, 0, len(m.tenants))
+	tenants := make(map[string]*tenantStats, len(m.tenants))
+	for k, ts := range m.tenants {
+		tenantKeys = append(tenantKeys, k)
+		tenants[k] = ts
+	}
 	m.mu.RUnlock()
 	sort.Strings(jobKeys)
 	sort.Strings(httpKeys)
+	sort.Strings(tenantKeys)
+
+	if len(tenantKeys) > 0 {
+		fmt.Fprintf(w, "# HELP cosparsed_tenant_jobs_submitted_total Jobs accepted, by tenant.\n# TYPE cosparsed_tenant_jobs_submitted_total counter\n")
+		for _, k := range tenantKeys {
+			fmt.Fprintf(w, "cosparsed_tenant_jobs_submitted_total{tenant=%q} %d\n", k, tenants[k].submitted.Load())
+		}
+		fmt.Fprintf(w, "# HELP cosparsed_tenant_jobs_done_total Jobs finished successfully, by tenant.\n# TYPE cosparsed_tenant_jobs_done_total counter\n")
+		for _, k := range tenantKeys {
+			fmt.Fprintf(w, "cosparsed_tenant_jobs_done_total{tenant=%q} %d\n", k, tenants[k].done.Load())
+		}
+		fmt.Fprintf(w, "# HELP cosparsed_tenant_jobs_shed_total Jobs lost to overload control (rejected, shed, evicted, expired), by tenant.\n# TYPE cosparsed_tenant_jobs_shed_total counter\n")
+		for _, k := range tenantKeys {
+			fmt.Fprintf(w, "cosparsed_tenant_jobs_shed_total{tenant=%q} %d\n", k, tenants[k].shed.Load())
+		}
+		fmt.Fprintf(w, "# HELP cosparsed_tenant_queue_depth Jobs waiting in the queue, by tenant.\n# TYPE cosparsed_tenant_queue_depth gauge\n")
+		for _, k := range tenantKeys {
+			fmt.Fprintf(w, "cosparsed_tenant_queue_depth{tenant=%q} %d\n", k, tenants[k].queued.Load())
+		}
+	}
 
 	// Job-series map keys are algo\x00backend\x00mode; render all three
 	// as labels.
@@ -371,6 +514,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		for _, k := range jobKeys {
 			jobs[k].seconds.writeLabeled(w, "cosparsed_job_seconds", jobLabels(k))
 		}
+	}
+	if m.QueueDelay != nil && m.QueueDelay.Count() > 0 {
+		fmt.Fprintf(w, "# HELP cosparsed_queue_delay_seconds Dequeue sojourn: how long each job waited in the queue.\n# TYPE cosparsed_queue_delay_seconds histogram\n")
+		m.QueueDelay.writeBare(w, "cosparsed_queue_delay_seconds")
 	}
 	if m.BatchOccupancy != nil && m.BatchOccupancy.Count() > 0 {
 		fmt.Fprintf(w, "# HELP cosparsed_batch_occupancy Lanes per fused batch run (jobs coalesced by one gather window).\n# TYPE cosparsed_batch_occupancy histogram\n")

@@ -1,0 +1,103 @@
+package service
+
+import (
+	"log/slog"
+	"time"
+)
+
+// This file is the brownout controller: graceful degradation under
+// sustained overload. The scheduler's shedding controller (see
+// scheduler.go) protects the queue by refusing work; brownout protects
+// goodput for the work already admitted by trading per-job overhead
+// for throughput — a wider batch gather window fuses more jobs per
+// traversal, and a stretched checkpoint interval cuts snapshot fsyncs.
+// Both revert when pressure subsides.
+
+const (
+	// brownoutPoll is the pressure-sampling cadence.
+	brownoutPoll = 50 * time.Millisecond
+	// brownoutEnterOccupancy: queue this full counts as pressure even
+	// before the delay controller sheds (it leads the sojourn signal,
+	// which needs a dequeue to observe).
+	brownoutEnterOccupancy = 0.75
+	// brownoutExitOccupancy: hysteresis — the queue must drain well
+	// below the entry threshold before calm starts counting, so the
+	// controller does not flap at the boundary.
+	brownoutExitOccupancy = 0.5
+	// brownoutBatchFactor widens the batch gather window under
+	// brownout; brownoutCkptFactor stretches the checkpoint interval.
+	brownoutBatchFactor = 4
+	brownoutCkptFactor  = 4
+)
+
+// brownoutMonitor runs on its own goroutine (started by New when
+// BrownoutAfter > 0, stopped by Close). It enters brownout after
+// cfg.BrownoutAfter of sustained pressure and exits after the same
+// span of sustained calm.
+func (s *Service) brownoutMonitor() {
+	t := time.NewTicker(brownoutPoll)
+	defer t.Stop()
+	var pressureSince, calmSince time.Time
+	for {
+		select {
+		case <-s.brownoutStop:
+			return
+		case now := <-t.C:
+			shedding, occupancy := s.sched.OverloadState()
+			degraded := s.degraded.Load()
+			pressure := shedding || occupancy >= brownoutEnterOccupancy
+			calm := !shedding && occupancy <= brownoutExitOccupancy
+			if !degraded {
+				calmSince = time.Time{}
+				if !pressure {
+					pressureSince = time.Time{}
+					continue
+				}
+				if pressureSince.IsZero() {
+					pressureSince = now
+				}
+				if now.Sub(pressureSince) >= s.cfg.BrownoutAfter {
+					s.enterBrownout(occupancy)
+					pressureSince = time.Time{}
+				}
+				continue
+			}
+			pressureSince = time.Time{}
+			if !calm {
+				calmSince = time.Time{}
+				continue
+			}
+			if calmSince.IsZero() {
+				calmSince = now
+			}
+			if now.Sub(calmSince) >= s.cfg.BrownoutAfter {
+				s.exitBrownout()
+				calmSince = time.Time{}
+			}
+		}
+	}
+}
+
+func (s *Service) enterBrownout(occupancy float64) {
+	s.degraded.Store(true)
+	s.ckptStretch.Store(brownoutCkptFactor)
+	if s.batcher != nil {
+		s.batcher.SetWindow(s.cfg.BatchWindow * brownoutBatchFactor)
+	}
+	s.m.BrownoutActive.Store(1)
+	s.m.Brownouts.Add(1)
+	s.log.Warn("brownout entered: sustained overload, degrading for throughput",
+		slog.Float64("occupancy", occupancy),
+		slog.Duration("batch_window", s.cfg.BatchWindow*brownoutBatchFactor),
+		slog.Int("ckpt_stretch", brownoutCkptFactor))
+}
+
+func (s *Service) exitBrownout() {
+	s.degraded.Store(false)
+	s.ckptStretch.Store(1)
+	if s.batcher != nil {
+		s.batcher.SetWindow(s.cfg.BatchWindow)
+	}
+	s.m.BrownoutActive.Store(0)
+	s.log.Info("brownout exited: pressure subsided, restoring latency settings")
+}

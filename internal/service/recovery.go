@@ -415,6 +415,12 @@ func (s *Service) checkpointContext(j *Job) context.Context {
 	cfg := &cosparse.CheckpointConfig{}
 	if s.cfg.CheckpointEvery > 0 {
 		cfg.Every = s.cfg.CheckpointEvery
+		// Under brownout the interval stretches: fewer snapshot fsyncs
+		// per job, at the cost of a longer recompute window on crash.
+		// Sampled at run start; an in-flight run keeps its interval.
+		if stretch := s.ckptStretch.Load(); stretch > 1 {
+			cfg.Every = s.cfg.CheckpointEvery * int(stretch)
+		}
 		cfg.Sink = func(cp *cosparse.Checkpoint) error {
 			data := cp.Encode()
 			if err := s.db.WriteSnapshot(j.id, data); err != nil {

@@ -26,6 +26,7 @@ func (s *Service) isStandby() bool { return s.standby.Load() }
 func (s *Service) guardStandby(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.isStandby() {
+			w.Header().Set("Retry-After", "5")
 			writeError(w, http.StatusServiceUnavailable,
 				"standby: this node follows %s and is read-only until promoted", s.cfg.FollowLeader)
 			return
@@ -37,16 +38,18 @@ func (s *Service) guardStandby(h http.HandlerFunc) http.HandlerFunc {
 // newReplicator builds the leader-side replicator at the given epoch.
 func (s *Service) newReplicator(epoch uint64) *repl.Replicator {
 	return repl.NewReplicator(repl.LeaderConfig{
-		Store:           s.db,
-		DataDir:         s.cfg.DataDir,
-		Epoch:           epoch,
-		Mode:            s.replMode,
-		SemisyncTimeout: s.cfg.SemisyncTimeout,
-		BufferBytes:     s.cfg.ReplBufferBytes,
-		HeartbeatEvery:  s.cfg.ReplHeartbeatEvery,
-		Faults:          s.cfg.Faults,
-		Stats:           s.replStats,
-		Logger:          s.replLog(),
+		Store:            s.db,
+		DataDir:          s.cfg.DataDir,
+		Epoch:            epoch,
+		Mode:             s.replMode,
+		SemisyncTimeout:  s.cfg.SemisyncTimeout,
+		BreakerThreshold: s.cfg.SemisyncBreakerAfter,
+		BreakerCooldown:  s.cfg.SemisyncBreakerCooldown,
+		BufferBytes:      s.cfg.ReplBufferBytes,
+		HeartbeatEvery:   s.cfg.ReplHeartbeatEvery,
+		Faults:           s.cfg.Faults,
+		Stats:            s.replStats,
+		Logger:           s.replLog(),
 	})
 }
 
@@ -120,15 +123,25 @@ func (s *Service) ReplicationStatus() repl.StatusView {
 // the submit's journal record, falling back to async (counted in
 // cosparsed_repl_semisync_fallbacks_total) when the timeout fires or
 // no follower is reachable. seq 0 means the submit was not journaled
-// (in-memory service) — nothing to wait for.
+// (in-memory service) — nothing to wait for. Repeated fallbacks open
+// the ack circuit breaker: the wait is then skipped entirely (pure
+// async, each skip counted in cosparsed_repl_semisync_skipped_total)
+// until a periodic probe wait finds the follower acking again.
 func (s *Service) semisyncWait(r *http.Request, seq uint64) {
 	rl := s.replLeader.Load()
 	if rl == nil || rl.Mode() != repl.ModeSemiSync || seq == 0 {
 		return
 	}
+	br := rl.AckBreaker()
+	if !br.Allow() {
+		s.replStats.BreakerSkipped.Add(1)
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), rl.SemisyncTimeout())
 	defer cancel()
-	if !rl.WaitApplied(ctx, seq) {
+	ok := rl.WaitApplied(ctx, seq)
+	br.Record(ok)
+	if !ok {
 		s.replStats.SemisyncFallbacks.Add(1)
 		s.log.Warn("semisync fallback: follower did not ack in time",
 			slog.Uint64("seq", seq))

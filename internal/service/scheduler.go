@@ -22,6 +22,46 @@ var ErrClosed = errors.New("service: scheduler closed")
 // layer maps it to 503 Service Unavailable.
 var ErrDraining = errors.New("service: draining, not accepting jobs")
 
+// Shed reasons, used in ShedError.Reason and as the reason label on
+// cosparsed_jobs_shed_total.
+const (
+	// ShedQueueDelay: the CoDel-style controller saw dequeue sojourns
+	// above target for a full interval — the queue is standing, not
+	// absorbing a burst.
+	ShedQueueDelay = "queue_delay"
+	// ShedDeadline: the estimated queue wait already exceeds the job's
+	// deadline budget, so running it could only waste a worker.
+	ShedDeadline = "deadline_unmeetable"
+	// ShedTenantQuota: the tenant is over its (fair-share or
+	// configured) queue cap while the queue is under pressure.
+	ShedTenantQuota = "tenant_quota"
+	// ShedFairnessEvict: a queued job of an over-share tenant was
+	// evicted to admit a job from an under-share tenant at full queue.
+	ShedFairnessEvict = "fairness_evict"
+	// ShedExpired: the job's deadline expired while it was queued; it
+	// was settled at dequeue without occupying a worker run.
+	ShedExpired = "expired"
+)
+
+// ShedError is returned by SubmitJob when admission control refuses a
+// job for a reason other than hard queue saturation: standing queue
+// delay, an unmeetable deadline, or a tenant over its fair share. The
+// HTTP layer maps it to 429 with a Retry-After header.
+type ShedError struct {
+	// Reason is one of the Shed* constants.
+	Reason string
+	// RetryAfter is the client backoff hint, surfaced as a Retry-After
+	// header (floored to 1s).
+	RetryAfter time.Duration
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// Error renders the shed reason and detail.
+func (e *ShedError) Error() string {
+	return "service: job shed (" + e.Reason + "): " + e.Detail
+}
+
 // PanicError is the terminal error of a job whose run panicked. The
 // worker recovered, recorded the stack, and stayed alive; the job is
 // failed, never retried (a panic is a suspected logic bug, not a
@@ -81,15 +121,30 @@ func (p RetryPolicy) backoff(jobID string, attempt int) time.Duration {
 	return d/2 + time.Duration(u*float64(d/2))
 }
 
-// Scheduler runs jobs from a bounded queue on a fixed worker pool.
-// Saturation is surfaced to the caller as ErrQueueFull rather than
-// queuing unboundedly — backpressure is the contract. Workers are
-// panic-isolated (a panicking job fails with its stack recorded; the
-// worker survives) and re-run transiently failing jobs per the
-// RetryPolicy.
+// deadlineAdmitMinSamples is how many completed runs the wait
+// estimator needs before deadline-aware admission turns on; below it
+// the estimate is noise (and tests that hold workers in hooks would
+// otherwise trip it).
+const deadlineAdmitMinSamples = 16
+
+// tenantQueue is one tenant's FIFO of queued jobs.
+type tenantQueue struct {
+	name string
+	jobs []*Job
+}
+
+// Scheduler runs jobs from a bounded set of per-tenant FIFO queues on
+// a fixed worker pool, dispatching round-robin across tenants so one
+// flooding tenant cannot starve the rest. Saturation is surfaced to
+// the caller as ErrQueueFull (or a *ShedError when admission control
+// refuses earlier) rather than queuing unboundedly — backpressure is
+// the contract. Workers are panic-isolated (a panicking job fails with
+// its stack recorded; the worker survives) and re-run transiently
+// failing jobs per the RetryPolicy, gated by a global retry budget so
+// retry storms cannot amplify an overload.
 type Scheduler struct {
-	queue   chan *Job
 	workers int
+	depth   int
 	run     func(*Job) (*JobResult, error)
 	retry   RetryPolicy
 	m       *Metrics
@@ -114,19 +169,68 @@ type Scheduler struct {
 	// restart re-enqueues them, instead of being failed.
 	durable bool
 
-	mu       sync.Mutex
+	// Overload-control knobs, set by the service layer before traffic
+	// (like retry above) and read under mu.
+	//
+	// shedTarget/shedInterval drive the CoDel-style controller: when
+	// dequeue sojourns stay above shedTarget for shedInterval, new
+	// submissions shed until a sojourn drops back under target (or the
+	// queue empties). shedTarget <= 0 disables delay- and
+	// deadline-based shedding entirely.
+	shedTarget   time.Duration
+	shedInterval time.Duration
+	// tenantCap, when > 0, is an absolute per-tenant queue cap. At 0
+	// the cap is the dynamic fair share depth/activeTenants, enforced
+	// only once the queue is at least half full (so a lone tenant on an
+	// idle service still gets the whole queue).
+	tenantCap int
+	// retryRatio earns that fraction of a retry token per admitted job
+	// (capped at retryBurst); each transient re-run spends one token.
+	// <= 0 disables the budget.
+	retryRatio float64
+	retryBurst float64
+
+	mu      sync.Mutex
+	tenants map[string]*tenantQueue
+	// rr lists tenants that currently have queued jobs, in round-robin
+	// dispatch order; rrNext is the next index to serve.
+	rr     []*tenantQueue
+	rrNext int
+	queued int
+
 	jobs     map[string]*Job
 	order    []string // insertion order for listings
 	nextID   int
 	closed   bool
 	draining bool
 
-	quit chan struct{}
-	wg   sync.WaitGroup
+	// CoDel controller state (under mu).
+	shedding    bool
+	aboveSince  time.Time
+	lastSojourn time.Duration
+
+	// Retry token bucket (under mu).
+	retryTokens float64
+
+	// EWMA of observed per-job worker occupancy, feeding the
+	// deadline-aware admission estimate (under mu).
+	avgRunSec  float64
+	runSamples int
+
+	// ready carries one wake-up token per enqueued job; workers block
+	// on it and then pop the next job round-robin. The token count may
+	// exceed the queued-job count (expired jobs are swept in batches),
+	// never the reverse, so a token without a job is a harmless
+	// spurious wake-up.
+	ready chan struct{}
+	quit  chan struct{}
+	wg    sync.WaitGroup
 }
 
 // NewScheduler builds a scheduler with the given worker count and
 // queue depth (both floored to 1) around run, the job executor.
+// Overload controls (shedding, tenant caps, retry budget) default to
+// off; the service layer arms them from its config.
 func NewScheduler(workers, depth int, run func(*Job) (*JobResult, error), m *Metrics) *Scheduler {
 	if workers <= 0 {
 		workers = 1
@@ -138,12 +242,14 @@ func NewScheduler(workers, depth int, run func(*Job) (*JobResult, error), m *Met
 		m = NewMetrics()
 	}
 	s := &Scheduler{
-		queue:   make(chan *Job, depth),
 		workers: workers,
+		depth:   depth,
 		run:     run,
 		retry:   RetryPolicy{}.withDefaults(),
 		m:       m,
+		tenants: make(map[string]*tenantQueue),
 		jobs:    make(map[string]*Job),
+		ready:   make(chan struct{}, depth),
 		quit:    make(chan struct{}),
 	}
 	for i := 0; i < workers; i++ {
@@ -153,9 +259,180 @@ func NewScheduler(workers, depth int, run func(*Job) (*JobResult, error), m *Met
 	return s
 }
 
-// SubmitJob enqueues j. On queue saturation it returns ErrQueueFull
-// without taking ownership (the caller releases its pins).
+// fairShareLocked is the per-tenant queue cap: the configured absolute
+// cap when set, otherwise depth divided by the number of tenants that
+// would have queued jobs (including the asking tenant), floored to 1.
+func (s *Scheduler) fairShareLocked(asking *tenantQueue) int {
+	if s.tenantCap > 0 {
+		return s.tenantCap
+	}
+	active := len(s.rr)
+	if asking == nil || len(asking.jobs) == 0 {
+		active++ // the asking tenant is not in rr yet
+	}
+	if active < 1 {
+		active = 1
+	}
+	share := s.depth / active
+	if share < 1 {
+		share = 1
+	}
+	return share
+}
+
+// oldestHeadAgeLocked returns the wait so far of the oldest queued
+// head-of-line job, or 0 when nothing is queued.
+func (s *Scheduler) oldestHeadAgeLocked(now time.Time) time.Duration {
+	var oldest time.Time
+	for _, tq := range s.rr {
+		if h := tq.jobs[0]; oldest.IsZero() || h.enqueued.Before(oldest) {
+			oldest = h.enqueued
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return now.Sub(oldest)
+}
+
+func (s *Scheduler) setSheddingLocked(on bool) {
+	if s.shedding == on {
+		return
+	}
+	s.shedding = on
+	if on {
+		s.m.ShedActive.Store(1)
+	} else {
+		s.m.ShedActive.Store(0)
+	}
+}
+
+// noteSojournLocked feeds one dequeue sojourn into the CoDel-style
+// controller: shedding arms after a full shedInterval of sojourns
+// above target and disarms on the first sojourn back under target (or
+// when the queue empties).
+func (s *Scheduler) noteSojournLocked(soj time.Duration, now time.Time) {
+	if s.shedTarget <= 0 {
+		return
+	}
+	s.lastSojourn = soj
+	if soj < s.shedTarget {
+		s.aboveSince = time.Time{}
+		s.setSheddingLocked(false)
+		return
+	}
+	if s.aboveSince.IsZero() {
+		s.aboveSince = now
+	}
+	if now.Sub(s.aboveSince) >= s.shedInterval {
+		s.setSheddingLocked(true)
+	}
+}
+
+// overloadedLocked reports whether new submissions should shed for
+// standing queue delay. Besides the sojourn-driven state it checks the
+// oldest head-of-line wait directly, so stalled workers (no dequeues,
+// hence no sojourn samples) still trip the controller.
+func (s *Scheduler) overloadedLocked(now time.Time) bool {
+	if s.shedTarget <= 0 {
+		return false
+	}
+	if s.shedding {
+		return true
+	}
+	if age := s.oldestHeadAgeLocked(now); age > s.shedTarget+s.shedInterval {
+		s.lastSojourn = age
+		s.setSheddingLocked(true)
+		return true
+	}
+	return false
+}
+
+// shedRetryAfterLocked estimates how long a shed client should back
+// off: the excess sojourn over target, clamped to [1s, 30s].
+func (s *Scheduler) shedRetryAfterLocked() time.Duration {
+	d := s.lastSojourn - s.shedTarget
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// enqueueLocked appends j to its tenant queue, adding the tenant to
+// the round-robin ring on its first job.
+func (s *Scheduler) enqueueLocked(j *Job) {
+	tq := s.tenants[j.tenant]
+	if tq == nil {
+		tq = &tenantQueue{name: j.tenant}
+		s.tenants[j.tenant] = tq
+	}
+	if len(tq.jobs) == 0 {
+		s.rr = append(s.rr, tq)
+	}
+	tq.jobs = append(tq.jobs, j)
+	s.queued++
+}
+
+// removeRRLocked drops tq from the round-robin ring and the tenant
+// map, keeping rrNext pointed at the same next tenant.
+func (s *Scheduler) removeRRLocked(tq *tenantQueue) {
+	for i, q := range s.rr {
+		if q == tq {
+			s.rr = append(s.rr[:i], s.rr[i+1:]...)
+			if i < s.rrNext {
+				s.rrNext--
+			}
+			break
+		}
+	}
+	delete(s.tenants, tq.name)
+}
+
+// evictForLocked implements fairness push-out at full queue: when the
+// submitting tenant is under its fair share and some other tenant is
+// over it, the over-share tenant's youngest queued job is removed and
+// returned for the caller to settle (outside the lock), making room.
+// Returns nil when the newcomer has no fairness claim — the common
+// single-tenant case degrades to plain ErrQueueFull.
+func (s *Scheduler) evictForLocked(j *Job) *Job {
+	newTQ := s.tenants[j.tenant]
+	share := s.fairShareLocked(newTQ)
+	if newTQ != nil && len(newTQ.jobs) >= share {
+		return nil
+	}
+	var hog *tenantQueue
+	for _, tq := range s.rr {
+		if tq.name == j.tenant || len(tq.jobs) <= share {
+			continue
+		}
+		if hog == nil || len(tq.jobs) > len(hog.jobs) {
+			hog = tq
+		}
+	}
+	if hog == nil {
+		return nil
+	}
+	last := len(hog.jobs) - 1
+	victim := hog.jobs[last]
+	hog.jobs[last] = nil
+	hog.jobs = hog.jobs[:last]
+	if len(hog.jobs) == 0 {
+		s.removeRRLocked(hog)
+	}
+	s.queued--
+	s.m.JobsQueued.Add(-1)
+	s.m.TenantQueuedAdd(victim.tenant, -1)
+	return victim
+}
+
+// SubmitJob enqueues j. On queue saturation it returns ErrQueueFull,
+// and on admission-control refusal a *ShedError, without taking
+// ownership (the caller releases its pins).
 func (s *Scheduler) SubmitJob(j *Job, timeout time.Duration) error {
+	now := time.Now()
 	s.mu.Lock()
 	if s.closed {
 		draining := s.draining
@@ -166,19 +443,33 @@ func (s *Scheduler) SubmitJob(j *Job, timeout time.Duration) error {
 		return ErrClosed
 	}
 	// Capacity is checked under the lock before the id is spent or the
-	// journal written: workers only ever remove from the queue, so a
-	// non-full queue here guarantees the send below cannot block. A
-	// rejected submission therefore spends no id and writes no journal
-	// record.
-	if len(s.queue) == cap(s.queue) {
+	// journal written: a rejected submission spends no id and writes no
+	// journal record. At full queue a tenant under its fair share may
+	// instead push out the youngest job of an over-share tenant.
+	var victim *Job
+	if s.queued >= s.depth {
+		victim = s.evictForLocked(j)
+		if victim == nil {
+			s.mu.Unlock()
+			// No context exists yet — nothing to cancel; the caller
+			// releases its graph pin.
+			s.m.JobsRejected.Add(1)
+			s.m.TenantShed(j.tenant)
+			return ErrQueueFull
+		}
+	}
+	if shed := s.admitLocked(j, timeout, now); shed != nil {
 		s.mu.Unlock()
-		// No context exists yet — nothing to cancel; the caller
-		// releases its graph pin.
-		s.m.JobsRejected.Add(1)
-		return ErrQueueFull
+		if victim != nil {
+			// The eviction stands even though the newcomer was then
+			// refused: the queue was overloaded either way.
+			s.settleEvicted(victim, j.tenant)
+		}
+		s.m.TenantShed(j.tenant)
+		return shed
 	}
 	j.id = fmt.Sprintf("j%d", s.nextID+1)
-	j.created = time.Now()
+	j.created = now
 	j.state = JobQueued
 	j.timeout = timeout
 	j.done = make(chan struct{})
@@ -191,23 +482,101 @@ func (s *Scheduler) SubmitJob(j *Job, timeout time.Duration) error {
 		if err := s.onSubmit(j); err != nil {
 			s.mu.Unlock()
 			j.cancel()
+			if victim != nil {
+				s.settleEvicted(victim, j.tenant)
+			}
 			return err
 		}
 	}
-	s.queue <- j
+	j.enqueued = now
+	s.enqueueLocked(j)
 	s.nextID++
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	if s.retryRatio > 0 {
+		s.retryTokens += s.retryRatio
+		if s.retryTokens > s.retryBurst {
+			s.retryTokens = s.retryBurst
+		}
+	}
 	s.mu.Unlock()
+	if victim != nil {
+		s.settleEvicted(victim, j.tenant)
+	} else {
+		// Net queue growth: wake a worker. (An eviction kept the count
+		// flat, so the victim's token serves the newcomer.) Non-blocking:
+		// a full token channel already holds at least one wake-up per
+		// queued job, so dropping the send loses nothing.
+		select {
+		case s.ready <- struct{}{}:
+		default:
+		}
+	}
 	s.m.JobsSubmitted.Add(1)
 	s.m.JobsQueued.Add(1)
+	s.m.TenantSubmitted(j.tenant)
+	s.m.TenantQueuedAdd(j.tenant, 1)
 	return nil
+}
+
+// admitLocked runs the soft admission checks (queue-delay shedding,
+// deadline feasibility, tenant quota) and returns a *ShedError when
+// the job should be refused. Hard capacity is checked by the caller.
+func (s *Scheduler) admitLocked(j *Job, timeout time.Duration, now time.Time) *ShedError {
+	if s.overloadedLocked(now) {
+		s.m.ShedDelay.Add(1)
+		return &ShedError{
+			Reason:     ShedQueueDelay,
+			RetryAfter: s.shedRetryAfterLocked(),
+			Detail:     fmt.Sprintf("queue sojourn %v above %v target", s.lastSojourn.Round(time.Millisecond), s.shedTarget),
+		}
+	}
+	if s.shedTarget > 0 && timeout > 0 && s.runSamples >= deadlineAdmitMinSamples {
+		// Expected wait before this job would run: the jobs ahead of it
+		// spread over the workers, plus its own run.
+		est := s.avgRunSec * float64(s.queued/s.workers+1)
+		if est > timeout.Seconds() {
+			s.m.ShedDeadline.Add(1)
+			return &ShedError{
+				Reason:     ShedDeadline,
+				RetryAfter: time.Duration((est - timeout.Seconds()) * float64(time.Second)),
+				Detail: fmt.Sprintf("estimated wait %.2fs exceeds %.2fs deadline budget",
+					est, timeout.Seconds()),
+			}
+		}
+	}
+	tq := s.tenants[j.tenant]
+	if tq != nil && len(tq.jobs) > 0 {
+		share := s.fairShareLocked(tq)
+		pressured := s.tenantCap > 0 || s.queued*2 >= s.depth
+		if pressured && len(tq.jobs) >= share {
+			s.m.ShedQuota.Add(1)
+			return &ShedError{
+				Reason:     ShedTenantQuota,
+				RetryAfter: time.Second,
+				Detail:     fmt.Sprintf("tenant %q has %d jobs queued, share is %d", j.tenant, len(tq.jobs), share),
+			}
+		}
+	}
+	return nil
+}
+
+// settleEvicted fails a fairness-evicted job (outside the scheduler
+// lock; settle journals the terminal transition).
+func (s *Scheduler) settleEvicted(victim *Job, forTenant string) {
+	victim.cancel()
+	s.m.ShedEvicted.Add(1)
+	s.m.TenantShed(victim.tenant)
+	s.settle(victim, JobFailed, nil,
+		fmt.Sprintf("shed under overload: tenant %q over fair share, evicted to admit tenant %q", victim.tenant, forTenant))
 }
 
 // Restore re-inserts a journal-recovered job under its original id and
 // enqueues it. Called only during startup recovery, before the HTTP
 // listener accepts traffic, so id collisions with fresh submissions
-// cannot happen (nextID is bumped past every restored id).
+// cannot happen (nextID is bumped past every restored id). Recovery
+// bypasses admission control: an accepted-and-journaled job is owed an
+// execution attempt.
 func (s *Scheduler) Restore(j *Job, id string, timeout time.Duration, retries int) error {
 	s.mu.Lock()
 	if s.closed {
@@ -218,7 +587,7 @@ func (s *Scheduler) Restore(j *Job, id string, timeout time.Duration, retries in
 		s.mu.Unlock()
 		return fmt.Errorf("service: job %q already restored", id)
 	}
-	if len(s.queue) == cap(s.queue) {
+	if s.queued >= s.depth {
 		s.mu.Unlock()
 		return ErrQueueFull
 	}
@@ -230,16 +599,29 @@ func (s *Scheduler) Restore(j *Job, id string, timeout time.Duration, retries in
 	j.recovered = true
 	j.done = make(chan struct{})
 	j.ctx, j.cancel = context.WithTimeout(context.Background(), timeout)
-	s.queue <- j
+	j.enqueued = j.created
+	s.enqueueLocked(j)
 	var n int
 	if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > s.nextID {
 		s.nextID = n
 	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
+	if s.retryRatio > 0 {
+		s.retryTokens += s.retryRatio
+		if s.retryTokens > s.retryBurst {
+			s.retryTokens = s.retryBurst
+		}
+	}
 	s.mu.Unlock()
+	select {
+	case s.ready <- struct{}{}:
+	default:
+	}
 	s.m.JobsSubmitted.Add(1)
 	s.m.JobsQueued.Add(1)
+	s.m.TenantSubmitted(j.tenant)
+	s.m.TenantQueuedAdd(j.tenant, 1)
 	return nil
 }
 
@@ -277,6 +659,15 @@ func (s *Scheduler) List() []JobStatus {
 	return out
 }
 
+// OverloadState reports whether the shedding controller is active and
+// the current queue occupancy in [0, 1]; the service's brownout
+// monitor polls it for its pressure signal.
+func (s *Scheduler) OverloadState() (shedding bool, occupancy float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shedding, float64(s.queued) / float64(s.depth)
+}
+
 // Cancel stops the job: a queued job terminates immediately, a running
 // one at its next iteration boundary. It returns false for unknown
 // ids.
@@ -288,7 +679,8 @@ func (s *Scheduler) Cancel(id string) bool {
 	j.cancel()
 	// A queued job will never reach a worker transition, so settle it
 	// here; a running job settles on its worker, which observes the
-	// cancelled context at the next iteration boundary.
+	// cancelled context at the next iteration boundary. The settled
+	// job stays in its tenant queue until a worker sweeps it.
 	j.mu.Lock()
 	queued := j.state == JobQueued
 	j.mu.Unlock()
@@ -307,6 +699,7 @@ func (s *Scheduler) settle(j *Job, state JobState, res *JobResult, errMsg string
 	switch state {
 	case JobDone:
 		s.m.JobsDone.Add(1)
+		s.m.TenantDone(j.tenant)
 	case JobFailed:
 		s.m.JobsFailed.Add(1)
 	case JobCancelled:
@@ -326,28 +719,98 @@ func (s *Scheduler) worker() {
 		select {
 		case <-s.quit:
 			return
-		case j := <-s.queue:
-			s.process(j)
+		case <-s.ready:
+			if j := s.pop(); j != nil {
+				s.process(j)
+			}
 		}
+	}
+}
+
+// pop removes and returns the next runnable job, serving tenants
+// round-robin. Jobs whose deadline already expired (or that were
+// cancelled while queued) are settled on the spot — in a sweep, not a
+// worker run each — so a queue full of corpses costs the pool one
+// dequeue, not one run/retry cycle per corpse. Returns nil when the
+// queues are empty (a spurious token wake-up).
+func (s *Scheduler) pop() *Job {
+	s.mu.Lock()
+	for {
+		j := s.popLocked()
+		if j == nil {
+			s.mu.Unlock()
+			return nil
+		}
+		if err := j.ctx.Err(); err != nil {
+			s.mu.Unlock()
+			s.settleUnrun(j, err)
+			s.mu.Lock()
+			continue
+		}
+		s.mu.Unlock()
+		return j
+	}
+}
+
+// popLocked dequeues the head of the next tenant in round-robin order,
+// feeding the sojourn into the shedding controller and the queue-delay
+// histogram.
+func (s *Scheduler) popLocked() *Job {
+	if len(s.rr) == 0 {
+		return nil
+	}
+	if s.rrNext >= len(s.rr) {
+		s.rrNext = 0
+	}
+	tq := s.rr[s.rrNext]
+	j := tq.jobs[0]
+	tq.jobs[0] = nil
+	tq.jobs = tq.jobs[1:]
+	if len(tq.jobs) == 0 {
+		s.removeRRLocked(tq)
+	} else {
+		s.rrNext++
+	}
+	s.queued--
+	now := time.Now()
+	soj := now.Sub(j.enqueued)
+	s.m.QueueDelay.Observe(soj.Seconds())
+	s.noteSojournLocked(soj, now)
+	if s.queued == 0 {
+		// An empty queue cannot be overloaded; reset the controller.
+		s.aboveSince = time.Time{}
+		s.setSheddingLocked(false)
+	}
+	s.m.JobsQueued.Add(-1)
+	s.m.TenantQueuedAdd(j.tenant, -1)
+	return j
+}
+
+// settleUnrun settles a job popped with its context already dead:
+// cancelled jobs were settled by their canceller (no-op here);
+// deadline-expired ones fail with the queued-expiry message.
+func (s *Scheduler) settleUnrun(j *Job, err error) {
+	j.cancel()
+	if errors.Is(err, context.Canceled) {
+		s.settle(j, JobCancelled, nil, err.Error())
+		return
+	}
+	if s.settle(j, JobFailed, nil, "job deadline expired while queued: "+err.Error()) {
+		s.m.ShedExpired.Add(1)
+		s.m.TenantShed(j.tenant)
 	}
 }
 
 // process drives one dequeued job to a terminal state. Every path
 // settles the job; no error or panic can kill the worker.
 func (s *Scheduler) process(j *Job) {
-	s.m.JobsQueued.Add(-1)
 	if s.beforeRun != nil {
 		s.beforeRun(j)
 	}
 	if err := j.ctx.Err(); err != nil {
-		// Expired while queued: never start the run. A cancelled job
-		// was settled by its canceller; a deadlined one settles here.
-		j.cancel()
-		if errors.Is(err, context.Canceled) {
-			s.settle(j, JobCancelled, nil, err.Error())
-		} else {
-			s.settle(j, JobFailed, nil, "job deadline expired while queued: "+err.Error())
-		}
+		// Expired while queued (or while held in the test hook): never
+		// start the run.
+		s.settleUnrun(j, err)
 		return
 	}
 	if !j.start() {
@@ -360,7 +823,9 @@ func (s *Scheduler) process(j *Job) {
 		s.onStart(j)
 	}
 	s.m.JobsRunning.Add(1)
+	t0 := time.Now()
 	res, err := s.execute(j)
+	s.noteRun(time.Since(t0))
 	s.m.JobsRunning.Add(-1)
 	switch {
 	case err == nil:
@@ -371,6 +836,37 @@ func (s *Scheduler) process(j *Job) {
 		s.settle(j, JobFailed, nil, err.Error())
 	}
 	j.cancel() // release the deadline timer
+}
+
+// noteRun feeds one completed run's wall time (including retries and
+// their backoffs — it measures worker occupancy, not kernel speed)
+// into the EWMA behind deadline-aware admission.
+func (s *Scheduler) noteRun(d time.Duration) {
+	s.mu.Lock()
+	sec := d.Seconds()
+	if s.runSamples == 0 {
+		s.avgRunSec = sec
+	} else {
+		s.avgRunSec += 0.2 * (sec - s.avgRunSec)
+	}
+	s.runSamples++
+	s.mu.Unlock()
+}
+
+// takeRetryToken spends one retry-budget token; false means the budget
+// is exhausted and the retry must not happen. A disabled budget
+// (retryRatio <= 0) always grants.
+func (s *Scheduler) takeRetryToken() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.retryRatio <= 0 {
+		return true
+	}
+	if s.retryTokens >= 1 {
+		s.retryTokens--
+		return true
+	}
+	return false
 }
 
 // execute runs the job, re-running it with capped exponential backoff
@@ -384,6 +880,10 @@ func (s *Scheduler) execute(j *Job) (*JobResult, error) {
 		}
 		if attempt > s.retry.MaxRetries {
 			return nil, fmt.Errorf("giving up after %d attempts: %w", attempt, err)
+		}
+		if !s.takeRetryToken() {
+			s.m.RetryBudgetExhausted.Add(1)
+			return nil, fmt.Errorf("retry budget exhausted, giving up after %d attempts: %w", attempt, err)
 		}
 		s.m.JobsRetried.Add(1)
 		j.noteRetry()
@@ -416,6 +916,25 @@ func (s *Scheduler) runSafe(j *Job) (res *JobResult, err error) {
 	return s.run(j)
 }
 
+// clearQueuesLocked empties every tenant queue and returns the
+// stranded jobs; queue-depth gauges are settled here so callers only
+// decide the jobs' fates.
+func (s *Scheduler) clearQueuesLocked() []*Job {
+	var stranded []*Job
+	for _, tq := range s.rr {
+		stranded = append(stranded, tq.jobs...)
+	}
+	s.tenants = make(map[string]*tenantQueue)
+	s.rr = nil
+	s.rrNext = 0
+	s.queued = 0
+	for _, j := range stranded {
+		s.m.JobsQueued.Add(-1)
+		s.m.TenantQueuedAdd(j.tenant, -1)
+	}
+	return stranded
+}
+
 // Drain is the graceful counterpart of Close: it stops intake (Submit
 // returns ErrDraining), fails every still-queued job with a drain
 // error, and lets in-flight jobs run to completion. If ctx expires
@@ -430,25 +949,18 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 		return nil
 	}
 	s.closed, s.draining = true, true
+	// Strand the queues. Workers may race us for individual jobs up to
+	// this lock; those run to completion, which only improves on the
+	// contract. In durable mode queued jobs are left unsettled: their
+	// submit records stay live in the journal with no terminal
+	// transition, so the next startup re-enqueues them — the queue
+	// survives the restart instead of being failed.
+	stranded := s.clearQueuesLocked()
 	s.mu.Unlock()
-
-	// Drain the queue. Workers may race us for individual jobs; those
-	// run to completion, which only improves on the contract. In
-	// durable mode queued jobs are left unsettled: their submit records
-	// stay live in the journal with no terminal transition, so the next
-	// startup re-enqueues them — the queue survives the restart instead
-	// of being failed.
-drainQueue:
-	for {
-		select {
-		case j := <-s.queue:
-			s.m.JobsQueued.Add(-1)
-			j.cancel()
-			if !s.durable {
-				s.settle(j, JobFailed, nil, "server draining: queued job abandoned before running")
-			}
-		default:
-			break drainQueue
+	for _, j := range stranded {
+		j.cancel()
+		if !s.durable {
+			s.settle(j, JobFailed, nil, "server draining: queued job abandoned before running")
 		}
 	}
 
@@ -498,15 +1010,12 @@ func (s *Scheduler) Close() {
 	// Settle anything still queued after the workers stopped. In
 	// durable mode the jobs stay unsettled so a restart re-enqueues
 	// them (same contract as Drain).
-	for {
-		select {
-		case j := <-s.queue:
-			s.m.JobsQueued.Add(-1)
-			if !s.durable {
-				s.settle(j, JobCancelled, nil, "server shutting down")
-			}
-		default:
-			return
+	s.mu.Lock()
+	stranded := s.clearQueuesLocked()
+	s.mu.Unlock()
+	for _, j := range stranded {
+		if !s.durable {
+			s.settle(j, JobCancelled, nil, "server shutting down")
 		}
 	}
 }

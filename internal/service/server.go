@@ -134,6 +134,44 @@ type Config struct {
 	// PromoteAfter auto-promotes a synced follower when no leader
 	// heartbeat arrives for this long (0 = manual promotion only).
 	PromoteAfter time.Duration
+	// ShedTarget is the CoDel-style queue-delay shedding target: when
+	// dequeue sojourns stay above it for ShedInterval, new submissions
+	// are shed with 429 + Retry-After until a sojourn dips back under.
+	// 0 means the default (1s); negative disables delay shedding.
+	ShedTarget time.Duration
+	// ShedInterval is how long sojourns must stay above ShedTarget
+	// before shedding arms (default 100ms).
+	ShedInterval time.Duration
+	// TenantQueueDepth caps how many jobs one tenant may hold queued.
+	// 0 (the default) uses a dynamic fair share (QueueDepth divided by
+	// the number of active tenants, enforced only under pressure);
+	// positive values are an absolute per-tenant cap.
+	TenantQueueDepth int
+	// RetryBudget is the global retry token-bucket earn rate: each
+	// admitted job earns this many retry tokens, and each automatic
+	// retry spends one, so retries cannot exceed this fraction of
+	// admitted work during sustained overload. 0 means the default
+	// (0.1); negative disables the budget (retries bounded only by
+	// RetryPolicy.MaxRetries).
+	RetryBudget float64
+	// RetryBurst caps the retry token bucket (default 32), bounding how
+	// large a retry storm an idle period can bank.
+	RetryBurst float64
+	// BrownoutAfter is how long overload pressure (shedding active, or
+	// the estimated queue-drain backlog beyond it) must persist before
+	// the service enters brownout — widening the batch gather window and
+	// stretching the checkpoint interval to shed per-job overhead, and
+	// surfacing "degraded" in /readyz. The same period of calm exits.
+	// 0 means the default (2s); negative disables brownout.
+	BrownoutAfter time.Duration
+	// SemisyncBreakerAfter is how many consecutive semisync ack
+	// timeouts open the replication ack circuit breaker (default 3;
+	// the breaker then skips ack waits entirely until a cooldown probe
+	// finds the follower acking again).
+	SemisyncBreakerAfter int
+	// SemisyncBreakerCooldown is the open-breaker probe interval
+	// (default 10s).
+	SemisyncBreakerCooldown time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -183,6 +221,30 @@ func (c Config) withDefaults() Config {
 	if c.BatchWindow > 0 && c.BatchMaxLanes <= 0 {
 		c.BatchMaxLanes = 32
 	}
+	switch {
+	case c.ShedTarget == 0:
+		c.ShedTarget = time.Second
+	case c.ShedTarget < 0:
+		c.ShedTarget = 0 // disabled
+	}
+	if c.ShedInterval <= 0 {
+		c.ShedInterval = 100 * time.Millisecond
+	}
+	switch {
+	case c.RetryBudget == 0:
+		c.RetryBudget = 0.1
+	case c.RetryBudget < 0:
+		c.RetryBudget = 0 // disabled
+	}
+	if c.RetryBurst <= 0 {
+		c.RetryBurst = 32
+	}
+	switch {
+	case c.BrownoutAfter == 0:
+		c.BrownoutAfter = 2 * time.Second
+	case c.BrownoutAfter < 0:
+		c.BrownoutAfter = 0 // disabled
+	}
 	return c
 }
 
@@ -231,6 +293,14 @@ type Service struct {
 	replMode repl.Mode
 	// promoteMu serializes Promote (manual + heartbeat-timeout callers).
 	promoteMu sync.Mutex
+
+	// Brownout state (see overload.go). degraded is surfaced in /readyz
+	// and /healthz; ckptStretch multiplies the checkpoint interval while
+	// degraded (read on the worker hot path, hence atomic).
+	degraded     atomic.Bool
+	ckptStretch  atomic.Int64
+	brownoutStop chan struct{}
+	brownoutOnce sync.Once
 }
 
 // New assembles a Service (call Close when done).
@@ -257,6 +327,19 @@ func New(cfg Config) *Service {
 	s.sched.onStart = s.journalStart
 	s.sched.onRetry = s.journalRetry
 	s.sched.onFinish = s.journalFinish
+	// Overload knobs: withDefaults already resolved "0 = default,
+	// negative = off" into concrete values (0 meaning off here).
+	s.sched.shedTarget = cfg.ShedTarget
+	s.sched.shedInterval = cfg.ShedInterval
+	s.sched.tenantCap = cfg.TenantQueueDepth
+	s.sched.retryRatio = cfg.RetryBudget
+	s.sched.retryBurst = cfg.RetryBurst
+	s.sched.retryTokens = cfg.RetryBurst // start with a full bucket
+	s.ckptStretch.Store(1)
+	s.brownoutStop = make(chan struct{})
+	if cfg.BrownoutAfter > 0 {
+		go s.brownoutMonitor()
+	}
 	return s
 }
 
@@ -368,6 +451,7 @@ func (s *Service) Recovered() RecoveryStats { return s.recovered }
 // Close drains the worker pool, cancelling live jobs, and closes the
 // durability store.
 func (s *Service) Close() {
+	s.brownoutOnce.Do(func() { close(s.brownoutStop) })
 	s.sched.Close()
 	if s.followerStop != nil {
 		s.followerStop()
@@ -574,6 +658,40 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeSubmitError maps a scheduler admission failure onto HTTP.
+// Overload rejections (queue full, shed) answer 429; shutdown states
+// answer 503. Every refusal carries Retry-After so well-behaved
+// clients back off instead of hammering an overloaded queue — for shed
+// jobs the hint comes from the controller's view of how far the queue
+// delay overshoots its target.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var shed *ShedError
+	switch {
+	case errors.As(err, &shed):
+		w.Header().Set("Retry-After", retryAfterSeconds(shed.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	}
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// at least 1 (the header does not admit fractions).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
 func (s *Service) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 	var spec GraphSpec
 	if err := decodeBody(r, &spec); err != nil {
@@ -675,15 +793,7 @@ func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.sched.SubmitJob(j, timeout); err != nil {
 		j.release() // the job never entered the queue; unpin here
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "%v", err)
-		case errors.Is(err, ErrDraining):
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
-		default:
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
-		}
+		writeSubmitError(w, err)
 		return
 	}
 	s.log.Info("job queued",
@@ -740,7 +850,7 @@ func (s *Service) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	jobs := make([]*Job, 0, n)
 	for i := 0; i < n; i++ {
 		jr := JobRequest{
-			GraphID: req.GraphID, Algo: req.Algo,
+			GraphID: req.GraphID, Algo: req.Algo, Tenant: req.Tenant,
 			Iterations: req.Iterations, Alpha: req.Alpha, Beta: req.Beta, Lambda: req.Lambda,
 			Tiles: req.Tiles, PEs: req.PEs, Backend: req.Backend,
 			TimeoutMs: req.TimeoutMs, IncludeTrace: req.IncludeTrace,
@@ -789,12 +899,7 @@ func (s *Service) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 				})
 				return
 			}
-			if errors.Is(err, ErrQueueFull) {
-				w.Header().Set("Retry-After", "1")
-				writeError(w, http.StatusTooManyRequests, "%v", err)
-			} else {
-				writeError(w, http.StatusServiceUnavailable, "%v", err)
-			}
+			writeSubmitError(w, err)
 			return
 		}
 		if j.replSeq > maxSeq {
@@ -866,6 +971,14 @@ func (s *Service) buildJob(req JobRequest) (*Job, error) {
 		return nil, fmt.Errorf("source %d out of range [0,%d)", req.Source, ge.Graph.NumVertices())
 	}
 	j := &Job{req: req, algo: algo, sys: sys, backend: backend, graph: ge}
+	// The fair-queueing tenant defaults to the graph id: multi-tenant
+	// deployments typically partition by graph, so an unlabeled hot
+	// graph cannot starve the others even before clients adopt the
+	// tenant field.
+	j.tenant = strings.TrimSpace(req.Tenant)
+	if j.tenant == "" {
+		j.tenant = req.GraphID
+	}
 	j.release = func() { s.reg.Release(ge) }
 	return j, nil
 }
@@ -1306,8 +1419,12 @@ func (s *Service) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.degraded.Load() {
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":       "ok",
+		"status":       status,
 		"uptime_ms":    time.Since(s.start).Milliseconds(),
 		"graphs":       s.m.GraphsRegistered.Load(),
 		"jobs_running": s.m.JobsRunning.Load(),
@@ -1319,13 +1436,19 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 // drain has started so load balancers stop routing new work here. It
 // also reports the replication role: a standby is 503 until its first
 // resync commits ("syncing"), then 200 with "caught-up" — usable for
-// reads, while mutations still 503 until promotion.
+// reads, while mutations still 503 until promotion. Under brownout the
+// status reads "degraded" but stays 200: the node is still serving,
+// just with throughput-over-latency settings, and pulling it out of
+// rotation would only deepen the overload on its peers.
 func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
 	role := "leader"
 	if s.isStandby() {
 		role = "follower"
 	}
 	resp := map[string]any{"status": "ready", "role": role}
+	if s.degraded.Load() {
+		resp["status"] = "degraded"
+	}
 	if s.draining.Load() {
 		resp["status"] = "draining"
 		writeJSON(w, http.StatusServiceUnavailable, resp)
